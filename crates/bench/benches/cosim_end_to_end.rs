@@ -1,0 +1,30 @@
+//! Criterion benchmark of the full co-simulation: one complete dc run on
+//! a small platform per iteration (the end-to-end cost that gates the
+//! paper-scale evaluation).
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use std::hint::black_box;
+
+use coolpim_core::cosim::{CoSim, CoSimConfig};
+use coolpim_core::policy::Policy;
+use coolpim_gpu::GpuConfig;
+use coolpim_graph::generate::GraphSpec;
+use coolpim_graph::workloads::{make_kernel, Workload};
+
+fn bench_cosim(c: &mut Criterion) {
+    let graph = GraphSpec::test_medium().build();
+    let mut g = c.benchmark_group("cosim");
+    g.sampling_mode(SamplingMode::Flat).sample_size(10);
+    for policy in [Policy::NonOffloading, Policy::NaiveOffloading, Policy::CoolPimHw] {
+        g.bench_function(format!("dc_medium/{}", policy.name()), |b| {
+            b.iter(|| {
+                let mut k = make_kernel(Workload::Dc, &graph);
+                let cfg = CoSimConfig { gpu: GpuConfig::tiny(), ..CoSimConfig::default() };
+                black_box(CoSim::new(policy, cfg).run(k.as_mut()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cosim);
+criterion_main!(benches);

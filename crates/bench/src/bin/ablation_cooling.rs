@@ -1,0 +1,35 @@
+//! Ablation: CoolPIM under the four Table II cooling solutions — how the
+//! throttling equilibrium tracks the thermal headroom.
+use coolpim_core::cosim::{CoSim, CoSimConfig};
+use coolpim_core::report::{f, Table};
+use coolpim_core::Policy;
+use coolpim_graph::workloads::{make_kernel, Workload};
+use coolpim_thermal::cooling::Cooling;
+
+fn main() {
+    let graph = coolpim_bench::eval_graph_spec().build();
+    let mut t = Table::new(
+        "Ablation — CoolPIM(HW) equilibrium vs cooling solution (dc)",
+        &["Cooling", "R (°C/W)", "Runtime (ms)", "Avg PIM rate", "Peak DRAM (°C)", "Fan (W)", "Outcome"],
+    );
+    for cooling in Cooling::TABLE2 {
+        let mut kernel = make_kernel(Workload::Dc, &graph);
+        let cfg = CoSimConfig { cooling, ..CoSimConfig::default() };
+        let r = CoSim::new(Policy::CoolPimHw, cfg).run(kernel.as_mut());
+        t.row(&[
+            cooling.name().into(),
+            f(cooling.resistance_c_per_w(), 1),
+            f(r.exec_s * 1e3, 3),
+            f(r.avg_pim_rate_op_ns, 2),
+            f(r.max_peak_dram_c, 1),
+            f(cooling.fan_power_w(), 1),
+            if r.shutdown { "thermal shutdown".into() } else { "completed".into() },
+        ]);
+    }
+    t.print();
+    println!("Better sinks leave more thermal headroom, so the same feedback loop");
+    println!("settles at higher offloading intensity — throttling adapts to the");
+    println!("platform without re-tuning (the premise of source-side control).");
+    println!("Passive/low-end sinks cannot keep the loaded cube inside its operating");
+    println!("range at all (Fig. 4): even full throttling ends in thermal shutdown.");
+}

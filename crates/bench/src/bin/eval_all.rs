@@ -1,0 +1,102 @@
+//! Runs the evaluation matrix ONCE and prints Figures 10–13 from the
+//! shared results — the efficient way to regenerate the whole evaluation
+//! section (the `fig10`–`fig13` binaries re-run the matrix each).
+use coolpim_bench::run_eval_matrix;
+use coolpim_core::experiment::{mean_speedup, WorkloadResults};
+use coolpim_core::policy::Policy;
+use coolpim_core::report::{f, Table};
+
+fn fig10(results: &[WorkloadResults]) {
+    let policies = [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+        Policy::IdealThermal,
+    ];
+    let mut t = Table::new(
+        "Fig. 10 — speedup over the non-offloading baseline",
+        &["Workload", "Non-Off", "Naive", "CoolPIM(SW)", "CoolPIM(HW)", "Ideal"],
+    );
+    for r in results {
+        let mut row = vec![r.workload.name().to_string()];
+        for p in policies {
+            row.push(f(r.speedup(p).unwrap_or(f64::NAN), 3));
+        }
+        t.row(&row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for p in policies {
+        avg.push(f(mean_speedup(results, p), 3));
+    }
+    t.row(&avg);
+    t.print();
+}
+
+fn fig11(results: &[WorkloadResults]) {
+    let policies = [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
+    let mut t = Table::new(
+        "Fig. 11 — bandwidth consumption normalized to the baseline",
+        &["Workload", "Non-Off", "Naive", "CoolPIM(SW)", "CoolPIM(HW)"],
+    );
+    for r in results {
+        let mut row = vec![r.workload.name().to_string()];
+        for p in policies {
+            row.push(f(r.normalized_bandwidth(p).unwrap_or(f64::NAN), 3));
+        }
+        t.row(&row);
+    }
+    t.print();
+}
+
+fn fig12(results: &[WorkloadResults]) {
+    let policies = [Policy::NaiveOffloading, Policy::CoolPimSw, Policy::CoolPimHw];
+    let mut t = Table::new(
+        "Fig. 12 — average PIM offloading rate (op/ns)",
+        &["Workload", "Naive", "CoolPIM(SW)", "CoolPIM(HW)"],
+    );
+    for r in results {
+        let mut row = vec![r.workload.name().to_string()];
+        for p in policies {
+            row.push(f(r.run(p).map_or(f64::NAN, |x| x.avg_pim_rate_op_ns), 2));
+        }
+        t.row(&row);
+    }
+    t.print();
+}
+
+fn fig13(results: &[WorkloadResults]) {
+    let policies = [Policy::NaiveOffloading, Policy::CoolPimSw, Policy::CoolPimHw];
+    let mut t = Table::new(
+        "Fig. 13 — peak DRAM temperature (°C)",
+        &["Workload", "Naive", "CoolPIM(SW)", "CoolPIM(HW)"],
+    );
+    for r in results {
+        let mut row = vec![r.workload.name().to_string()];
+        for p in policies {
+            row.push(f(r.run(p).map_or(f64::NAN, |x| x.max_peak_dram_c), 1));
+        }
+        t.row(&row);
+    }
+    t.print();
+}
+
+fn main() {
+    let results = run_eval_matrix();
+    fig10(&results);
+    fig11(&results);
+    fig12(&results);
+    fig13(&results);
+    println!(
+        "Averages: CoolPIM(SW) {:.3}x, CoolPIM(HW) {:.3}x, Naive {:.3}x, Ideal {:.3}x over baseline.",
+        mean_speedup(&results, Policy::CoolPimSw),
+        mean_speedup(&results, Policy::CoolPimHw),
+        mean_speedup(&results, Policy::NaiveOffloading),
+        mean_speedup(&results, Policy::IdealThermal),
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 10: speedup over the non-offloading baseline for all ten
+//! workloads under naïve offloading, CoolPIM (SW/HW), and ideal cooling.
+use coolpim_bench::run_eval_matrix;
+use coolpim_core::experiment::mean_speedup;
+use coolpim_core::policy::Policy;
+use coolpim_core::report::{f, Table};
+
+fn main() {
+    let results = run_eval_matrix();
+    let policies = [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+        Policy::IdealThermal,
+    ];
+    let mut t = Table::new(
+        "Fig. 10 — speedup over the non-offloading baseline",
+        &["Workload", "Non-Offloading", "Naive-Offloading", "CoolPIM(SW)", "CoolPIM(HW)", "IdealThermal"],
+    );
+    for r in &results {
+        let mut row = vec![r.workload.name().to_string()];
+        for p in policies {
+            row.push(f(r.speedup(p).unwrap_or(f64::NAN), 3));
+        }
+        t.row(&row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for p in policies {
+        avg.push(f(mean_speedup(&results, p), 3));
+    }
+    t.row(&avg);
+    t.print();
+    println!(
+        "CoolPIM(SW) {:.0}% / CoolPIM(HW) {:.0}% average improvement over the baseline;\n\
+         ideal cooling would allow {:.0}% (paper: 21% / 25% / 36%).",
+        (mean_speedup(&results, Policy::CoolPimSw) - 1.0) * 100.0,
+        (mean_speedup(&results, Policy::CoolPimHw) - 1.0) * 100.0,
+        (mean_speedup(&results, Policy::IdealThermal) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 11: external bandwidth consumption normalized to the
+//! non-offloading baseline.
+use coolpim_bench::run_eval_matrix;
+use coolpim_core::policy::Policy;
+use coolpim_core::report::{f, Table};
+
+fn main() {
+    let results = run_eval_matrix();
+    let policies = [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
+    let mut t = Table::new(
+        "Fig. 11 — bandwidth consumption normalized to the non-offloading baseline",
+        &["Workload", "Non-Offloading", "Naive-Offloading", "CoolPIM(SW)", "CoolPIM(HW)"],
+    );
+    for r in &results {
+        let mut row = vec![r.workload.name().to_string()];
+        for p in policies {
+            row.push(f(r.normalized_bandwidth(p).unwrap_or(f64::NAN), 3));
+        }
+        t.row(&row);
+    }
+    t.print();
+    println!("Naïve offloading saves the most bandwidth yet (Fig. 10) gains the least —");
+    println!("the thermal slowdown offsets the savings, the paper's §V-B.2 observation.");
+}

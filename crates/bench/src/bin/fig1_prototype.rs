@@ -1,0 +1,36 @@
+//! Figure 1: thermal evaluation of a real HMC 1.1 prototype —
+//! idle/busy surface temperatures under three heat sinks, with the
+//! passive sink shutting down before peak bandwidth.
+use coolpim_core::report::Table;
+use coolpim_thermal::hmc11::{max_sustainable_bandwidth, run_fig1, FIG1_MEASURED, HMC11_PEAK_BW};
+use coolpim_thermal::EXTENDED_TEMP_LIMIT_C;
+
+fn main() {
+    let mut t = Table::new(
+        "Fig. 1 — HMC 1.1 prototype surface temperature (modeled vs measured)",
+        &["Heat sink", "Idle model", "Idle measured", "Busy model", "Busy measured", "Shutdown"],
+    );
+    for p in run_fig1() {
+        let m = FIG1_MEASURED.iter().find(|m| m.sink == p.sink).unwrap();
+        t.row(&[
+            p.sink.name().to_string(),
+            format!("{:.1} °C", p.idle.surface_c),
+            format!("{:.1} °C", m.idle_surface_c),
+            format!("{:.1} °C", p.busy.surface_c),
+            format!("{:.1} °C{}", m.busy_surface_c, if m.shutdown { " (shutdown)" } else { "" }),
+            if p.shutdown { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t.print();
+    let bw = max_sustainable_bandwidth(
+        coolpim_thermal::hmc11::PrototypeSink::Passive,
+        EXTENDED_TEMP_LIMIT_C,
+    );
+    println!(
+        "Passive sink sustains only {:.0} GB/s of the {:.0} GB/s peak before the die\n\
+         leaves the extended range — the prototype cannot operate at full bandwidth\n\
+         without active cooling (paper §III-A).",
+        bw / 1e9,
+        HMC11_PEAK_BW / 1e9
+    );
+}

@@ -1,0 +1,170 @@
+//! `sim` — the general-purpose co-simulation driver.
+//!
+//! ```text
+//! sim [--workload NAME] [--policy NAME] [--scale N] [--degree N]
+//!     [--cooling NAME] [--seed N] [--graph FILE] [--timeline]
+//! ```
+//!
+//! Runs one workload under one policy and prints the full metric set
+//! (runtime, PIM rate, bandwidth, peak temperature, energy). `--graph`
+//! loads a plain-text edge list instead of generating an R-MAT graph;
+//! `--timeline` dumps the per-epoch telemetry as CSV to stdout.
+
+use coolpim_core::cosim::{CoSim, CoSimConfig};
+use coolpim_core::policy::Policy;
+use coolpim_graph::generate::GraphSpec;
+use coolpim_graph::workloads::{make_kernel, Workload};
+use coolpim_graph::Csr;
+use coolpim_thermal::cooling::Cooling;
+
+struct Args {
+    workload: Workload,
+    policy: Policy,
+    scale: u32,
+    degree: u32,
+    seed: u64,
+    cooling: Cooling,
+    graph_file: Option<String>,
+    timeline: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim [--workload dc|bfs-ta|bfs-dwc|bfs-twc|bfs-ttc|kcore|pagerank|sssp-dtc|sssp-dwc|sssp-twc]\n\
+         \x20          [--policy baseline|naive|coolpim-sw|coolpim-hw|ideal]\n\
+         \x20          [--scale N] [--degree N] [--seed N]\n\
+         \x20          [--cooling passive|low-end|commodity|high-end]\n\
+         \x20          [--graph edge-list-file] [--timeline]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(s: &str) -> Option<Policy> {
+    Some(match s {
+        "baseline" | "non-offloading" => Policy::NonOffloading,
+        "naive" => Policy::NaiveOffloading,
+        "coolpim-sw" | "sw" => Policy::CoolPimSw,
+        "coolpim-hw" | "hw" => Policy::CoolPimHw,
+        "ideal" => Policy::IdealThermal,
+        _ => return None,
+    })
+}
+
+fn parse_cooling(s: &str) -> Option<Cooling> {
+    Some(match s {
+        "passive" => Cooling::Passive,
+        "low-end" => Cooling::LowEndActive,
+        "commodity" => Cooling::CommodityServer,
+        "high-end" => Cooling::HighEndActive,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: Workload::Dc,
+        policy: Policy::CoolPimSw,
+        scale: 18,
+        degree: 16,
+        seed: 42,
+        cooling: Cooling::CommodityServer,
+        graph_file: None,
+        timeline: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--workload" | "-w" => {
+                let v = take(&mut i);
+                args.workload = Workload::from_name(&v).unwrap_or_else(|| usage());
+            }
+            "--policy" | "-p" => {
+                let v = take(&mut i);
+                args.policy = parse_policy(&v).unwrap_or_else(|| usage());
+            }
+            "--scale" | "-s" => args.scale = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--degree" | "-d" => args.degree = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cooling" | "-c" => {
+                let v = take(&mut i);
+                args.cooling = parse_cooling(&v).unwrap_or_else(|| usage());
+            }
+            "--graph" | "-g" => args.graph_file = Some(take(&mut i)),
+            "--timeline" | "-t" => args.timeline = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn load_graph(args: &Args) -> Csr {
+    match &args.graph_file {
+        Some(path) => coolpim_graph::io::read_edge_list_file(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => GraphSpec {
+            scale: args.scale,
+            avg_degree: args.degree,
+            seed: args.seed,
+            ..GraphSpec::ldbc_like()
+        }
+        .build(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let graph = load_graph(&args);
+    eprintln!(
+        "# {} under {} on {} vertices / {} edges, {} cooling",
+        args.workload.name(),
+        args.policy.name(),
+        graph.vertices(),
+        graph.edge_count(),
+        args.cooling.name()
+    );
+    let mut kernel = make_kernel(args.workload, &graph);
+    let cfg = CoSimConfig { cooling: args.cooling, ..CoSimConfig::default() };
+    let r = CoSim::new(args.policy, cfg).run(kernel.as_mut());
+
+    println!("workload           {}", r.workload);
+    println!("policy             {}", r.policy.name());
+    println!("runtime            {:.3} ms", r.exec_s * 1e3);
+    println!("avg PIM rate       {:.3} op/ns", r.avg_pim_rate_op_ns);
+    println!("avg data bandwidth {:.1} GB/s", r.avg_data_bw() / 1e9);
+    println!("peak DRAM temp     {:.1} °C", r.max_peak_dram_c);
+    println!("L2 hit rate        {:.3}", r.l2_hit_rate);
+    println!("PIM ops            {}", r.hmc.pim_ops);
+    println!("reads / writes     {} / {}", r.hmc.reads, r.hmc.writes);
+    println!("cube energy        {:.3} J", r.cube_energy_j);
+    println!("fan energy         {:.3} J", r.fan_energy_j);
+    println!("offload fraction   {:.3}", r.gpu.offload_fraction());
+    println!("kernel launches    {}", r.gpu.launches);
+    if r.shutdown {
+        println!("!! thermal shutdown occurred");
+    }
+    if args.timeline {
+        println!("t_ms,pim_rate_op_ns,data_bw_gbps,peak_dram_c,phase");
+        for s in &r.timeline {
+            println!(
+                "{:.3},{:.3},{:.1},{:.2},{:?}",
+                s.t_s * 1e3,
+                s.pim_rate_op_ns,
+                s.data_bw / 1e9,
+                s.peak_dram_c,
+                s.phase
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Table I: HMC memory-transaction bandwidth requirement in FLITs.
+use coolpim_core::report::Table;
+use coolpim_hmc::flit;
+
+fn main() {
+    let mut t = Table::new(
+        "Table I — HMC memory transaction bandwidth requirement (FLIT = 128 bit)",
+        &["Type", "Request", "Response", "Total", "Raw bytes"],
+    );
+    let rows = [
+        ("64-byte READ", flit::READ64),
+        ("64-byte WRITE", flit::WRITE64),
+        ("PIM inst. without return", flit::PIM_NO_RETURN),
+        ("PIM inst. with return", flit::PIM_WITH_RETURN),
+    ];
+    for (name, c) in rows {
+        t.row(&[
+            name.to_string(),
+            format!("{} FLITs", c.request),
+            format!("{} FLITs", c.response),
+            format!("{}", c.total()),
+            format!("{}", c.total_bytes()),
+        ]);
+    }
+    t.print();
+    println!(
+        "PIM offloading saves up to {:.0}% of the bandwidth of a 64-byte request.",
+        (1.0 - flit::PIM_NO_RETURN.total() as f64 / flit::READ64.total() as f64) * 100.0
+    );
+}

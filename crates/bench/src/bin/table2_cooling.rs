@@ -1,0 +1,30 @@
+//! Table II: typical cooling types (thermal resistance and fan power).
+use coolpim_core::report::Table;
+use coolpim_thermal::cooling::{Cooling, FanCurve};
+
+fn main() {
+    let mut t = Table::new(
+        "Table II — typical cooling types",
+        &["Type", "Thermal resistance", "Cooling power (rel.)", "Fan power (W)", "Fan-curve est. (W)"],
+    );
+    for c in Cooling::TABLE2 {
+        let r = c.resistance_c_per_w();
+        t.row(&[
+            c.name().to_string(),
+            format!("{r:.1} °C/W"),
+            if c.fan_power_relative() == 0.0 {
+                "0".to_string()
+            } else {
+                format!("{:.0}x", c.fan_power_relative())
+            },
+            format!("{:.2}", c.fan_power_w()),
+            format!("{:.2}", FanCurve::PAPER.fan_power_w(r)),
+        ]);
+    }
+    t.print();
+    println!(
+        "Suppressing 85 °C under full-loaded PIM needs R < 0.27 °C/W; the fan-curve model\n\
+         prices that at {:.1} W — ≈half of a fully-utilized cube (paper §III-B).",
+        FanCurve::PAPER.fan_power_w(0.27)
+    );
+}

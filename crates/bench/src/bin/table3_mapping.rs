@@ -1,0 +1,19 @@
+//! Table III: examples of PIM instruction mapping.
+use coolpim_core::report::Table;
+use coolpim_hmc::command::PimOp;
+
+fn main() {
+    let mut t = Table::new(
+        "Table III — PIM instruction ↔ CUDA atomic mapping",
+        &["Type", "PIM instruction", "Non-PIM (CUDA)", "Returns data"],
+    );
+    for op in PimOp::ALL {
+        t.row(&[
+            format!("{:?}", op.class()),
+            format!("{op:?}"),
+            format!("{:?}", op.cuda_equivalent()),
+            format!("{}", op.returns_data()),
+        ]);
+    }
+    t.print();
+}

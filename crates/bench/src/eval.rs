@@ -1,0 +1,64 @@
+//! Shared evaluation driver for the `fig10`–`fig14` binaries.
+
+use coolpim_core::cosim::CoSimConfig;
+use coolpim_core::experiment::{run_matrix, WorkloadResults};
+use coolpim_core::policy::Policy;
+use coolpim_graph::generate::GraphSpec;
+use coolpim_graph::workloads::Workload;
+
+/// Resolves the evaluation graph from `COOLPIM_SCALE` (see crate docs).
+pub fn eval_graph_spec() -> GraphSpec {
+    let mut spec = GraphSpec::ldbc_like();
+    match std::env::var("COOLPIM_SCALE").ok().as_deref() {
+        None | Some("full") => {}
+        Some("quick") => {
+            spec.scale = 16;
+            spec.avg_degree = 12;
+        }
+        Some(n) => {
+            let scale: u32 = n
+                .parse()
+                .unwrap_or_else(|_| panic!("COOLPIM_SCALE must be 'full', 'quick', or an integer, got {n:?}"));
+            assert!((8..=24).contains(&scale), "COOLPIM_SCALE {scale} out of range 8..=24");
+            spec.scale = scale;
+        }
+    }
+    spec
+}
+
+/// Runs the full evaluation matrix (all ten workloads × the five system
+/// configurations) at the configured scale.
+pub fn run_eval_matrix() -> Vec<WorkloadResults> {
+    let spec = eval_graph_spec();
+    eprintln!(
+        "# generating LDBC-like graph: 2^{} vertices, avg degree {} (seed {})",
+        spec.scale, spec.avg_degree, spec.seed
+    );
+    let graph = spec.build();
+    eprintln!(
+        "# graph ready: {} vertices, {} edges; running {} co-simulations...",
+        graph.vertices(),
+        graph.edge_count(),
+        Workload::ALL.len() * Policy::ALL.len()
+    );
+    run_matrix(&graph, &Workload::ALL, &Policy::ALL, CoSimConfig::default())
+}
+
+/// Runs a subset of the matrix (used by the quicker figure binaries).
+pub fn run_eval_subset(workloads: &[Workload], policies: &[Policy]) -> Vec<WorkloadResults> {
+    let graph = eval_graph_spec().build();
+    run_matrix(&graph, workloads, policies, CoSimConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // Note: relies on COOLPIM_SCALE being unset in the test env.
+        if std::env::var("COOLPIM_SCALE").is_err() {
+            assert_eq!(eval_graph_spec().scale, GraphSpec::ldbc_like().scale);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # coolpim-bench
+//!
+//! Reproduction harness: one binary per table and figure of the CoolPIM
+//! paper (see `src/bin/`), plus Criterion micro-benchmarks of the
+//! substrates (`benches/`).
+//!
+//! The evaluation binaries (`fig10`–`fig14`) share [`eval`], which runs
+//! the workload × policy matrix once at the configured scale. Scale is
+//! controlled by the `COOLPIM_SCALE` environment variable:
+//!
+//! * `full` (default) — the paper-scale LDBC-like graph (2^21 vertices);
+//!   the full matrix takes a few minutes on a multicore host;
+//! * `quick` — a 2^16 graph for smoke runs (~seconds; thermal effects are
+//!   muted at this scale, so shapes are only indicative);
+//! * any integer `n` — a 2^n-vertex graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+
+pub use eval::{eval_graph_spec, run_eval_matrix};

@@ -1,0 +1,21 @@
+use std::time::Instant;
+use coolpim_core::cosim::{CoSim, CoSimConfig};
+use coolpim_core::policy::Policy;
+use coolpim_graph::generate::GraphSpec;
+use coolpim_graph::workloads::{make_kernel, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wl = args.get(1).map(|s| s.as_str()).unwrap_or("dc");
+    let g = GraphSpec::ldbc_like().build();
+    println!("graph: {} vertices, {} edges, maxdeg {}", g.vertices(), g.edge_count(), g.max_degree());
+    let w = Workload::from_name(wl).unwrap();
+    for p in Policy::ALL {
+        let t0 = Instant::now();
+        let mut k = make_kernel(w, &g);
+        let r = CoSim::new(p, CoSimConfig::default()).run(k.as_mut());
+        println!("{:18} exec={:.3}ms pimrate={:.2}op/ns bw={:.0}GB/s temp={:.1}C flits={}M l2hit={:.2} rd={}M wr={}M launches={} wall={:.1}s timeout={}",
+            p.name(), r.exec_s*1e3, r.avg_pim_rate_op_ns, r.avg_data_bw()/1e9,
+            r.max_peak_dram_c, r.hmc.flits/1_000_000, r.l2_hit_rate, r.hmc.reads/1_000_000, r.hmc.writes/1_000_000, r.gpu.launches, t0.elapsed().as_secs_f64(), r.timed_out);
+    }
+}

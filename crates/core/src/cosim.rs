@@ -1,0 +1,353 @@
+//! Timing ⟷ thermal co-simulation (the paper's SST-style composition of
+//! MacSim + VaultSim + KitFox/3D-ICE).
+//!
+//! The GPU/HMC timing model advances in **thermal epochs** (default
+//! 100 µs). At each epoch boundary the cube's windowed activity counters
+//! are drained into a traffic sample, the transient RC solver advances by
+//! the epoch, and the resulting peak DRAM temperature is pushed back into
+//! the cube — updating its operating phase (frequency derating, doubled
+//! refresh, shutdown) and the ERRSTAT thermal-warning bit that CoolPIM's
+//! source throttling consumes.
+
+use coolpim_gpu::kernel::Kernel;
+use coolpim_gpu::stats::GpuStats;
+use coolpim_gpu::system::{GpuSystem, RunOutcome};
+use coolpim_hmc::stats::StatsTotals;
+use coolpim_hmc::{ns_to_ps, Hmc, Ps, TempPhase};
+use coolpim_thermal::cooling::Cooling;
+use coolpim_thermal::model::HmcThermalModel;
+use coolpim_thermal::power::TrafficSample;
+
+use crate::policy::Policy;
+
+/// Co-simulation parameters.
+#[derive(Debug, Clone)]
+pub struct CoSimConfig {
+    /// Host GPU configuration.
+    pub gpu: coolpim_gpu::GpuConfig,
+    /// Thermal epoch length (ps).
+    pub epoch: Ps,
+    /// Cooling solution on the cube.
+    pub cooling: Cooling,
+    /// ERRSTAT warning threshold (°C).
+    pub warning_threshold_c: f64,
+    /// Safety cap on simulated time (ps); runs exceeding it abort.
+    pub max_sim_time: Ps,
+    /// Start the cube at the steady-state temperature of the first
+    /// epoch's traffic instead of at ambient. The paper's evaluation
+    /// measures the steady regime (GPU kernels are launched over and
+    /// over), so the cold-start transient is excluded by default.
+    pub warm_start: bool,
+}
+
+impl Default for CoSimConfig {
+    fn default() -> Self {
+        Self {
+            gpu: coolpim_gpu::GpuConfig::paper(),
+            epoch: ns_to_ps(100_000.0), // 100 µs
+            cooling: Cooling::CommodityServer,
+            warning_threshold_c: 84.0,
+            max_sim_time: ns_to_ps(4.0e9), // 4 s
+            warm_start: true,
+        }
+    }
+}
+
+/// One epoch's telemetry (the per-millisecond samples of Fig. 14 are
+/// aggregated from these).
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineSample {
+    /// End-of-epoch simulation time (s).
+    pub t_s: f64,
+    /// Average PIM rate over the epoch (op/ns).
+    pub pim_rate_op_ns: f64,
+    /// Average external data bandwidth over the epoch (bytes/s).
+    pub data_bw: f64,
+    /// Peak DRAM temperature at the end of the epoch (°C).
+    pub peak_dram_c: f64,
+    /// Operating phase after the thermal update.
+    pub phase: TempPhase,
+}
+
+/// Result of one co-simulated run.
+#[derive(Debug, Clone)]
+pub struct CoSimResult {
+    /// Which policy ran.
+    pub policy: Policy,
+    /// Workload name.
+    pub workload: String,
+    /// Total execution time (s).
+    pub exec_s: f64,
+    /// Hottest peak-DRAM temperature seen (°C).
+    pub max_peak_dram_c: f64,
+    /// Whole-run average PIM rate (op/ns).
+    pub avg_pim_rate_op_ns: f64,
+    /// Total external data traffic (bytes, Table I data-equivalent).
+    pub ext_data_bytes: f64,
+    /// GPU engine statistics.
+    pub gpu: GpuStats,
+    /// Cube totals.
+    pub hmc: StatsTotals,
+    /// Per-epoch telemetry.
+    pub timeline: Vec<TimelineSample>,
+    /// Whether the cube thermally shut down.
+    pub shutdown: bool,
+    /// Whether the safety time cap was hit.
+    pub timed_out: bool,
+    /// L2 hit rate over the whole run.
+    pub l2_hit_rate: f64,
+    /// Cube energy over the run (J): static + link + DRAM + PIM power
+    /// integrated over the thermal epochs.
+    pub cube_energy_j: f64,
+    /// Cooling (fan) energy over the run (J).
+    pub fan_energy_j: f64,
+}
+
+impl CoSimResult {
+    /// Average external data bandwidth over the run (bytes/s).
+    pub fn avg_data_bw(&self) -> f64 {
+        if self.exec_s > 0.0 {
+            self.ext_data_bytes / self.exec_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Total memory-system energy (cube + fan) in Joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.cube_energy_j + self.fan_energy_j
+    }
+}
+
+/// The co-simulator: GPU + HMC timing coupled to the thermal plant.
+pub struct CoSim {
+    sys: GpuSystem,
+    thermal: HmcThermalModel,
+    policy: Policy,
+    cfg: CoSimConfig,
+}
+
+impl CoSim {
+    /// Paper configuration: Table IV GPU + HMC 2.0 + commodity-server
+    /// cooling.
+    pub fn paper(policy: Policy) -> Self {
+        Self::new(policy, CoSimConfig::default())
+    }
+
+    /// Custom co-simulation parameters.
+    pub fn new(policy: Policy, cfg: CoSimConfig) -> Self {
+        let mut hmc = Hmc::hmc20();
+        hmc.set_warning_threshold(cfg.warning_threshold_c);
+        let sys = GpuSystem::new(cfg.gpu.clone(), hmc);
+        let thermal = HmcThermalModel::hmc20(cfg.cooling);
+        Self { sys, thermal, policy, cfg }
+    }
+
+    /// Replaces the GPU system (test hook for smaller configurations).
+    pub fn with_system(mut self, sys: GpuSystem) -> Self {
+        self.sys = sys;
+        self
+    }
+
+    /// Runs `kernel` to completion under this policy.
+    pub fn run(self, kernel: &mut dyn Kernel) -> CoSimResult {
+        let profile = kernel.profile();
+        let mut ctrl = self.policy.controller(&profile);
+        let feedback = self.policy.thermal_feedback();
+        self.run_with_controller(kernel, ctrl.as_mut(), feedback)
+    }
+
+    /// Runs `kernel` with a caller-supplied offloading controller
+    /// (ablation studies, extensions such as graduated warnings).
+    /// `feedback` selects whether the thermal readout is pushed back into
+    /// the cube (false reproduces the ideal-cooling scenario).
+    pub fn run_with_controller(
+        mut self,
+        kernel: &mut dyn Kernel,
+        ctrl: &mut dyn coolpim_gpu::controller::OffloadController,
+        feedback: bool,
+    ) -> CoSimResult {
+        self.sys.hmc_mut().set_warning_threshold(self.cfg.warning_threshold_c);
+
+        let mut timeline = Vec::new();
+        let mut max_peak = f64::NEG_INFINITY;
+        let mut shutdown = false;
+        let mut timed_out = false;
+        let mut cube_energy_j = 0.0;
+        let fan_power_w = self.cfg.cooling.fan_power_w();
+
+        self.sys.start(kernel, ctrl, 0);
+        let mut horizon = 0;
+        let mut first_epoch = true;
+        let end_ps = loop {
+            horizon += self.cfg.epoch;
+            let outcome = self.sys.run_until(kernel, ctrl, horizon);
+            let now = if outcome == RunOutcome::Finished {
+                self.sys.stats().end_ps
+            } else {
+                horizon
+            };
+            let window = self.sys.hmc_mut().take_window(now);
+            let dur_s = window.duration_s(now).max(1e-9);
+            let sample = TrafficSample {
+                window_s: dur_s,
+                ext_bytes: window.data_bytes(),
+                pim_ops: window.pim_ops as f64,
+                vault_weights: Some(window.vault_weights()),
+            };
+            cube_energy_j += self.thermal.total_power_w(&sample) * dur_s;
+            let readout = if first_epoch && self.cfg.warm_start {
+                first_epoch = false;
+                self.thermal.steady_state(&sample)
+            } else {
+                first_epoch = false;
+                self.thermal.step(&sample)
+            };
+            max_peak = max_peak.max(readout.peak_dram_c);
+            if feedback {
+                self.sys.hmc_mut().set_peak_dram_temp(readout.peak_dram_c);
+                ctrl.on_thermal_reading(readout.peak_dram_c, self.cfg.warning_threshold_c, now);
+            }
+            timeline.push(TimelineSample {
+                t_s: now as f64 * 1e-12,
+                pim_rate_op_ns: window.pim_rate_op_per_ns(now),
+                data_bw: window.data_bytes() / dur_s,
+                peak_dram_c: readout.peak_dram_c,
+                phase: self.sys.hmc().phase(),
+            });
+            match outcome {
+                RunOutcome::Finished => break now,
+                RunOutcome::Shutdown => {
+                    shutdown = true;
+                    break now;
+                }
+                RunOutcome::Paused => {}
+            }
+            if horizon > self.cfg.max_sim_time {
+                timed_out = true;
+                break now;
+            }
+        };
+
+        let totals = self.sys.hmc().totals();
+        let exec_s = end_ps as f64 * 1e-12;
+        let exec_ns = end_ps as f64 * 1e-3;
+        CoSimResult {
+            policy: self.policy,
+            workload: kernel.name().to_string(),
+            exec_s,
+            max_peak_dram_c: max_peak,
+            avg_pim_rate_op_ns: if exec_ns > 0.0 { totals.pim_ops as f64 / exec_ns } else { 0.0 },
+            ext_data_bytes: totals.data_bytes(),
+            gpu: *self.sys.stats(),
+            hmc: totals,
+            timeline,
+            shutdown,
+            timed_out,
+            l2_hit_rate: self.sys.l2_hit_rate(),
+            cube_energy_j,
+            fan_energy_j: fan_power_w * exec_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolpim_gpu::GpuConfig;
+    use coolpim_graph::generate::GraphSpec;
+    use coolpim_graph::workloads::{make_kernel, Workload};
+
+    fn tiny_cosim(policy: Policy) -> CoSim {
+        let mut hmc = Hmc::hmc20();
+        hmc.set_warning_threshold(84.0);
+        CoSim::paper(policy).with_system(GpuSystem::new(GpuConfig::tiny(), hmc))
+    }
+
+    #[test]
+    fn dc_runs_under_every_policy() {
+        let g = GraphSpec::tiny().build();
+        for p in Policy::ALL {
+            let mut k = make_kernel(Workload::Dc, &g);
+            let r = tiny_cosim(p).run(k.as_mut());
+            assert!(r.exec_s > 0.0, "{}: zero runtime", p.name());
+            assert!(!r.shutdown, "{}: unexpected shutdown", p.name());
+            assert!(!r.timed_out);
+            assert!(!r.timeline.is_empty());
+        }
+    }
+
+    #[test]
+    fn offloading_policies_actually_offload() {
+        // Needs a property array larger than the tiny L2 — on a
+        // cache-resident graph the host path wins and offloading *adds*
+        // traffic (the GraphPIM working-set caveat the model reproduces).
+        let g = GraphSpec::test_medium().build();
+        let mut base = make_kernel(Workload::Dc, &g);
+        let rb = tiny_cosim(Policy::NonOffloading).run(base.as_mut());
+        assert_eq!(rb.hmc.pim_ops, 0);
+        let mut naive = make_kernel(Workload::Dc, &g);
+        let rn = tiny_cosim(Policy::NaiveOffloading).run(naive.as_mut());
+        assert!(rn.hmc.pim_ops > 0);
+        assert!(rn.ext_data_bytes < rb.ext_data_bytes, "offloading must cut traffic");
+    }
+
+    #[test]
+    fn timeline_temperatures_are_physical() {
+        let g = GraphSpec::tiny().build();
+        let mut k = make_kernel(Workload::PageRank, &g);
+        let r = tiny_cosim(Policy::NaiveOffloading).run(k.as_mut());
+        for s in &r.timeline {
+            assert!(s.peak_dram_c >= 20.0 && s.peak_dram_c < 120.0);
+        }
+        assert!(r.max_peak_dram_c >= 25.0);
+    }
+}
+
+#[cfg(test)]
+mod energy_tests {
+    use super::*;
+    use coolpim_gpu::GpuConfig;
+    use coolpim_graph::generate::GraphSpec;
+    use coolpim_graph::workloads::{make_kernel, Workload};
+
+    #[test]
+    fn energy_accumulates_and_scales_with_runtime() {
+        let g = GraphSpec::tiny().build();
+        let mut k = make_kernel(Workload::Dc, &g);
+        let cfg = CoSimConfig { gpu: GpuConfig::tiny(), ..CoSimConfig::default() };
+        let r = CoSim::new(Policy::NonOffloading, cfg).run(k.as_mut());
+        assert!(r.cube_energy_j > 0.0);
+        // Sanity: implied average power within physical bounds (4.5 W
+        // static … ~60 W absolute ceiling).
+        let avg_w = r.cube_energy_j / r.exec_s;
+        assert!((2.0..80.0).contains(&avg_w), "average power {avg_w} W");
+        // Commodity-server fan power ≈ 3.6 W over the runtime.
+        let fan_w = r.fan_energy_j / r.exec_s;
+        assert!((3.0..4.5).contains(&fan_w), "fan power {fan_w} W");
+        assert!(r.total_energy_j() > r.cube_energy_j);
+    }
+
+    #[test]
+    fn cold_start_option_changes_first_epoch_only() {
+        let g = GraphSpec::tiny().build();
+        let run = |warm: bool| {
+            let mut k = make_kernel(Workload::PageRank, &g);
+            let cfg = CoSimConfig {
+                gpu: GpuConfig::tiny(),
+                warm_start: warm,
+                ..CoSimConfig::default()
+            };
+            CoSim::new(Policy::NaiveOffloading, cfg).run(k.as_mut())
+        };
+        let warm = run(true);
+        let cold = run(false);
+        // The warm run's first sample is already at operating temperature.
+        assert!(
+            warm.timeline[0].peak_dram_c > cold.timeline[0].peak_dram_c,
+            "warm {} !> cold {}",
+            warm.timeline[0].peak_dram_c,
+            cold.timeline[0].peak_dram_c
+        );
+    }
+}

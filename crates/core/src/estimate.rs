@@ -1,0 +1,137 @@
+//! Static analysis for PTP initialisation — the paper's Eq. 1.
+//!
+//! ```text
+//! PIMRate = PIMPeakRate × PIMIntensity
+//!         × (PTP_Size / MaxBlk#) × (1 − Ratio_DivergentWarp)
+//! ```
+//!
+//! Inverting for the pool size that keeps the rate at the thermal target
+//! (≈1.3 op/ns under commodity cooling, Fig. 5), plus a small margin so
+//! the down-only feedback loop is not started conservatively (§IV-B uses
+//! a margin of 4 thread blocks).
+
+use coolpim_gpu::kernel::KernelProfile;
+
+/// Hardware-dependent parameters of Eq. 1, measured once per platform by
+/// a trial run or taken from the specification.
+#[derive(Debug, Clone, Copy)]
+pub struct HardwareProfile {
+    /// Peak achievable PIM offloading rate (op/ns) with every warp
+    /// offloading at intensity 1.
+    pub pim_peak_rate_op_ns: f64,
+    /// Maximum concurrently resident thread blocks (SMs × blocks/SM).
+    pub max_blocks: usize,
+}
+
+impl HardwareProfile {
+    /// The Table IV platform: 16 SMs × 6 resident blocks; peak PIM rate
+    /// bounded by the request-direction link capacity (≈8 op/ns).
+    pub fn paper() -> Self {
+        Self { pim_peak_rate_op_ns: 8.0, max_blocks: 96 }
+    }
+}
+
+/// Eq. 1 forward form: estimated PIM rate (op/ns) for a pool size.
+pub fn estimate_pim_rate(hw: &HardwareProfile, k: &KernelProfile, ptp_size: usize) -> f64 {
+    hw.pim_peak_rate_op_ns
+        * k.pim_intensity
+        * (ptp_size as f64 / hw.max_blocks as f64)
+        * (1.0 - k.divergence_ratio)
+}
+
+/// Eq. 1 inverted: the initial PTP size for a target rate, plus
+/// `margin` blocks, clamped to `[0, MaxBlk#]`.
+pub fn initial_ptp_size(
+    hw: &HardwareProfile,
+    k: &KernelProfile,
+    target_rate_op_ns: f64,
+    margin: usize,
+) -> usize {
+    let denom = hw.pim_peak_rate_op_ns * k.pim_intensity * (1.0 - k.divergence_ratio);
+    if denom <= 0.0 {
+        return hw.max_blocks; // nothing to throttle
+    }
+    let raw = (target_rate_op_ns / denom) * hw.max_blocks as f64;
+    ((raw.floor() as usize) + margin).min(hw.max_blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(intensity: f64, divergence: f64) -> KernelProfile {
+        KernelProfile { pim_intensity: intensity, divergence_ratio: divergence }
+    }
+
+    #[test]
+    fn forward_and_inverse_are_consistent() {
+        let hw = HardwareProfile::paper();
+        let k = profile(0.4, 0.05);
+        let ptp = initial_ptp_size(&hw, &k, 1.3, 0);
+        let rate = estimate_pim_rate(&hw, &k, ptp);
+        assert!(rate <= 1.35, "rate {rate} exceeds target band");
+        let rate_next = estimate_pim_rate(&hw, &k, ptp + 1);
+        assert!(rate_next > 1.3, "ptp not maximal for the target");
+    }
+
+    #[test]
+    fn high_intensity_kernels_get_smaller_pools() {
+        let hw = HardwareProfile::paper();
+        let hot = initial_ptp_size(&hw, &profile(0.4, 0.05), 1.3, 4);
+        let mild = initial_ptp_size(&hw, &profile(0.1, 0.05), 1.3, 4);
+        assert!(hot < mild, "{hot} !< {mild}");
+    }
+
+    #[test]
+    fn divergence_raises_the_pool() {
+        // Divergent warps offload less, so more blocks fit the budget.
+        let hw = HardwareProfile::paper();
+        let flat = initial_ptp_size(&hw, &profile(0.3, 0.0), 1.3, 0);
+        let div = initial_ptp_size(&hw, &profile(0.3, 0.6), 1.3, 0);
+        assert!(div > flat);
+    }
+
+    #[test]
+    fn zero_intensity_means_no_throttling() {
+        let hw = HardwareProfile::paper();
+        assert_eq!(initial_ptp_size(&hw, &profile(0.0, 0.0), 1.3, 4), hw.max_blocks);
+    }
+
+    #[test]
+    fn pool_is_clamped_to_resident_capacity() {
+        let hw = HardwareProfile::paper();
+        let p = initial_ptp_size(&hw, &profile(0.01, 0.9), 1.3, 4);
+        assert!(p <= hw.max_blocks);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn margin_adds_exactly_that_many_blocks_inside_range() {
+        let hw = HardwareProfile::paper();
+        let k = KernelProfile { pim_intensity: 0.4, divergence_ratio: 0.05 };
+        let base = initial_ptp_size(&hw, &k, 1.3, 0);
+        let with_margin = initial_ptp_size(&hw, &k, 1.3, 4);
+        assert_eq!(with_margin, (base + 4).min(hw.max_blocks));
+    }
+
+    #[test]
+    fn rate_estimate_is_linear_in_pool_size() {
+        let hw = HardwareProfile::paper();
+        let k = KernelProfile { pim_intensity: 0.3, divergence_ratio: 0.2 };
+        let r1 = estimate_pim_rate(&hw, &k, 24);
+        let r2 = estimate_pim_rate(&hw, &k, 48);
+        assert!((r2 - 2.0 * r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_divergence_means_zero_rate() {
+        let hw = HardwareProfile::paper();
+        let k = KernelProfile { pim_intensity: 0.5, divergence_ratio: 1.0 };
+        assert_eq!(estimate_pim_rate(&hw, &k, 96), 0.0);
+        assert_eq!(initial_ptp_size(&hw, &k, 1.3, 0), hw.max_blocks);
+    }
+}

@@ -1,0 +1,167 @@
+//! Parallel experiment harness: the matrix of workloads × policies
+//! behind the paper's Figures 10–13.
+//!
+//! Each cell is an independent co-simulated run; cells fan out over a
+//! bounded worker pool (crossbeam channel + scoped threads, per the
+//! repo's HPC guides) and results are gathered deterministically by
+//! index.
+
+use coolpim_graph::csr::Csr;
+use coolpim_graph::workloads::{make_kernel, Workload};
+
+use crate::cosim::{CoSim, CoSimConfig, CoSimResult};
+use crate::policy::Policy;
+
+/// Results of one workload across all requested policies, in request
+/// order.
+#[derive(Debug, Clone)]
+pub struct WorkloadResults {
+    /// The workload.
+    pub workload: Workload,
+    /// One result per requested policy.
+    pub runs: Vec<CoSimResult>,
+}
+
+impl WorkloadResults {
+    /// The run for `policy`, if requested.
+    pub fn run(&self, policy: Policy) -> Option<&CoSimResult> {
+        self.runs.iter().find(|r| r.policy == policy)
+    }
+
+    /// Speedup of `policy` over the non-offloading baseline (requires
+    /// both runs present).
+    pub fn speedup(&self, policy: Policy) -> Option<f64> {
+        let base = self.run(Policy::NonOffloading)?;
+        let run = self.run(policy)?;
+        (run.exec_s > 0.0).then(|| base.exec_s / run.exec_s)
+    }
+
+    /// Bandwidth consumption of `policy` normalised to the baseline.
+    pub fn normalized_bandwidth(&self, policy: Policy) -> Option<f64> {
+        let base = self.run(Policy::NonOffloading)?;
+        let run = self.run(policy)?;
+        (base.ext_data_bytes > 0.0).then(|| run.ext_data_bytes / base.ext_data_bytes)
+    }
+}
+
+/// Runs the full matrix in parallel. Results keep the order of
+/// `workloads` and, within each, of `policies`.
+pub fn run_matrix(
+    graph: &Csr,
+    workloads: &[Workload],
+    policies: &[Policy],
+    cfg: CoSimConfig,
+) -> Vec<WorkloadResults> {
+    let cfg = &cfg;
+    let tasks: Vec<(usize, Workload, usize, Policy)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, &w)| {
+            policies.iter().enumerate().map(move |(pi, &p)| (wi, w, pi, p))
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = threads.min(tasks.len()).max(1);
+
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Workload, usize, Policy)>();
+    for t in &tasks {
+        tx.send(*t).unwrap();
+    }
+    drop(tx);
+
+    let results = parking_lot::Mutex::new(vec![
+        Vec::<Option<CoSimResult>>::new();
+        workloads.len()
+    ]);
+    {
+        let mut guard = results.lock();
+        for slot in guard.iter_mut() {
+            slot.resize_with(policies.len(), || None);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            let graph = graph.clone();
+            scope.spawn(move || {
+                while let Ok((wi, w, pi, p)) = rx.recv() {
+                    let started = std::time::Instant::now();
+                    let mut kernel = make_kernel(w, &graph);
+                    let r = CoSim::new(p, cfg.clone()).run(kernel.as_mut());
+                    eprintln!(
+                        "# {:<10} {:<18} {:>8.3} ms simulated ({:>5.1} s wall)",
+                        w.name(),
+                        p.name(),
+                        r.exec_s * 1e3,
+                        started.elapsed().as_secs_f64()
+                    );
+                    results.lock()[wi][pi] = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .zip(workloads)
+        .map(|(runs, &workload)| WorkloadResults {
+            workload,
+            runs: runs.into_iter().map(|r| r.expect("missing run")).collect(),
+        })
+        .collect()
+}
+
+/// Arithmetic mean of per-workload speedups for `policy` (the paper's
+/// "on average" figures).
+pub fn mean_speedup(results: &[WorkloadResults], policy: Policy) -> f64 {
+    let speedups: Vec<f64> =
+        results.iter().filter_map(|r| r.speedup(policy)).collect();
+    if speedups.is_empty() {
+        return 0.0;
+    }
+    speedups.iter().sum::<f64>() / speedups.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolpim_graph::generate::GraphSpec;
+    use coolpim_hmc::ns_to_ps;
+
+    #[test]
+    fn matrix_runs_in_parallel_and_keeps_order() {
+        let g = GraphSpec::test_medium().build();
+        let workloads = [Workload::Dc, Workload::KCore];
+        let policies = [Policy::NonOffloading, Policy::NaiveOffloading];
+        let cfg = CoSimConfig {
+            gpu: coolpim_gpu::GpuConfig::tiny(),
+            max_sim_time: ns_to_ps(1.0e9),
+            ..CoSimConfig::default()
+        };
+        let res = run_matrix(&g, &workloads, &policies, cfg);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].workload, Workload::Dc);
+        assert_eq!(res[0].runs[0].policy, Policy::NonOffloading);
+        assert_eq!(res[0].runs[1].policy, Policy::NaiveOffloading);
+        let s = res[0].speedup(Policy::NaiveOffloading).unwrap();
+        assert!(s > 0.1 && s < 10.0, "speedup {s} out of sanity range");
+        let nb = res[0].normalized_bandwidth(Policy::NaiveOffloading).unwrap();
+        assert!(nb < 1.0, "offloading must reduce bandwidth (got {nb})");
+    }
+
+    #[test]
+    fn mean_speedup_of_baseline_is_one() {
+        let g = GraphSpec::tiny().build();
+        let res = run_matrix(
+            &g,
+            &[Workload::Dc],
+            &[Policy::NonOffloading],
+            CoSimConfig::default(),
+        );
+        let m = mean_speedup(&res, Policy::NonOffloading);
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+}

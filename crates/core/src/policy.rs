@@ -1,0 +1,121 @@
+//! The four system configurations of the paper's evaluation (§V-B).
+
+use coolpim_gpu::controller::{AlwaysOffload, NeverOffload, OffloadController};
+use coolpim_gpu::kernel::KernelProfile;
+
+use crate::estimate::HardwareProfile;
+use crate::hw_dynt::{HwDynT, HwDynTConfig};
+use crate::sw_dynt::{SwDynT, SwDynTConfig};
+
+/// Offloading policy / system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Conventional architecture: HMC as plain GPU memory, no PIM.
+    NonOffloading,
+    /// PEI-style offloading of every atomic, no source control.
+    NaiveOffloading,
+    /// CoolPIM with software dynamic throttling (SW-DynT).
+    CoolPimSw,
+    /// CoolPIM with hardware dynamic throttling (HW-DynT).
+    CoolPimHw,
+    /// Unlimited cooling: full offloading, temperature never fed back.
+    IdealThermal,
+}
+
+impl Policy {
+    /// The five configurations in the paper's figure order.
+    pub const ALL: [Policy; 5] = [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+        Policy::IdealThermal,
+    ];
+
+    /// Label as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::NonOffloading => "Non-Offloading",
+            Policy::NaiveOffloading => "Naive-Offloading",
+            Policy::CoolPimSw => "CoolPIM(SW)",
+            Policy::CoolPimHw => "CoolPIM(HW)",
+            Policy::IdealThermal => "IdealThermal",
+        }
+    }
+
+    /// Whether the thermal readout is fed back into the cube (false only
+    /// for the ideal-cooling scenario).
+    pub fn thermal_feedback(self) -> bool {
+        self != Policy::IdealThermal
+    }
+
+    /// Builds the offloading controller for this policy, given the
+    /// kernel's static profile (used by SW-DynT's Eq. 1 initialisation).
+    pub fn controller(self, kernel: &KernelProfile) -> Box<dyn OffloadController> {
+        match self {
+            Policy::NonOffloading => Box::new(NeverOffload),
+            Policy::NaiveOffloading | Policy::IdealThermal => Box::new(AlwaysOffload),
+            Policy::CoolPimSw => Box::new(SwDynT::new(
+                SwDynTConfig::default(),
+                &HardwareProfile::paper(),
+                kernel,
+            )),
+            Policy::CoolPimHw => Box::new(HwDynT::new(HwDynTConfig::default())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(Policy::NaiveOffloading.name(), "Naive-Offloading");
+        assert_eq!(Policy::CoolPimSw.name(), "CoolPIM(SW)");
+    }
+
+    #[test]
+    fn only_ideal_skips_feedback() {
+        for p in Policy::ALL {
+            assert_eq!(p.thermal_feedback(), p != Policy::IdealThermal);
+        }
+    }
+
+    #[test]
+    fn controllers_build_for_every_policy() {
+        let k = KernelProfile { pim_intensity: 0.3, divergence_ratio: 0.1 };
+        for p in Policy::ALL {
+            let mut c = p.controller(&k);
+            let grants = c.on_block_launch(0, 0);
+            if p == Policy::NonOffloading {
+                assert!(!grants);
+            } else {
+                assert!(grants);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_policy_once() {
+        assert_eq!(Policy::ALL.len(), 5);
+        for (i, a) in Policy::ALL.iter().enumerate() {
+            for b in Policy::ALL.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

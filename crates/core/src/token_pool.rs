@@ -1,0 +1,112 @@
+//! The PIM token pool (PTP) of software dynamic throttling (§IV-B).
+//!
+//! The pool size bounds the number of *concurrently executing*
+//! PIM-enabled thread blocks. Launching blocks request a token
+//! (first-come-first-serve); blocks that fail run the non-PIM shadow
+//! body. Thermal warnings shrink the pool by the control factor:
+//! `PTP_Size = min(PTP_Size − CF, #issuedToken)`.
+
+/// The PIM token pool.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenPool {
+    size: usize,
+    issued: usize,
+}
+
+impl TokenPool {
+    /// Creates a pool of `size` tokens.
+    pub fn new(size: usize) -> Self {
+        Self { size, issued: 0 }
+    }
+
+    /// Current pool size (max concurrent PIM-enabled blocks).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Tokens currently held by running blocks.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// FCFS token request at block launch. `true` grants the PIM body.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.issued < self.size {
+            self.issued += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns a token when a PIM-enabled block completes.
+    pub fn release(&mut self) {
+        debug_assert!(self.issued > 0, "release without acquire");
+        self.issued = self.issued.saturating_sub(1);
+    }
+
+    /// Applies one thermal-warning shrink step:
+    /// `size = min(size − cf, issued)` (never below zero). Comparing with
+    /// the number of issued tokens avoids under-tuning when the pool was
+    /// not even fully used (§IV-B).
+    pub fn shrink(&mut self, cf: usize) {
+        self.size = self.size.saturating_sub(cf).min(self.issued);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_grants_until_exhausted() {
+        let mut p = TokenPool::new(2);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        p.release();
+        assert!(p.try_acquire());
+    }
+
+    #[test]
+    fn shrink_follows_paper_formula() {
+        // size 10, issued 3, CF 4 → min(6, 3) = 3.
+        let mut p = TokenPool::new(10);
+        for _ in 0..3 {
+            assert!(p.try_acquire());
+        }
+        p.shrink(4);
+        assert_eq!(p.size(), 3);
+        // size 10 fully issued, CF 4 → min(6, 10) = 6.
+        let mut q = TokenPool::new(10);
+        for _ in 0..10 {
+            assert!(q.try_acquire());
+        }
+        q.shrink(4);
+        assert_eq!(q.size(), 6);
+    }
+
+    #[test]
+    fn shrink_saturates_at_zero() {
+        let mut p = TokenPool::new(2);
+        p.shrink(10);
+        assert_eq!(p.size(), 0);
+        assert!(!p.try_acquire());
+    }
+
+    #[test]
+    fn released_tokens_above_size_are_not_regranted() {
+        let mut p = TokenPool::new(4);
+        for _ in 0..4 {
+            assert!(p.try_acquire());
+        }
+        p.shrink(2); // size now min(2, 4) = 2, issued still 4
+        assert_eq!(p.size(), 2);
+        p.release();
+        p.release();
+        // issued == size == 2: no token available.
+        assert!(!p.try_acquire());
+        p.release();
+        assert!(p.try_acquire());
+    }
+}

@@ -1,0 +1,117 @@
+//! The abstract warp-level instruction stream executed by the engine.
+//!
+//! Workloads compile to sequences of [`WarpOp`]s per warp. Compute work
+//! between memory operations is fused into single `Compute` bursts; memory
+//! operations carry the per-lane addresses of the *active* lanes, so
+//! divergence shows up as short address vectors.
+
+use coolpim_hmc::PimOp;
+
+/// One warp-level operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarpOp {
+    /// A burst of ALU/control work lasting this many core cycles.
+    Compute(u32),
+    /// A global load; one address per active lane. The warp blocks until
+    /// the data returns.
+    Load(Vec<u64>),
+    /// A global store; fire-and-forget past request acceptance.
+    Store(Vec<u64>),
+    /// An atomic read-modify-write per active lane. Offloadable to a PIM
+    /// instruction when the warp/block is PIM-enabled; otherwise executed
+    /// as a host atomic at the L2.
+    Atomic {
+        /// Which RMW operation.
+        op: PimOp,
+        /// Per-active-lane target addresses.
+        addrs: Vec<u64>,
+    },
+}
+
+impl WarpOp {
+    /// Number of active lanes touching memory (0 for compute).
+    pub fn active_lanes(&self) -> usize {
+        match self {
+            WarpOp::Compute(_) => 0,
+            WarpOp::Load(a) | WarpOp::Store(a) => a.len(),
+            WarpOp::Atomic { addrs, .. } => addrs.len(),
+        }
+    }
+
+    /// Whether this op is an offloadable atomic.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, WarpOp::Atomic { .. })
+    }
+}
+
+/// The instruction stream of one warp.
+#[derive(Debug, Clone, Default)]
+pub struct WarpTrace {
+    /// Operations in program order.
+    pub ops: Vec<WarpOp>,
+}
+
+impl WarpTrace {
+    /// Count of atomic lane-operations in this trace (one per active lane
+    /// of each atomic instruction).
+    pub fn atomic_lane_ops(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                WarpOp::Atomic { addrs, .. } => Some(addrs.len() as u64),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total warp instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the trace has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The instruction streams of all warps of one thread block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTrace {
+    /// One trace per warp.
+    pub warps: Vec<WarpTrace>,
+}
+
+impl BlockTrace {
+    /// Number of warps.
+    pub fn warp_count(&self) -> usize {
+        self.warps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_lane_accounting() {
+        assert_eq!(WarpOp::Compute(10).active_lanes(), 0);
+        assert_eq!(WarpOp::Load(vec![0, 64, 128]).active_lanes(), 3);
+        let a = WarpOp::Atomic { op: PimOp::SignedAdd, addrs: vec![0; 32] };
+        assert_eq!(a.active_lanes(), 32);
+        assert!(a.is_atomic());
+    }
+
+    #[test]
+    fn atomic_lane_ops_counts_lanes_not_instructions() {
+        let t = WarpTrace {
+            ops: vec![
+                WarpOp::Atomic { op: PimOp::SignedAdd, addrs: vec![0, 8] },
+                WarpOp::Compute(5),
+                WarpOp::Atomic { op: PimOp::CasGreater, addrs: vec![16] },
+            ],
+        };
+        assert_eq!(t.atomic_lane_ops(), 3);
+        assert_eq!(t.len(), 3);
+    }
+}

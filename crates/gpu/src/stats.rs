@@ -1,0 +1,53 @@
+//! Run statistics of the GPU engine.
+
+use coolpim_hmc::Ps;
+
+/// Cumulative counters of one kernel run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuStats {
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Load instructions issued.
+    pub loads: u64,
+    /// Store instructions issued.
+    pub stores: u64,
+    /// Atomic lane-operations offloaded as PIM instructions.
+    pub pim_lane_ops: u64,
+    /// Atomic lane-operations executed on the host (L2) path.
+    pub host_lane_ops: u64,
+    /// Thread blocks launched with the PIM-enabled body.
+    pub pim_blocks: u64,
+    /// Thread blocks launched with the non-PIM shadow body.
+    pub non_pim_blocks: u64,
+    /// Kernel launches executed.
+    pub launches: u64,
+    /// Thermal-warning-flagged responses observed.
+    pub warnings_seen: u64,
+    /// Completion time of the whole workload (ps); 0 until finished.
+    pub end_ps: Ps,
+}
+
+impl GpuStats {
+    /// Fraction of atomic lane-operations that went to PIM.
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.pim_lane_ops + self.host_lane_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.pim_lane_ops as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_fraction_handles_zero() {
+        let s = GpuStats::default();
+        assert_eq!(s.offload_fraction(), 0.0);
+        let s2 = GpuStats { pim_lane_ops: 3, host_lane_ops: 1, ..Default::default() };
+        assert!((s2.offload_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Edge-list → CSR construction.
+
+use crate::csr::Csr;
+
+/// Builds a CSR from a directed edge list, sorting and de-duplicating
+/// parallel edges and self-loops.
+pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+    from_weighted_edges_inner(n, edges, None)
+}
+
+/// Builds a weighted CSR; weights follow the de-duplicated edge order
+/// (the first weight of a duplicate group wins).
+pub fn from_weighted_edges(n: usize, edges: &[(u32, u32, u32)]) -> Csr {
+    let pairs: Vec<(u32, u32)> = edges.iter().map(|&(s, d, _)| (s, d)).collect();
+    let weights: Vec<u32> = edges.iter().map(|&(_, _, w)| w).collect();
+    from_weighted_edges_inner(n, &pairs, Some(&weights))
+}
+
+fn from_weighted_edges_inner(n: usize, edges: &[(u32, u32)], weights: Option<&[u32]>) -> Csr {
+    assert!(n < u32::MAX as usize, "vertex count too large for u32 ids");
+    // Sort edge indices so weights travel with their edges.
+    let mut idx: Vec<u32> = (0..edges.len() as u32).collect();
+    idx.sort_unstable_by_key(|&i| edges[i as usize]);
+
+    let mut offsets = vec![0u32; n + 1];
+    let mut out_edges = Vec::with_capacity(edges.len());
+    let mut out_weights = weights.map(|_| Vec::with_capacity(edges.len()));
+    let mut last: Option<(u32, u32)> = None;
+    for &i in &idx {
+        let (s, d) = edges[i as usize];
+        assert!((s as usize) < n && (d as usize) < n, "edge ({s},{d}) out of range");
+        if s == d || last == Some((s, d)) {
+            continue; // drop self-loops and duplicates
+        }
+        last = Some((s, d));
+        out_edges.push(d);
+        offsets[s as usize + 1] += 1;
+        if let (Some(w), Some(ws)) = (out_weights.as_mut(), weights) {
+            w.push(ws[i as usize]);
+        }
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    Csr::from_raw(offsets, out_edges, out_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_deduplicated_csr() {
+        let g = from_edges(4, &[(2, 1), (0, 3), (0, 1), (0, 1), (1, 1), (0, 3)]);
+        assert_eq!(g.neighbours(0), &[1, 3]);
+        assert_eq!(g.neighbours(1), &[] as &[u32]); // self-loop dropped
+        assert_eq!(g.neighbours(2), &[1]);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn weights_follow_their_edges() {
+        let g = from_weighted_edges(3, &[(1, 0, 9), (0, 2, 5), (0, 1, 3)]);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.weights_of(0), &[3, 5]);
+        assert_eq!(g.weights_of(1), &[9]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(5, &[]);
+        assert_eq!(g.vertices(), 5);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Compressed-sparse-row graph representation.
+
+use std::sync::Arc;
+
+/// A directed graph in CSR form, optionally edge-weighted.
+///
+/// Cheap to clone (`Arc`-backed) so every workload can hold its own
+/// handle to one generated dataset.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    inner: Arc<CsrInner>,
+}
+
+#[derive(Debug)]
+struct CsrInner {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+    weights: Option<Vec<u32>>,
+}
+
+impl Csr {
+    /// Builds a CSR from raw arrays.
+    ///
+    /// # Panics
+    /// Panics on malformed input: `offsets` must be monotone, start at 0,
+    /// end at `edges.len()`, and all targets must be valid vertex ids.
+    pub fn from_raw(offsets: Vec<u32>, edges: Vec<u32>, weights: Option<Vec<u32>>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(*offsets.first().unwrap(), 0);
+        assert_eq!(*offsets.last().unwrap() as usize, edges.len());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets not monotone");
+        let n = offsets.len() - 1;
+        assert!(edges.iter().all(|&e| (e as usize) < n), "edge target out of range");
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), edges.len(), "weights length mismatch");
+        }
+        Self { inner: Arc::new(CsrInner { offsets, edges, weights }) }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.inner.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.inner.edges.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.inner.offsets[v as usize + 1] - self.inner.offsets[v as usize]
+    }
+
+    /// Index into the edge array where `v`'s adjacency starts.
+    pub fn edge_start(&self, v: u32) -> u32 {
+        self.inner.offsets[v as usize]
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbours(&self, v: u32) -> &[u32] {
+        let s = self.inner.offsets[v as usize] as usize;
+        let e = self.inner.offsets[v as usize + 1] as usize;
+        &self.inner.edges[s..e]
+    }
+
+    /// Edge weights of `v` (panics if the graph is unweighted).
+    pub fn weights_of(&self, v: u32) -> &[u32] {
+        let w = self.inner.weights.as_ref().expect("graph is unweighted");
+        let s = self.inner.offsets[v as usize] as usize;
+        let e = self.inner.offsets[v as usize + 1] as usize;
+        &w[s..e]
+    }
+
+    /// Whether the graph carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.inner.weights.is_some()
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.vertices() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.vertices() as f64
+        }
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.vertices() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0→{1,2}, 1→{3}, 2→{3}, 3→{}
+        Csr::from_raw(vec![0, 2, 3, 4, 4], vec![1, 2, 3, 3], None)
+    }
+
+    #[test]
+    fn basic_queries() {
+        let g = diamond();
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.neighbours(3), &[] as &[u32]);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn weighted_access() {
+        let g = Csr::from_raw(vec![0, 2, 2], vec![1, 0], Some(vec![7, 9]));
+        assert!(g.is_weighted());
+        assert_eq!(g.weights_of(0), &[7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_dangling_edges() {
+        let _ = Csr::from_raw(vec![0, 1], vec![5], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_nonmonotone_offsets() {
+        let _ = Csr::from_raw(vec![0, 3, 1, 4], vec![0, 0, 0, 0], None);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let g = diamond();
+        let h = g.clone();
+        assert_eq!(g.neighbours(0).as_ptr(), h.neighbours(0).as_ptr());
+    }
+}

@@ -1,0 +1,77 @@
+//! The simulated address-space layout of graph data inside the 8 GB cube.
+//!
+//! Following GraphPIM/CoolPIM, the *property* arrays that atomics target
+//! live in a dedicated region that the host maps uncacheable (the "PIM
+//! memory region"); the CSR structure arrays are ordinary cacheable data.
+//! The regions are 2 GB apart so the 64-byte block spaces never collide.
+
+/// Base of the CSR offsets array (cacheable).
+pub const OFFSETS_BASE: u64 = 0x0000_0000;
+/// Base of the CSR edge array (cacheable).
+pub const EDGES_BASE: u64 = 0x8000_0000;
+/// Base of the primary property array — the PIM/uncacheable region that
+/// atomics target.
+pub const PROP_BASE: u64 = 0x1_0000_0000;
+/// Base of the secondary (auxiliary) arrays: frontiers, read-side
+/// property copies (cacheable).
+pub const AUX_BASE: u64 = 0x1_8000_0000;
+/// Base of the edge-weight array (cacheable).
+pub const WEIGHTS_BASE: u64 = 0x2_0000_0000;
+
+/// Element size of the CSR structure arrays (bytes): `uint32_t` ids.
+pub const ELEM_BYTES: u64 = 4;
+
+/// Stride of the atomic-targeted property array (bytes). HMC 2.0 PIM
+/// units operate on 16-byte operands (one FLIT of payload), and
+/// GraphBIG's per-vertex property is a small struct; a 16-byte stride
+/// models both.
+pub const PROP_STRIDE: u64 = 16;
+
+/// Address of `offsets[v]`.
+pub fn offset_addr(v: u32) -> u64 {
+    OFFSETS_BASE + u64::from(v) * ELEM_BYTES
+}
+
+/// Address of `edges[i]`.
+pub fn edge_addr(i: u64) -> u64 {
+    EDGES_BASE + i * ELEM_BYTES
+}
+
+/// Address of `weights[i]`.
+pub fn weight_addr(i: u64) -> u64 {
+    WEIGHTS_BASE + i * ELEM_BYTES
+}
+
+/// Address of the atomic-targeted property of vertex `v`.
+pub fn prop_addr(v: u32) -> u64 {
+    PROP_BASE + u64::from(v) * PROP_STRIDE
+}
+
+/// Address of the auxiliary per-vertex slot `v` (frontier entries,
+/// read-only property mirrors).
+pub fn aux_addr(v: u32) -> u64 {
+    AUX_BASE + u64::from(v) * ELEM_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_for_large_graphs() {
+        // 2^27 vertices × 4 B = 512 MB per array; regions are 2 GB apart.
+        let v = (1u32 << 27) - 1;
+        assert!(offset_addr(v) < EDGES_BASE);
+        assert!(edge_addr((1 << 29) - 1) < PROP_BASE);
+        assert!(prop_addr(v) < AUX_BASE);
+        assert!(aux_addr(v) < WEIGHTS_BASE);
+        // 16-byte property stride: four vertices per 64-byte block.
+        assert_eq!(prop_addr(4) - prop_addr(0), 64);
+    }
+
+    #[test]
+    fn consecutive_vertices_are_contiguous() {
+        assert_eq!(prop_addr(1) - prop_addr(0), PROP_STRIDE);
+        assert_eq!(offset_addr(16) - offset_addr(0), 64);
+    }
+}

@@ -1,0 +1,111 @@
+//! Warp-trace emission helpers shared by the workloads.
+
+use coolpim_gpu::isa::{WarpOp, WarpTrace};
+use coolpim_hmc::PimOp;
+
+/// Warp width (threads per warp, Table IV).
+pub const WARP: usize = 32;
+
+/// Incrementally builds one warp's instruction stream, fusing adjacent
+/// compute work into single bursts.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    ops: Vec<WarpOp>,
+    pending_compute: u32,
+}
+
+impl TraceBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` of ALU/control work (fused with neighbours).
+    pub fn compute(&mut self, cycles: u32) {
+        self.pending_compute += cycles;
+    }
+
+    fn flush_compute(&mut self) {
+        if self.pending_compute > 0 {
+            self.ops.push(WarpOp::Compute(self.pending_compute));
+            self.pending_compute = 0;
+        }
+    }
+
+    /// Adds a global load for the given active-lane addresses.
+    pub fn load(&mut self, addrs: Vec<u64>) {
+        if addrs.is_empty() {
+            return;
+        }
+        self.flush_compute();
+        self.ops.push(WarpOp::Load(addrs));
+    }
+
+    /// Adds a global store.
+    pub fn store(&mut self, addrs: Vec<u64>) {
+        if addrs.is_empty() {
+            return;
+        }
+        self.flush_compute();
+        self.ops.push(WarpOp::Store(addrs));
+    }
+
+    /// Adds an atomic (offloadable) operation.
+    pub fn atomic(&mut self, op: PimOp, addrs: Vec<u64>) {
+        if addrs.is_empty() {
+            return;
+        }
+        self.flush_compute();
+        self.ops.push(WarpOp::Atomic { op, addrs });
+    }
+
+    /// Finishes the trace.
+    pub fn finish(mut self) -> WarpTrace {
+        self.flush_compute();
+        WarpTrace { ops: self.ops }
+    }
+}
+
+/// Splits `items` work items into warps of 32 lanes; yields
+/// `(lane_items)` chunks.
+pub fn warp_chunks<T: Copy>(items: &[T]) -> impl Iterator<Item = &[T]> {
+    items.chunks(WARP)
+}
+
+/// Number of thread blocks needed for `warps` warps at `warps_per_block`.
+pub fn blocks_for_warps(warps: usize, warps_per_block: usize) -> usize {
+    warps.div_ceil(warps_per_block).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_fuses_until_memory_op() {
+        let mut b = TraceBuilder::new();
+        b.compute(4);
+        b.compute(6);
+        b.load(vec![0, 64]);
+        b.compute(2);
+        let t = b.finish();
+        assert_eq!(t.ops.len(), 3);
+        assert_eq!(t.ops[0], WarpOp::Compute(10));
+        assert_eq!(t.ops[2], WarpOp::Compute(2));
+    }
+
+    #[test]
+    fn empty_memory_ops_are_dropped() {
+        let mut b = TraceBuilder::new();
+        b.load(vec![]);
+        b.atomic(PimOp::SignedAdd, vec![]);
+        assert!(b.finish().is_empty());
+    }
+
+    #[test]
+    fn block_count_rounds_up_and_is_nonzero() {
+        assert_eq!(blocks_for_warps(0, 8), 1);
+        assert_eq!(blocks_for_warps(8, 8), 1);
+        assert_eq!(blocks_for_warps(9, 8), 2);
+    }
+}

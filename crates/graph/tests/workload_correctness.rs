@@ -1,0 +1,90 @@
+//! End-to-end functional correctness: every workload, executed through
+//! the GPU timing engine, must reproduce the sequential reference
+//! results — under both offloading modes.
+
+use coolpim_gpu::{AlwaysOffload, GpuConfig, GpuSystem, NeverOffload, OffloadController};
+use coolpim_graph::generate::GraphSpec;
+use coolpim_graph::reference;
+use coolpim_graph::workloads::bfs::{BfsKernel, BfsVariant};
+use coolpim_graph::workloads::dc::DcKernel;
+use coolpim_graph::workloads::kcore::KCoreKernel;
+use coolpim_graph::workloads::pagerank::PageRankKernel;
+use coolpim_graph::workloads::sssp::{SsspKernel, SsspVariant};
+use coolpim_hmc::Hmc;
+
+fn run(kernel: &mut dyn coolpim_gpu::Kernel, ctrl: &mut dyn OffloadController) -> u64 {
+    let mut sys = GpuSystem::new(GpuConfig::tiny(), Hmc::hmc20());
+    let out = sys.run_to_completion(kernel, ctrl);
+    assert_eq!(out, coolpim_gpu::RunOutcome::Finished);
+    sys.stats().end_ps
+}
+
+#[test]
+fn bfs_variants_match_reference_in_both_modes() {
+    let g = GraphSpec::tiny().build();
+    let expect = reference::bfs_levels(&g, 0);
+    for variant in [BfsVariant::Ta, BfsVariant::Dwc, BfsVariant::Twc, BfsVariant::Ttc] {
+        let mut k = BfsKernel::new(g.clone(), variant, 0);
+        run(&mut k, &mut AlwaysOffload);
+        assert_eq!(k.levels(), &expect[..], "{variant:?} (offloaded)");
+        let mut k2 = BfsKernel::new(g.clone(), variant, 0);
+        run(&mut k2, &mut NeverOffload);
+        assert_eq!(k2.levels(), &expect[..], "{variant:?} (host)");
+    }
+}
+
+#[test]
+fn sssp_variants_match_dijkstra() {
+    let g = GraphSpec::tiny().build();
+    let expect = reference::sssp_distances(&g, 0);
+    for variant in [SsspVariant::Dwc, SsspVariant::Twc, SsspVariant::Dtc] {
+        let mut k = SsspKernel::new(g.clone(), variant, 0);
+        run(&mut k, &mut AlwaysOffload);
+        assert_eq!(k.distances(), &expect[..], "{variant:?}");
+    }
+}
+
+#[test]
+fn dc_matches_reference() {
+    let g = GraphSpec::tiny().build();
+    let expect = reference::degree_centrality(&g);
+    let mut k = DcKernel::new(g.clone());
+    run(&mut k, &mut AlwaysOffload);
+    assert_eq!(k.counts(), &expect[..]);
+}
+
+#[test]
+fn kcore_matches_reference() {
+    let g = GraphSpec::tiny().build();
+    let expect = reference::kcore_membership(&g, 8);
+    let mut k = KCoreKernel::new(g.clone(), 8);
+    run(&mut k, &mut NeverOffload);
+    assert_eq!(k.membership(), &expect[..]);
+}
+
+#[test]
+fn pagerank_matches_reference() {
+    let g = GraphSpec::tiny().build();
+    let expect = reference::pagerank(&g, 3, 0.85);
+    let mut k = PageRankKernel::new(g.clone(), 3);
+    run(&mut k, &mut AlwaysOffload);
+    let max_err = k
+        .ranks()
+        .iter()
+        .zip(&expect)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-12, "pagerank deviates by {max_err}");
+}
+
+#[test]
+fn warp_centric_beats_thread_centric_on_skewed_graphs() {
+    // The whole reason dwc exists: hub vertices serialize thread-centric
+    // walks. The timing model must reproduce that.
+    let g = GraphSpec::tiny().build();
+    let mut dwc = BfsKernel::new(g.clone(), BfsVariant::Dwc, 0);
+    let t_dwc = run(&mut dwc, &mut NeverOffload);
+    let mut ta = BfsKernel::new(g.clone(), BfsVariant::Ta, 0);
+    let t_ta = run(&mut ta, &mut NeverOffload);
+    assert!(t_dwc < t_ta, "dwc {t_dwc} should beat ta {t_ta}");
+}

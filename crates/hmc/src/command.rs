@@ -1,0 +1,223 @@
+//! HMC 2.0 PIM commands and their host (CUDA) atomic equivalents.
+//!
+//! HMC 2.0 PIM instructions perform an atomic read-modify-write on one
+//! memory operand with an immediate: arithmetic, bitwise, boolean, and
+//! comparison classes (§II-B). GraphPIM additionally proposed
+//! floating-point extensions; CoolPIM uses both. Every PIM instruction has
+//! a CUDA atomic it can be translated to and from (Table III), which is
+//! what the SW/HW throttling mechanisms rely on to generate/select the
+//! non-PIM shadow path.
+
+/// The class of a PIM instruction (Table III's "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PimClass {
+    /// Integer arithmetic (signed add).
+    Arithmetic,
+    /// Bitwise (swap, bit write).
+    Bitwise,
+    /// Boolean (AND/OR).
+    Boolean,
+    /// Comparison (CAS-equal / CAS-greater).
+    Comparison,
+    /// Floating-point extension proposed by GraphPIM (not in the base
+    /// HMC 2.0 spec).
+    FloatExtension,
+}
+
+/// The CUDA atomic primitive a PIM instruction maps to (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CudaAtomic {
+    /// `atomicAdd`
+    AtomicAdd,
+    /// `atomicExch`
+    AtomicExch,
+    /// `atomicAnd`
+    AtomicAnd,
+    /// `atomicOr`
+    AtomicOr,
+    /// `atomicCAS`
+    AtomicCas,
+    /// `atomicMax`
+    AtomicMax,
+    /// `atomicMin`
+    AtomicMin,
+}
+
+/// A PIM instruction of the HMC 2.0 specification (plus the GraphPIM
+/// floating-point extensions used by the paper's graph workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PimOp {
+    /// Signed integer add of an immediate (arithmetic class).
+    SignedAdd,
+    /// Swap the operand with the immediate (bitwise class).
+    Swap,
+    /// Write selected bits (bitwise class).
+    BitWrite,
+    /// Boolean AND with the immediate.
+    And,
+    /// Boolean OR with the immediate.
+    Or,
+    /// Compare-and-swap if equal (comparison class).
+    CasEqual,
+    /// Compare-and-swap if greater (comparison class).
+    CasGreater,
+    /// Compare-and-swap if smaller (comparison class; used by SSSP's
+    /// distance relaxations).
+    CasSmaller,
+    /// Floating-point add (GraphPIM extension; used by PageRank).
+    FloatAdd,
+}
+
+impl PimOp {
+    /// All modelled PIM instructions.
+    pub const ALL: [PimOp; 9] = [
+        PimOp::SignedAdd,
+        PimOp::Swap,
+        PimOp::BitWrite,
+        PimOp::And,
+        PimOp::Or,
+        PimOp::CasEqual,
+        PimOp::CasGreater,
+        PimOp::CasSmaller,
+        PimOp::FloatAdd,
+    ];
+
+    /// Instruction class (Table III's left column).
+    pub fn class(self) -> PimClass {
+        match self {
+            PimOp::SignedAdd => PimClass::Arithmetic,
+            PimOp::Swap | PimOp::BitWrite => PimClass::Bitwise,
+            PimOp::And | PimOp::Or => PimClass::Boolean,
+            PimOp::CasEqual | PimOp::CasGreater | PimOp::CasSmaller => PimClass::Comparison,
+            PimOp::FloatAdd => PimClass::FloatExtension,
+        }
+    }
+
+    /// The CUDA atomic this instruction translates to (Table III), used
+    /// for the non-PIM shadow code path.
+    pub fn cuda_equivalent(self) -> CudaAtomic {
+        match self {
+            PimOp::SignedAdd | PimOp::FloatAdd => CudaAtomic::AtomicAdd,
+            PimOp::Swap | PimOp::BitWrite => CudaAtomic::AtomicExch,
+            PimOp::And => CudaAtomic::AtomicAnd,
+            PimOp::Or => CudaAtomic::AtomicOr,
+            PimOp::CasEqual => CudaAtomic::AtomicCas,
+            PimOp::CasGreater => CudaAtomic::AtomicMax,
+            PimOp::CasSmaller => CudaAtomic::AtomicMin,
+        }
+    }
+
+    /// Whether the response carries the original data back to the host.
+    ///
+    /// Comparison instructions return the old value (the algorithm needs
+    /// to know whether the swap happened); adds and boolean ops used by
+    /// the graph workloads are fire-and-forget.
+    pub fn returns_data(self) -> bool {
+        matches!(self, PimOp::CasEqual | PimOp::CasGreater | PimOp::CasSmaller | PimOp::Swap)
+    }
+
+    /// FLIT cost of this instruction per Table I.
+    pub fn flit_cost(self) -> crate::flit::FlitCost {
+        if self.returns_data() {
+            crate::flit::PIM_WITH_RETURN
+        } else {
+            crate::flit::PIM_NO_RETURN
+        }
+    }
+
+    /// Applies the operation functionally: `(old, immediate) → new`.
+    /// Comparison/boolean semantics follow the HMC 2.0 definitions.
+    pub fn apply(self, old: u64, imm: u64) -> u64 {
+        match self {
+            PimOp::SignedAdd => (old as i64).wrapping_add(imm as i64) as u64,
+            PimOp::Swap | PimOp::BitWrite => imm,
+            PimOp::And => old & imm,
+            PimOp::Or => old | imm,
+            PimOp::CasEqual => {
+                if old == imm {
+                    imm
+                } else {
+                    old
+                }
+            }
+            PimOp::CasGreater => {
+                if (imm as i64) > (old as i64) {
+                    imm
+                } else {
+                    old
+                }
+            }
+            PimOp::CasSmaller => {
+                if (imm as i64) < (old as i64) {
+                    imm
+                } else {
+                    old
+                }
+            }
+            PimOp::FloatAdd => {
+                (f64::from_bits(old) + f64::from_bits(imm)).to_bits()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_mapping() {
+        assert_eq!(PimOp::SignedAdd.cuda_equivalent(), CudaAtomic::AtomicAdd);
+        assert_eq!(PimOp::Swap.cuda_equivalent(), CudaAtomic::AtomicExch);
+        assert_eq!(PimOp::BitWrite.cuda_equivalent(), CudaAtomic::AtomicExch);
+        assert_eq!(PimOp::And.cuda_equivalent(), CudaAtomic::AtomicAnd);
+        assert_eq!(PimOp::Or.cuda_equivalent(), CudaAtomic::AtomicOr);
+        assert_eq!(PimOp::CasEqual.cuda_equivalent(), CudaAtomic::AtomicCas);
+        assert_eq!(PimOp::CasGreater.cuda_equivalent(), CudaAtomic::AtomicMax);
+    }
+
+    #[test]
+    fn classes_match_table3() {
+        assert_eq!(PimOp::SignedAdd.class(), PimClass::Arithmetic);
+        assert_eq!(PimOp::Swap.class(), PimClass::Bitwise);
+        assert_eq!(PimOp::And.class(), PimClass::Boolean);
+        assert_eq!(PimOp::CasGreater.class(), PimClass::Comparison);
+    }
+
+    #[test]
+    fn signed_add_wraps_and_handles_negatives() {
+        assert_eq!(PimOp::SignedAdd.apply(10, (-3i64) as u64), 7);
+        assert_eq!(PimOp::SignedAdd.apply(0, 5), 5);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        assert_eq!(PimOp::CasGreater.apply(5, 9), 9);
+        assert_eq!(PimOp::CasGreater.apply(9, 5), 9);
+        assert_eq!(PimOp::CasSmaller.apply(9, 5), 5);
+        assert_eq!(PimOp::CasSmaller.apply(5, 9), 5);
+        assert_eq!(PimOp::CasEqual.apply(7, 7), 7);
+        assert_eq!(PimOp::CasEqual.apply(7, 8), 7);
+    }
+
+    #[test]
+    fn float_add_round_trips_through_bits() {
+        let a = 1.5f64.to_bits();
+        let b = 2.25f64.to_bits();
+        assert_eq!(f64::from_bits(PimOp::FloatAdd.apply(a, b)), 3.75);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        assert_eq!(PimOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(PimOp::Or.apply(0b1100, 0b1010), 0b1110);
+    }
+
+    #[test]
+    fn return_data_only_for_value_returning_ops() {
+        assert!(!PimOp::SignedAdd.returns_data());
+        assert!(!PimOp::FloatAdd.returns_data());
+        assert!(PimOp::CasGreater.returns_data());
+        assert!(PimOp::Swap.returns_data());
+    }
+}

@@ -1,0 +1,108 @@
+//! FLIT accounting: HMC's packet-based link protocol counts everything in
+//! 128-bit flow units. Table I of the paper gives the request/response
+//! cost of every transaction type.
+
+/// Size of one FLIT in bytes (128 bits).
+pub const FLIT_BYTES: u64 = 16;
+
+/// Payload size of a regular memory transaction (bytes).
+pub const BLOCK_BYTES: u64 = 64;
+
+/// FLIT cost of a transaction in each link direction (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitCost {
+    /// FLITs on the request (host→cube) direction.
+    pub request: u64,
+    /// FLITs on the response (cube→host) direction.
+    pub response: u64,
+}
+
+impl FlitCost {
+    /// Total FLITs across both directions.
+    pub fn total(self) -> u64 {
+        self.request + self.response
+    }
+
+    /// Total raw bytes across both directions.
+    pub fn total_bytes(self) -> u64 {
+        self.total() * FLIT_BYTES
+    }
+}
+
+/// 64-byte READ: 1 request FLIT, 5 response FLITs.
+pub const READ64: FlitCost = FlitCost { request: 1, response: 5 };
+/// 64-byte WRITE: 5 request FLITs, 1 response FLIT.
+pub const WRITE64: FlitCost = FlitCost { request: 5, response: 1 };
+/// PIM instruction without return data: 2 request FLITs, 1 response FLIT.
+pub const PIM_NO_RETURN: FlitCost = FlitCost { request: 2, response: 1 };
+/// PIM instruction with return data: 2 request FLITs, 2 response FLITs.
+pub const PIM_WITH_RETURN: FlitCost = FlitCost { request: 2, response: 2 };
+
+/// Fraction of raw link bytes that is useful data at the 64-byte
+/// READ/WRITE efficiency (64 data bytes per 96 raw bytes). The paper's
+/// "320 GB/s data of 480 GB/s aggregate" headline is exactly this ratio;
+/// we use it to convert raw FLIT traffic into the data-bandwidth axis of
+/// Fig. 4.
+pub const DATA_EFFICIENCY: f64 = 2.0 / 3.0;
+
+/// Converts raw FLIT bytes into "data bandwidth" bytes (the unit of the
+/// paper's bandwidth axes).
+pub fn raw_to_data_bytes(raw: f64) -> f64 {
+    raw * DATA_EFFICIENCY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_flit_costs() {
+        assert_eq!((READ64.request, READ64.response), (1, 5));
+        assert_eq!((WRITE64.request, WRITE64.response), (5, 1));
+        assert_eq!((PIM_NO_RETURN.request, PIM_NO_RETURN.response), (2, 1));
+        assert_eq!((PIM_WITH_RETURN.request, PIM_WITH_RETURN.response), (2, 2));
+    }
+
+    #[test]
+    fn read_and_write_cost_6_flits_total() {
+        // §II-B: "A 64-byte READ/WRITE request consumes 6 FLITs in total,
+        // while a PIM operation needs only 3 or 4 FLITs."
+        assert_eq!(READ64.total(), 6);
+        assert_eq!(WRITE64.total(), 6);
+        assert_eq!(PIM_NO_RETURN.total(), 3);
+        assert_eq!(PIM_WITH_RETURN.total(), 4);
+    }
+
+    #[test]
+    fn pim_saves_up_to_half_the_bandwidth() {
+        // "PIM offloading potentially can save up to 50% memory bandwidth."
+        let saving = 1.0 - PIM_NO_RETURN.total() as f64 / READ64.total() as f64;
+        assert!((saving - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_efficiency_matches_headline_bandwidths() {
+        // 480 GB/s aggregate × 2/3 = 320 GB/s data.
+        assert!((raw_to_data_bytes(480.0e9) - 320.0e9).abs() < 1.0);
+        // One 64-byte read: 6 FLITs = 96 raw bytes → 64 data bytes.
+        assert!((raw_to_data_bytes(READ64.total_bytes() as f64) - 64.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn pim_with_return_still_beats_a_read() {
+        assert!(PIM_WITH_RETURN.total() < READ64.total());
+        assert!((1.0 - PIM_WITH_RETURN.total() as f64 / READ64.total() as f64 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_byte_accounting() {
+        assert_eq!(READ64.total_bytes(), 96);
+        assert_eq!(PIM_NO_RETURN.total_bytes(), 48);
+        assert_eq!(FLIT_BYTES * 8, 128); // 128-bit FLITs
+    }
+}

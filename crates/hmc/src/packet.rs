@@ -1,0 +1,109 @@
+//! Request/response packet types of the link protocol.
+//!
+//! Every response packet carries a tail with a 7-bit error status
+//! (ERRSTAT\[6:0\]); the cube sets it to 0x01 on thermal warnings (§II-A).
+//! PIM responses additionally carry an atomic flag, and value-returning
+//! commands carry the original data.
+
+use crate::command::PimOp;
+use crate::flit::{FlitCost, READ64, WRITE64};
+
+/// A host→cube request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// 64-byte read.
+    Read {
+        /// Target DRAM address.
+        addr: u64,
+    },
+    /// 64-byte write.
+    Write {
+        /// Target DRAM address.
+        addr: u64,
+    },
+    /// PIM atomic read-modify-write on a 16-byte-aligned operand.
+    Pim {
+        /// The PIM command.
+        op: PimOp,
+        /// Target DRAM address.
+        addr: u64,
+    },
+}
+
+impl Request {
+    /// Convenience constructor for a 64-byte read.
+    pub fn read(addr: u64) -> Self {
+        Request::Read { addr }
+    }
+
+    /// Convenience constructor for a 64-byte write.
+    pub fn write(addr: u64) -> Self {
+        Request::Write { addr }
+    }
+
+    /// Convenience constructor for a PIM instruction.
+    pub fn pim(op: PimOp, addr: u64) -> Self {
+        Request::Pim { op, addr }
+    }
+
+    /// Target address.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            Request::Read { addr } | Request::Write { addr } | Request::Pim { addr, .. } => addr,
+        }
+    }
+
+    /// FLIT cost per Table I.
+    pub fn flit_cost(&self) -> FlitCost {
+        match *self {
+            Request::Read { .. } => READ64,
+            Request::Write { .. } => WRITE64,
+            Request::Pim { op, .. } => op.flit_cost(),
+        }
+    }
+
+    /// Whether this is a PIM instruction.
+    pub fn is_pim(&self) -> bool {
+        matches!(self, Request::Pim { .. })
+    }
+}
+
+/// The tail field of a response packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResponseTail {
+    /// ERRSTAT\[6:0\]; 0x01 signals a thermal warning.
+    pub errstat: u8,
+    /// Whether the atomic RMW succeeded (PIM responses only).
+    pub atomic_flag: bool,
+}
+
+impl ResponseTail {
+    /// True when the tail carries the thermal-warning error status.
+    pub fn thermal_warning(&self) -> bool {
+        self.errstat == crate::thermal_state::ERRSTAT_THERMAL_WARNING
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::PIM_NO_RETURN;
+
+    #[test]
+    fn request_addr_and_kind() {
+        let r = Request::read(0x40);
+        assert_eq!(r.addr(), 0x40);
+        assert!(!r.is_pim());
+        let p = Request::pim(PimOp::SignedAdd, 0x80);
+        assert!(p.is_pim());
+        assert_eq!(p.flit_cost(), PIM_NO_RETURN);
+    }
+
+    #[test]
+    fn tail_thermal_warning_decoding() {
+        let clean = ResponseTail::default();
+        assert!(!clean.thermal_warning());
+        let hot = ResponseTail { errstat: 0x01, atomic_flag: true };
+        assert!(hot.thermal_warning());
+    }
+}

@@ -1,0 +1,123 @@
+//! Windowed and cumulative activity counters.
+//!
+//! The co-simulator drains a window every thermal epoch and feeds it to
+//! the power model; cumulative totals survive for end-of-run reporting
+//! (bandwidth figures, average PIM rate).
+
+use crate::flit::{raw_to_data_bytes, FLIT_BYTES};
+use crate::Ps;
+
+/// Counters accumulated since the last window drain.
+#[derive(Debug, Clone, Default)]
+pub struct StatsWindow {
+    /// 64-byte reads.
+    pub reads: u64,
+    /// 64-byte writes.
+    pub writes: u64,
+    /// PIM operations.
+    pub pim_ops: u64,
+    /// Raw FLITs moved in either direction.
+    pub flits: u64,
+    /// Per-vault transaction counts (reads+writes+PIM).
+    pub vault_ops: Vec<u64>,
+    /// Window start (ps).
+    pub start_ps: Ps,
+}
+
+impl StatsWindow {
+    /// Creates an empty window for `vaults` vaults starting at `start_ps`.
+    pub fn new(vaults: usize, start_ps: Ps) -> Self {
+        Self { vault_ops: vec![0; vaults], start_ps, ..Default::default() }
+    }
+
+    /// Raw bytes moved over the links.
+    pub fn raw_bytes(&self) -> u64 {
+        self.flits * FLIT_BYTES
+    }
+
+    /// Data-equivalent bytes (the paper's bandwidth unit; see
+    /// [`crate::flit::DATA_EFFICIENCY`]).
+    pub fn data_bytes(&self) -> f64 {
+        raw_to_data_bytes(self.raw_bytes() as f64)
+    }
+
+    /// Window duration in seconds, given the drain time.
+    pub fn duration_s(&self, now_ps: Ps) -> f64 {
+        (now_ps.saturating_sub(self.start_ps)) as f64 * 1e-12
+    }
+
+    /// Average PIM rate over the window in op/ns.
+    pub fn pim_rate_op_per_ns(&self, now_ps: Ps) -> f64 {
+        let dur_ns = (now_ps.saturating_sub(self.start_ps)) as f64 / 1e3;
+        if dur_ns == 0.0 {
+            0.0
+        } else {
+            self.pim_ops as f64 / dur_ns
+        }
+    }
+
+    /// Normalisable per-vault activity weights (may be all zeros).
+    pub fn vault_weights(&self) -> Vec<f64> {
+        self.vault_ops.iter().map(|&c| c as f64).collect()
+    }
+}
+
+/// Cumulative whole-run totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsTotals {
+    /// 64-byte reads.
+    pub reads: u64,
+    /// 64-byte writes.
+    pub writes: u64,
+    /// PIM operations.
+    pub pim_ops: u64,
+    /// Raw FLITs in either direction.
+    pub flits: u64,
+}
+
+impl StatsTotals {
+    /// Raw bytes moved over the links.
+    pub fn raw_bytes(&self) -> u64 {
+        self.flits * FLIT_BYTES
+    }
+
+    /// Data-equivalent bytes.
+    pub fn data_bytes(&self) -> f64 {
+        raw_to_data_bytes(self.raw_bytes() as f64)
+    }
+
+    /// Folds a drained window into the totals.
+    pub fn absorb(&mut self, w: &StatsWindow) {
+        self.reads += w.reads;
+        self.writes += w.writes;
+        self.pim_ops += w.pim_ops;
+        self.flits += w.flits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_rates() {
+        let mut w = StatsWindow::new(4, 1_000_000);
+        w.pim_ops = 2_000;
+        // 1 µs window → 1000 ns → 2 op/ns.
+        assert!((w.pim_rate_op_per_ns(2_000_000) - 2.0).abs() < 1e-12);
+        assert!((w.duration_s(2_000_000) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn totals_absorb_windows() {
+        let mut t = StatsTotals::default();
+        let mut w = StatsWindow::new(2, 0);
+        w.reads = 10;
+        w.flits = 60;
+        t.absorb(&w);
+        t.absorb(&w);
+        assert_eq!(t.reads, 20);
+        assert_eq!(t.raw_bytes(), 120 * FLIT_BYTES);
+        assert!((t.data_bytes() - t.raw_bytes() as f64 * 2.0 / 3.0).abs() < 1e-9);
+    }
+}

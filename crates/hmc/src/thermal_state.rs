@@ -1,0 +1,166 @@
+//! Operating-temperature phases, DRAM derating, and the thermal-warning
+//! machinery (§III and Table IV).
+//!
+//! The paper partitions the HMC operating range into three phases —
+//! 0–85 °C (normal), 85–95 °C (extended), 95–105 °C (critical) — and
+//! assumes a 20 % DRAM frequency reduction each time the cube moves to a
+//! higher phase. Above 105 °C the device must shut down. When the
+//! temperature reaches the warning threshold the cube sets
+//! ERRSTAT\[6:0\] = 0x01 in response-packet tails, which is the feedback
+//! signal CoolPIM's source throttling consumes.
+
+/// ERRSTAT value signalling a thermal warning (§II-A).
+pub const ERRSTAT_THERMAL_WARNING: u8 = 0x01;
+
+/// Temperature at which the cube starts flagging warnings in response
+/// tails (°C). Set just below the 85 °C normal-range boundary so a
+/// well-behaved controller can hold the cube inside the normal range.
+pub const DEFAULT_WARNING_THRESHOLD_C: f64 = 84.0;
+
+/// The operating phase of the DRAM stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TempPhase {
+    /// 0–85 °C: full speed.
+    Normal,
+    /// 85–95 °C: JEDEC extended range; 20 % DRAM frequency reduction and
+    /// doubled refresh.
+    Extended,
+    /// 95–105 °C: a further 20 % frequency reduction.
+    Critical,
+    /// >105 °C: the cube stops serving requests.
+    Shutdown,
+}
+
+impl TempPhase {
+    /// Classifies a peak-DRAM temperature.
+    pub fn from_temp(peak_dram_c: f64) -> Self {
+        if peak_dram_c > 105.0 {
+            TempPhase::Shutdown
+        } else if peak_dram_c > 95.0 {
+            TempPhase::Critical
+        } else if peak_dram_c > 85.0 {
+            TempPhase::Extended
+        } else {
+            TempPhase::Normal
+        }
+    }
+
+    /// DRAM timing stretch factor as a rational `(num, den)`:
+    /// each phase above normal multiplies timings by 1/0.8 = 5/4.
+    pub fn timing_stretch(self) -> (u64, u64) {
+        match self {
+            TempPhase::Normal => (1, 1),
+            TempPhase::Extended => (5, 4),
+            TempPhase::Critical => (25, 16),
+            // Shutdown handled separately; timings are moot.
+            TempPhase::Shutdown => (25, 16),
+        }
+    }
+
+    /// Fraction of bank time lost to refresh: tRFC/tREFI ≈ 3.3 % in the
+    /// normal range; the extended range doubles the refresh rate (JEDEC),
+    /// and we keep the doubled rate in the critical phase.
+    pub fn refresh_overhead(self) -> f64 {
+        match self {
+            TempPhase::Normal => 0.033,
+            TempPhase::Extended | TempPhase::Critical | TempPhase::Shutdown => 0.066,
+        }
+    }
+
+    /// Whether the cube is operational.
+    pub fn operational(self) -> bool {
+        self != TempPhase::Shutdown
+    }
+}
+
+/// Live thermal status held by the cube and updated by the co-simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalStatus {
+    /// Latest peak DRAM temperature pushed by the thermal model (°C).
+    pub peak_dram_c: f64,
+    /// Warning threshold (°C).
+    pub warning_threshold_c: f64,
+}
+
+impl Default for ThermalStatus {
+    fn default() -> Self {
+        Self { peak_dram_c: 25.0, warning_threshold_c: DEFAULT_WARNING_THRESHOLD_C }
+    }
+}
+
+impl ThermalStatus {
+    /// Current operating phase.
+    pub fn phase(&self) -> TempPhase {
+        TempPhase::from_temp(self.peak_dram_c)
+    }
+
+    /// Whether response packets currently carry the thermal-warning
+    /// ERRSTAT.
+    pub fn warning_active(&self) -> bool {
+        self.peak_dram_c >= self.warning_threshold_c
+    }
+
+    /// The ERRSTAT field value for a response issued now.
+    pub fn errstat(&self) -> u8 {
+        if self.warning_active() {
+            ERRSTAT_THERMAL_WARNING
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_boundaries() {
+        assert_eq!(TempPhase::from_temp(25.0), TempPhase::Normal);
+        assert_eq!(TempPhase::from_temp(85.0), TempPhase::Normal);
+        assert_eq!(TempPhase::from_temp(85.1), TempPhase::Extended);
+        assert_eq!(TempPhase::from_temp(95.1), TempPhase::Critical);
+        assert_eq!(TempPhase::from_temp(105.1), TempPhase::Shutdown);
+    }
+
+    #[test]
+    fn each_phase_stretches_by_25_percent() {
+        let (n1, d1) = TempPhase::Extended.timing_stretch();
+        assert_eq!(n1 * 4, d1 * 5); // 5/4
+        let (n2, d2) = TempPhase::Critical.timing_stretch();
+        assert_eq!(n2 * 16, d2 * 25); // 25/16
+    }
+
+    #[test]
+    fn warning_fires_at_threshold() {
+        let mut s = ThermalStatus::default();
+        assert!(!s.warning_active());
+        assert_eq!(s.errstat(), 0);
+        s.peak_dram_c = 84.5;
+        assert!(s.warning_active());
+        assert_eq!(s.errstat(), ERRSTAT_THERMAL_WARNING);
+    }
+
+    #[test]
+    fn refresh_doubles_in_extended_range() {
+        assert!(
+            (TempPhase::Extended.refresh_overhead() / TempPhase::Normal.refresh_overhead() - 2.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn shutdown_is_not_operational() {
+        assert!(TempPhase::Normal.operational());
+        assert!(TempPhase::Critical.operational());
+        assert!(!TempPhase::Shutdown.operational());
+    }
+
+    #[test]
+    fn phases_are_ordered() {
+        assert!(TempPhase::Normal < TempPhase::Extended);
+        assert!(TempPhase::Extended < TempPhase::Critical);
+        assert!(TempPhase::Critical < TempPhase::Shutdown);
+    }
+}

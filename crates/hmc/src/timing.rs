@@ -1,0 +1,110 @@
+//! DRAM timing parameters (Table IV) and their temperature derating.
+
+use crate::{ns_to_ps, Ps};
+
+/// DRAM timing parameters of the modelled cube (Table IV:
+/// tCL = tRCD = tRP = 13.75 ns, tRAS = 27.5 ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// CAS latency (ps).
+    pub t_cl: Ps,
+    /// RAS-to-CAS delay (ps).
+    pub t_rcd: Ps,
+    /// Row precharge time (ps).
+    pub t_rp: Ps,
+    /// Row active time (ps).
+    pub t_ras: Ps,
+    /// Data burst time for one 64-byte block on the internal TSV bus (ps).
+    pub t_burst: Ps,
+}
+
+impl DramTiming {
+    /// Table IV timing.
+    pub fn hmc20() -> Self {
+        Self {
+            t_cl: ns_to_ps(13.75),
+            t_rcd: ns_to_ps(13.75),
+            t_rp: ns_to_ps(13.75),
+            t_ras: ns_to_ps(27.5),
+            t_burst: ns_to_ps(4.0),
+        }
+    }
+
+    /// Row cycle time tRC = tRAS + tRP: the minimum spacing of two
+    /// activations to the same bank, i.e. the closed-page service period.
+    pub fn t_rc(&self) -> Ps {
+        self.t_ras + self.t_rp
+    }
+
+    /// Access latency of a closed-page read: tRCD + tCL + burst.
+    pub fn read_latency(&self) -> Ps {
+        self.t_rcd + self.t_cl + self.t_burst
+    }
+
+    /// Scales every parameter by `num/den` (used for frequency derating:
+    /// a 20 % frequency reduction stretches timings by 1/0.8).
+    pub fn scaled_by(&self, num: u64, den: u64) -> Self {
+        let s = |v: Ps| v * num / den;
+        Self {
+            t_cl: s(self.t_cl),
+            t_rcd: s(self.t_rcd),
+            t_rp: s(self.t_rp),
+            t_ras: s(self.t_ras),
+            t_burst: s(self.t_burst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        let t = DramTiming::hmc20();
+        assert_eq!(t.t_cl, 13_750);
+        assert_eq!(t.t_rcd, 13_750);
+        assert_eq!(t.t_rp, 13_750);
+        assert_eq!(t.t_ras, 27_500);
+    }
+
+    #[test]
+    fn row_cycle_is_ras_plus_rp() {
+        let t = DramTiming::hmc20();
+        assert_eq!(t.t_rc(), 41_250);
+    }
+
+    #[test]
+    fn derating_stretches_timing() {
+        let t = DramTiming::hmc20();
+        let slow = t.scaled_by(5, 4); // 1/0.8
+        assert_eq!(slow.t_cl, 17_187); // 13750*5/4 with integer division
+        assert!(slow.t_rc() > t.t_rc());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn read_latency_composition() {
+        let t = DramTiming::hmc20();
+        assert_eq!(t.read_latency(), t.t_rcd + t.t_cl + t.t_burst);
+    }
+
+    #[test]
+    fn identity_scale_is_a_noop() {
+        let t = DramTiming::hmc20();
+        let same = t.scaled_by(1, 1);
+        assert_eq!(t, same);
+    }
+
+    #[test]
+    fn compound_derating_matches_critical_phase() {
+        // Two 20 % frequency reductions: ×(5/4)² = ×25/16.
+        let t = DramTiming::hmc20();
+        let crit = t.scaled_by(25, 16);
+        assert_eq!(crit.t_ras, 27_500 * 25 / 16);
+    }
+}

@@ -1,0 +1,177 @@
+//! Vault-grid floorplan: maps architectural power sources (vault
+//! controllers, PIM functional units, DRAM partitions, link PHYs) onto the
+//! cells of the thermal grid.
+//!
+//! HMC organises the cube into vaults laid out in a regular grid on every
+//! layer; each vault's controller and PIM FU sit at the *centre* of its
+//! logic-layer footprint (the paper places "a vault controller and a
+//! functional unit at the center" of each vault and observes hot spots
+//! there, Fig. 3). Link SerDes PHYs occupy the two short edges of the
+//! logic die.
+
+/// Floorplan of one die: a `nx × ny` cell grid partitioned into vaults.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// Grid cells along x.
+    pub nx: usize,
+    /// Grid cells along y.
+    pub ny: usize,
+    /// Vaults along x.
+    pub vaults_x: usize,
+    /// Vaults along y.
+    pub vaults_y: usize,
+    /// Width of the link-PHY column band on each short edge, in cells.
+    pub phy_cols: usize,
+}
+
+/// Cells-per-vault edge used by the presets (3×3 cells per vault resolves
+/// a distinct vault-centre hot spot).
+pub const CELLS_PER_VAULT: usize = 3;
+
+impl Floorplan {
+    /// HMC 2.0 floorplan: 32 vaults in an 8×4 grid. The four full-width
+    /// links of HMC 2.0 occupy a two-cell-wide PHY band on each short edge.
+    pub fn hmc20() -> Self {
+        let mut fp = Self::vault_grid(8, 4);
+        fp.phy_cols = 2;
+        fp
+    }
+
+    /// HMC 1.1 floorplan: 16 vaults in a 4×4 grid.
+    pub fn hmc11() -> Self {
+        Self::vault_grid(4, 4)
+    }
+
+    /// A floorplan with `vx × vy` vaults at [`CELLS_PER_VAULT`] resolution.
+    pub fn vault_grid(vx: usize, vy: usize) -> Self {
+        assert!(vx > 0 && vy > 0);
+        Self {
+            nx: vx * CELLS_PER_VAULT,
+            ny: vy * CELLS_PER_VAULT,
+            vaults_x: vx,
+            vaults_y: vy,
+            phy_cols: 1,
+        }
+    }
+
+    /// Number of cells per layer.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Number of vaults.
+    pub fn vaults(&self) -> usize {
+        self.vaults_x * self.vaults_y
+    }
+
+    /// Linear cell index for `(x, y)`.
+    pub fn cell(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny);
+        y * self.nx + x
+    }
+
+    /// The cell indices forming vault `v`'s footprint (row-major over the
+    /// vault's rectangle).
+    pub fn vault_cells(&self, v: usize) -> Vec<usize> {
+        let (x0, y0) = self.vault_origin(v);
+        let mut cells = Vec::with_capacity(CELLS_PER_VAULT * CELLS_PER_VAULT);
+        for dy in 0..CELLS_PER_VAULT {
+            for dx in 0..CELLS_PER_VAULT {
+                cells.push(self.cell(x0 + dx, y0 + dy));
+            }
+        }
+        cells
+    }
+
+    /// The centre cell of vault `v` (where its controller + FU sit).
+    pub fn vault_center_cell(&self, v: usize) -> usize {
+        let (x0, y0) = self.vault_origin(v);
+        self.cell(x0 + CELLS_PER_VAULT / 2, y0 + CELLS_PER_VAULT / 2)
+    }
+
+    /// Cells of the link-PHY bands (the `phy_cols` leftmost and rightmost
+    /// columns of the die).
+    pub fn phy_cells(&self) -> Vec<usize> {
+        let mut cells = Vec::with_capacity(2 * self.phy_cols * self.ny);
+        for y in 0..self.ny {
+            for c in 0..self.phy_cols {
+                cells.push(self.cell(c, y));
+                cells.push(self.cell(self.nx - 1 - c, y));
+            }
+        }
+        cells
+    }
+
+    /// Which vault a cell belongs to.
+    pub fn vault_of_cell(&self, cell: usize) -> usize {
+        let x = cell % self.nx;
+        let y = cell / self.nx;
+        let vx = x / CELLS_PER_VAULT;
+        let vy = y / CELLS_PER_VAULT;
+        vy * self.vaults_x + vx
+    }
+
+    fn vault_origin(&self, v: usize) -> (usize, usize) {
+        assert!(v < self.vaults(), "vault {v} out of range");
+        let vx = v % self.vaults_x;
+        let vy = v / self.vaults_x;
+        (vx * CELLS_PER_VAULT, vy * CELLS_PER_VAULT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmc20_has_32_vaults() {
+        let f = Floorplan::hmc20();
+        assert_eq!(f.vaults(), 32);
+        assert_eq!(f.cells(), 24 * 12);
+    }
+
+    #[test]
+    fn vault_cells_partition_the_grid() {
+        let f = Floorplan::hmc20();
+        let mut seen = vec![false; f.cells()];
+        for v in 0..f.vaults() {
+            for c in f.vault_cells(v) {
+                assert!(!seen[c], "cell {c} in two vaults");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every cell belongs to a vault");
+    }
+
+    #[test]
+    fn vault_center_is_inside_vault() {
+        let f = Floorplan::hmc11();
+        for v in 0..f.vaults() {
+            let center = f.vault_center_cell(v);
+            assert!(f.vault_cells(v).contains(&center));
+            assert_eq!(f.vault_of_cell(center), v);
+        }
+    }
+
+    #[test]
+    fn vault_of_cell_inverts_vault_cells() {
+        let f = Floorplan::hmc20();
+        for v in 0..f.vaults() {
+            for c in f.vault_cells(v) {
+                assert_eq!(f.vault_of_cell(c), v);
+            }
+        }
+    }
+
+    #[test]
+    fn phy_cells_are_on_the_edges() {
+        let f = Floorplan::hmc20();
+        for c in f.phy_cells() {
+            let x = c % f.nx;
+            assert!(x < f.phy_cols || x >= f.nx - f.phy_cols);
+        }
+        assert_eq!(f.phy_cells().len(), 2 * f.phy_cols * f.ny);
+        let f11 = Floorplan::hmc11();
+        assert_eq!(f11.phy_cells().len(), 2 * f11.ny);
+    }
+}

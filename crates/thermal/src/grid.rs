@@ -1,0 +1,265 @@
+//! Assembly of the compact RC thermal network from a stack description,
+//! a floorplan, and a cooling solution (the 3D-ICE-style model).
+//!
+//! Every layer is discretised into the floorplan's `nx × ny` cells; a cell
+//! is one thermal node with a capacitance and conductances to its four
+//! lateral neighbours and the cells above/below. Vertical conductances
+//! include the bonding interface between dies. On top of the TIM sits a
+//! single lumped heat-sink node (isothermal copper base/spreader) that
+//! couples to ambient through the cooling solution's thermal resistance.
+//! The substrate couples weakly to ambient through the board (secondary
+//! heat path).
+
+use crate::cooling::Cooling;
+use crate::floorplan::Floorplan;
+use crate::layers::{LayerKind, StackConfig};
+
+/// One directed conductance edge of the network.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    /// Neighbour node index.
+    other: u32,
+    /// Conductance in W/K.
+    g: f64,
+}
+
+/// The assembled RC network.
+///
+/// Node layout: `layer * cells + cell` for all stack layers bottom-to-top,
+/// followed by one extra node for the heat-sink base. Ambient is a fixed
+/// boundary temperature, not a node.
+#[derive(Debug, Clone)]
+pub struct ThermalGrid {
+    /// Stack the grid was built from.
+    pub stack: StackConfig,
+    /// Floorplan the grid was built from.
+    pub floorplan: Floorplan,
+    /// Cooling solution (sets the sink-to-ambient conductance).
+    pub cooling: Cooling,
+    /// Per-node heat capacitance (J/K), unscaled.
+    capacitance: Vec<f64>,
+    /// Adjacency: for each node, the index range into `edges`.
+    edge_offsets: Vec<u32>,
+    edges: Vec<Edge>,
+    /// Per-node conductance directly to ambient (W/K).
+    g_ambient: Vec<f64>,
+    /// Cached per-node total conductance (Σ edges + ambient), for solvers.
+    g_total: Vec<f64>,
+}
+
+impl ThermalGrid {
+    /// Builds the RC network for `stack` × `floorplan` under `cooling`.
+    pub fn build(stack: StackConfig, floorplan: Floorplan, cooling: Cooling) -> Self {
+        let cells = floorplan.cells();
+        let n_layers = stack.layers.len();
+        let n = n_layers * cells + 1; // +1 sink node
+        let sink = n - 1;
+
+        let dx = stack.die_w / floorplan.nx as f64;
+        let dy = stack.die_h / floorplan.ny as f64;
+        let a_cell = dx * dy;
+
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::with_capacity(6); n];
+        let mut capacitance = vec![0.0; n];
+        let mut g_ambient = vec![0.0; n];
+
+        let add_edge = |adj: &mut Vec<Vec<Edge>>, a: usize, b: usize, g: f64| {
+            adj[a].push(Edge { other: b as u32, g });
+            adj[b].push(Edge { other: a as u32, g });
+        };
+
+        for (li, layer) in stack.layers.iter().enumerate() {
+            let k = layer.material.conductivity;
+            let t = layer.thickness;
+            for yc in 0..floorplan.ny {
+                for xc in 0..floorplan.nx {
+                    let cell = floorplan.cell(xc, yc);
+                    let node = li * cells + cell;
+                    capacitance[node] = layer.material.volumetric_capacity * a_cell * t;
+                    // Lateral edges to +x and +y neighbours only (each edge
+                    // added once).
+                    if xc + 1 < floorplan.nx {
+                        let g = k * (t * dy) / dx;
+                        add_edge(&mut adj, node, node + 1, g);
+                    }
+                    if yc + 1 < floorplan.ny {
+                        let g = k * (t * dx) / dy;
+                        add_edge(&mut adj, node, node + floorplan.nx, g);
+                    }
+                    // Vertical edge to the layer above.
+                    if li + 1 < n_layers {
+                        let upper = &stack.layers[li + 1];
+                        let mut r = t / (2.0 * k) + upper.thickness / (2.0 * upper.material.conductivity);
+                        if let Some((ti, mi)) = upper.interface_below {
+                            r += ti / mi.conductivity;
+                        }
+                        add_edge(&mut adj, node, node + cells, a_cell / r);
+                    } else {
+                        // Top layer (TIM) couples to the sink node through
+                        // its remaining half thickness.
+                        let r = t / (2.0 * k);
+                        add_edge(&mut adj, node, sink, a_cell / r);
+                    }
+                    // Bottom layer couples weakly to ambient via the board.
+                    if li == 0 {
+                        g_ambient[node] = 1.0 / (stack.board_resistance * cells as f64);
+                    }
+                }
+            }
+        }
+
+        // Sink node.
+        capacitance[sink] = stack.sink_capacitance;
+        g_ambient[sink] = 1.0 / cooling.resistance_c_per_w();
+
+        // Flatten adjacency into CSR form.
+        let mut edge_offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        edge_offsets.push(0u32);
+        for list in &adj {
+            edges.extend_from_slice(list);
+            edge_offsets.push(edges.len() as u32);
+        }
+        let g_total: Vec<f64> = (0..n)
+            .map(|i| {
+                let s = edge_offsets[i] as usize..edge_offsets[i + 1] as usize;
+                edges[s].iter().map(|e| e.g).sum::<f64>() + g_ambient[i]
+            })
+            .collect();
+
+        Self { stack, floorplan, cooling, capacitance, edge_offsets, edges, g_ambient, g_total }
+    }
+
+    /// Total node count (including the sink node).
+    pub fn node_count(&self) -> usize {
+        self.capacitance.len()
+    }
+
+    /// Index of the lumped heat-sink node.
+    pub fn sink_node(&self) -> usize {
+        self.node_count() - 1
+    }
+
+    /// Node index for `(layer, cell)`.
+    pub fn node(&self, layer: usize, cell: usize) -> usize {
+        debug_assert!(layer < self.stack.layers.len());
+        debug_assert!(cell < self.floorplan.cells());
+        layer * self.floorplan.cells() + cell
+    }
+
+    /// Layer indices whose kind satisfies `pred`.
+    pub fn layers_where(&self, pred: impl Fn(LayerKind) -> bool) -> Vec<usize> {
+        self.stack
+            .layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| pred(l.kind).then_some(i))
+            .collect()
+    }
+
+    /// Per-node capacitance (J/K), before any transient time scaling.
+    pub fn capacitance(&self) -> &[f64] {
+        &self.capacitance
+    }
+
+    /// Per-node conductance to ambient (W/K).
+    pub fn g_ambient(&self) -> &[f64] {
+        &self.g_ambient
+    }
+
+    /// Per-node total conductance (W/K).
+    pub fn g_total(&self) -> &[f64] {
+        &self.g_total
+    }
+
+    /// Iterates `(neighbour, conductance)` pairs of `node`.
+    pub fn neighbours(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let s = self.edge_offsets[node] as usize..self.edge_offsets[node + 1] as usize;
+        self.edges[s].iter().map(|e| (e.other as usize, e.g))
+    }
+
+    /// Σ capacitance of all stack nodes (J/K) — used to pick the transient
+    /// time-scaling factor.
+    pub fn total_stack_capacitance(&self) -> f64 {
+        self.capacitance[..self.node_count() - 1].iter().sum()
+    }
+
+    /// Effective steady-state resistance (°C/W) from a uniform logic-layer
+    /// power injection to ambient. Diagnostic used by calibration tests.
+    pub fn logic_to_ambient_resistance(&self) -> f64 {
+        let logic = self.layers_where(|k| k == LayerKind::Logic)[0];
+        let cells = self.floorplan.cells();
+        let mut p = vec![0.0; self.node_count()];
+        let watts = 1.0;
+        for c in 0..cells {
+            p[self.node(logic, c)] = watts / cells as f64;
+        }
+        let t = crate::solver::steady_state(self, &p, 0.0);
+        let avg: f64 =
+            (0..cells).map(|c| t[self.node(logic, c)]).sum::<f64>() / cells as f64;
+        avg / watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::layers::StackConfig;
+
+    fn grid() -> ThermalGrid {
+        ThermalGrid::build(StackConfig::hmc20(), Floorplan::hmc20(), Cooling::CommodityServer)
+    }
+
+    #[test]
+    fn node_count_is_layers_times_cells_plus_sink() {
+        let g = grid();
+        assert_eq!(g.node_count(), g.stack.layers.len() * g.floorplan.cells() + 1);
+    }
+
+    #[test]
+    fn conductances_are_symmetric_and_positive() {
+        let g = grid();
+        for node in 0..g.node_count() {
+            for (nb, cond) in g.neighbours(node) {
+                assert!(cond > 0.0);
+                let back: Vec<_> =
+                    g.neighbours(nb).filter(|&(o, _)| o == node).collect();
+                assert_eq!(back.len(), 1, "edge {node}->{nb} not symmetric");
+                assert!((back[0].1 - cond).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn sink_couples_to_ambient_with_cooling_resistance() {
+        let g = grid();
+        let sink = g.sink_node();
+        assert!((g.g_ambient()[sink] - 1.0 / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_stack_node_reaches_the_sink() {
+        // Connectivity check: BFS from the sink reaches all nodes.
+        let g = grid();
+        let mut seen = vec![false; g.node_count()];
+        let mut queue = vec![g.sink_node()];
+        seen[g.sink_node()] = true;
+        while let Some(n) = queue.pop() {
+            for (nb, _) in g.neighbours(n) {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    queue.push(nb);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn logic_to_ambient_resistance_is_near_calibration_target() {
+        // DESIGN.md §6: sink 0.5 °C/W + internal ≈ 1.3 °C/W.
+        let r = grid().logic_to_ambient_resistance();
+        assert!((1.1..2.0).contains(&r), "R_logic→amb = {r} °C/W");
+    }
+}

@@ -1,0 +1,182 @@
+//! Die-stack geometry: layer specifications and HMC stack presets.
+
+use crate::materials::{self, Material};
+
+/// What a layer physically is; used to classify readouts (peak DRAM
+/// temperature vs logic temperature) and to route power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Organic package substrate (bottom of the stack).
+    Substrate,
+    /// The logic die carrying vault controllers, crossbar, SerDes, PIM FUs.
+    Logic,
+    /// A DRAM die. The payload is the die index from the bottom (0-based).
+    Dram(u8),
+    /// Thermal interface material between top die and heat-sink base.
+    Tim,
+}
+
+impl LayerKind {
+    /// True for DRAM dies.
+    pub fn is_dram(self) -> bool {
+        matches!(self, LayerKind::Dram(_))
+    }
+}
+
+/// One layer of the stack.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerSpec {
+    /// Classification of the layer.
+    pub kind: LayerKind,
+    /// Layer thickness in metres.
+    pub thickness: f64,
+    /// Bulk material of the layer.
+    pub material: Material,
+    /// Bonding interface *below* this layer (None for the bottom layer):
+    /// thickness in metres and material.
+    pub interface_below: Option<(f64, Material)>,
+}
+
+/// Full description of a cube stack (geometry only; cooling and floorplan
+/// are supplied separately).
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Die width in metres (x extent).
+    pub die_w: f64,
+    /// Die height in metres (y extent).
+    pub die_h: f64,
+    /// Layers bottom-to-top (substrate first, TIM last).
+    pub layers: Vec<LayerSpec>,
+    /// Heat spread resistance from substrate to board/ambient (°C/W);
+    /// the secondary heat path. Large: most heat exits through the sink.
+    pub board_resistance: f64,
+    /// Heat-sink base (spreader) capacitance in J/K before time scaling.
+    pub sink_capacitance: f64,
+}
+
+/// Standard thinned-die thickness (m).
+pub const DIE_THICKNESS: f64 = 50e-6;
+/// Inter-die bond layer thickness (m).
+pub const BOND_THICKNESS: f64 = 20e-6;
+/// TIM thickness (m).
+pub const TIM_THICKNESS: f64 = 50e-6;
+/// Substrate thickness (m).
+pub const SUBSTRATE_THICKNESS: f64 = 300e-6;
+
+impl StackConfig {
+    /// HMC 2.0: 8 GB cube, one logic die with **eight** DRAM dies on top
+    /// (paper §V-A), 136 mm² (32 vaults × 4.25 mm²/vault as in §V-A's area
+    /// estimate), arranged 16 mm × 8.5 mm.
+    pub fn hmc20() -> Self {
+        Self::stacked(8, 16.0e-3, 8.5e-3)
+    }
+
+    /// HMC 1.1: 4 GB cube, one logic die with **four** DRAM dies,
+    /// 68 mm² (16 vaults × 4.25 mm²), arranged 9.25 mm × 7.35 mm.
+    ///
+    /// The first-generation stack uses the more conductive
+    /// [`materials::BOND_LAYER_HMC11`] bonding, which reproduces the
+    /// prototype's small die-to-surface gradient (paper Fig. 2).
+    pub fn hmc11() -> Self {
+        let mut s = Self::stacked(4, 9.25e-3, 7.35e-3);
+        for layer in &mut s.layers {
+            if let Some((t, _)) = layer.interface_below {
+                layer.interface_below = Some((t, materials::BOND_LAYER_HMC11));
+            }
+        }
+        s
+    }
+
+    /// Generic HMC-style stack with `dram_dies` DRAM dies over one logic die.
+    pub fn stacked(dram_dies: u8, die_w: f64, die_h: f64) -> Self {
+        let bond = Some((BOND_THICKNESS, materials::BOND_LAYER));
+        let mut layers = Vec::with_capacity(usize::from(dram_dies) + 3);
+        layers.push(LayerSpec {
+            kind: LayerKind::Substrate,
+            thickness: SUBSTRATE_THICKNESS,
+            material: materials::SUBSTRATE,
+            interface_below: None,
+        });
+        layers.push(LayerSpec {
+            kind: LayerKind::Logic,
+            thickness: DIE_THICKNESS,
+            material: materials::SILICON,
+            interface_below: Some((BOND_THICKNESS, materials::BOND_LAYER)),
+        });
+        for die in 0..dram_dies {
+            layers.push(LayerSpec {
+                kind: LayerKind::Dram(die),
+                thickness: DIE_THICKNESS,
+                material: materials::SILICON,
+                interface_below: bond,
+            });
+        }
+        layers.push(LayerSpec {
+            kind: LayerKind::Tim,
+            thickness: TIM_THICKNESS,
+            material: materials::TIM,
+            interface_below: None,
+        });
+        Self {
+            die_w,
+            die_h,
+            layers,
+            board_resistance: 12.0,
+            sink_capacitance: 20.0,
+        }
+    }
+
+    /// Number of DRAM dies in the stack.
+    pub fn dram_die_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.kind.is_dram()).count()
+    }
+
+    /// Die area in m².
+    pub fn die_area(&self) -> f64 {
+        self.die_w * self.die_h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmc20_has_eight_dram_dies_over_logic() {
+        let s = StackConfig::hmc20();
+        assert_eq!(s.dram_die_count(), 8);
+        assert_eq!(s.layers.first().unwrap().kind, LayerKind::Substrate);
+        assert_eq!(s.layers[1].kind, LayerKind::Logic);
+        assert_eq!(s.layers.last().unwrap().kind, LayerKind::Tim);
+    }
+
+    #[test]
+    fn hmc11_has_four_dram_dies_and_68mm2() {
+        let s = StackConfig::hmc11();
+        assert_eq!(s.dram_die_count(), 4);
+        let area_mm2 = s.die_area() * 1e6;
+        assert!((area_mm2 - 68.0).abs() < 0.5, "area {area_mm2} mm²");
+    }
+
+    #[test]
+    fn hmc20_area_matches_per_vault_estimate() {
+        // 32 vaults × 4.25 mm²/vault = 136 mm².
+        let s = StackConfig::hmc20();
+        let area_mm2 = s.die_area() * 1e6;
+        assert!((area_mm2 - 136.0).abs() < 1.0, "area {area_mm2} mm²");
+    }
+
+    #[test]
+    fn dram_dies_are_ordered_bottom_up() {
+        let s = StackConfig::hmc20();
+        let dram: Vec<u8> = s
+            .layers
+            .iter()
+            .filter_map(|l| match l.kind {
+                LayerKind::Dram(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dram, (0..8).collect::<Vec<_>>());
+    }
+}

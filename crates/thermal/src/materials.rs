@@ -1,0 +1,66 @@
+//! Thermal material properties used when assembling the RC network.
+//!
+//! Conductivities and volumetric heat capacities are textbook values for
+//! the materials found in a 3D-stacked DRAM package. The inter-die bonding
+//! interfaces dominate the junction-to-sink resistance of the stack and are
+//! what the calibration in `DESIGN.md` §6 tunes.
+
+/// A homogeneous material participating in heat conduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Thermal conductivity in W/(m·K).
+    pub conductivity: f64,
+    /// Volumetric heat capacity in J/(m³·K).
+    pub volumetric_capacity: f64,
+}
+
+impl Material {
+    /// Creates a material from conductivity (W/(m·K)) and volumetric heat
+    /// capacity (J/(m³·K)).
+    pub const fn new(conductivity: f64, volumetric_capacity: f64) -> Self {
+        Self { conductivity, volumetric_capacity }
+    }
+}
+
+/// Bulk silicon (dies are thinned but still silicon-dominated).
+pub const SILICON: Material = Material::new(120.0, 1.63e6);
+
+/// Inter-die bond/underfill layer (micro-bumps in underfill).
+///
+/// This is the dominant vertical resistance of the stack; its conductivity
+/// is the main calibration knob for the effective junction-to-sink
+/// resistance (~1.3 °C/W for the HMC 2.0 stack, DESIGN.md §6).
+pub const BOND_LAYER: Material = Material::new(1.35, 2.0e6);
+
+/// Inter-die bond layer of the HMC 1.1 generation: fewer, thicker dies
+/// with dense copper-pillar bonding. Calibrated so the modelled die runs
+/// only ~5-10 °C above the package surface at ~20 W, matching the paper's
+/// junction-estimate rule for the prototype (Fig. 2).
+pub const BOND_LAYER_HMC11: Material = Material::new(5.5, 2.0e6);
+
+/// Thermal interface material between the top die and the heat-sink base.
+pub const TIM: Material = Material::new(4.0, 2.2e6);
+
+/// Organic package substrate under the logic die.
+pub const SUBSTRATE: Material = Material::new(0.8, 1.6e6);
+
+/// Copper, for the heat-sink base/spreader lumped node.
+pub const COPPER: Material = Material::new(400.0, 3.45e6);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silicon_is_far_more_conductive_than_bond_layers() {
+        assert!(SILICON.conductivity / BOND_LAYER.conductivity > 50.0);
+    }
+
+    #[test]
+    fn materials_have_positive_properties() {
+        for m in [SILICON, BOND_LAYER, TIM, SUBSTRATE, COPPER] {
+            assert!(m.conductivity > 0.0);
+            assert!(m.volumetric_capacity > 0.0);
+        }
+    }
+}

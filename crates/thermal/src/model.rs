@@ -1,0 +1,355 @@
+//! High-level KitFox-style façade: couple a power model to the RC grid and
+//! expose the readouts the rest of the system consumes.
+
+use crate::cooling::Cooling;
+use crate::floorplan::Floorplan;
+use crate::grid::ThermalGrid;
+use crate::layers::{LayerKind, StackConfig};
+use crate::power::{build_power_map, PowerParams, TrafficSample};
+use crate::solver::TransientState;
+use crate::AMBIENT_C;
+
+/// The cube-level thermal response time the transient plant is calibrated
+/// to (seconds). The paper's feedback-control analysis (Fig. 8) puts the
+/// thermal delay T_thermal at ~1 ms.
+pub const DEFAULT_THERMAL_TAU_S: f64 = 1.0e-3;
+
+/// Aggregate temperature readout of one thermal evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalReadout {
+    /// Hottest DRAM cell (°C) — the quantity the paper's figures plot and
+    /// the HMC thermal-warning logic watches.
+    pub peak_dram_c: f64,
+    /// Average DRAM temperature (°C).
+    pub avg_dram_c: f64,
+    /// Hottest logic-layer cell (°C).
+    pub peak_logic_c: f64,
+    /// Heat-sink base temperature (°C) — what a thermal camera pointed at
+    /// the package surface sees in the prototype experiments.
+    pub surface_c: f64,
+}
+
+/// A die stack + floorplan + cooling + power model + transient state.
+#[derive(Debug, Clone)]
+pub struct HmcThermalModel {
+    grid: ThermalGrid,
+    params: PowerParams,
+    state: TransientState,
+    dram_layers: Vec<usize>,
+    logic_layer: usize,
+    /// Scratch power map reused across steps.
+    power_scratch: Vec<f64>,
+}
+
+impl HmcThermalModel {
+    /// HMC 2.0 cube (8 DRAM dies, 32 vaults) under `cooling`.
+    pub fn hmc20(cooling: Cooling) -> Self {
+        Self::new(StackConfig::hmc20(), Floorplan::hmc20(), cooling, PowerParams::hmc20(), DEFAULT_THERMAL_TAU_S)
+    }
+
+    /// HMC 1.1 prototype cube (4 DRAM dies, 16 vaults) under `cooling`.
+    pub fn hmc11(cooling: Cooling) -> Self {
+        Self::new(StackConfig::hmc11(), Floorplan::hmc11(), cooling, PowerParams::hmc11(), DEFAULT_THERMAL_TAU_S)
+    }
+
+    /// Fully custom model. `tau_target_s` calibrates the transient plant's
+    /// dominant time constant (see [`DEFAULT_THERMAL_TAU_S`]); pass the
+    /// physical value by computing it from the grid if fidelity to real
+    /// transients is wanted instead.
+    pub fn new(
+        stack: StackConfig,
+        floorplan: Floorplan,
+        cooling: Cooling,
+        params: PowerParams,
+        tau_target_s: f64,
+    ) -> Self {
+        let grid = ThermalGrid::build(stack, floorplan, cooling);
+        // Raw dominant time constant: the sink RC plus the stack RC through
+        // its internal resistance.
+        let sink = grid.sink_node();
+        let r_sink = 1.0 / grid.g_ambient()[sink];
+        let r_total = grid.logic_to_ambient_resistance();
+        let r_internal = (r_total - r_sink).max(0.05);
+        let tau_raw = grid.capacitance()[sink] * r_sink
+            + grid.total_stack_capacitance() * r_internal;
+        let c_scale = (tau_target_s / tau_raw).min(1.0);
+        let state = TransientState::new(&grid, AMBIENT_C, c_scale);
+        let dram_layers = grid.layers_where(LayerKind::is_dram);
+        let logic_layer = grid.layers_where(|k| k == LayerKind::Logic)[0];
+        let n = grid.node_count();
+        Self { grid, params, state, dram_layers, logic_layer, power_scratch: vec![0.0; n] }
+    }
+
+    /// The underlying RC grid (for heat-map style inspection).
+    pub fn grid(&self) -> &ThermalGrid {
+        &self.grid
+    }
+
+    /// The power parameters in use.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Mutable access to the power parameters (for what-if studies).
+    pub fn params_mut(&mut self) -> &mut PowerParams {
+        &mut self.params
+    }
+
+    /// Total cube power (W) implied by a traffic sample.
+    pub fn total_power_w(&self, sample: &TrafficSample) -> f64 {
+        self.params.total_power_w(sample)
+    }
+
+    /// Advances the transient state by `sample.window_s` under the power
+    /// implied by `sample`, returning the end-of-window readout.
+    pub fn step(&mut self, sample: &TrafficSample) -> ThermalReadout {
+        self.power_scratch = build_power_map(&self.grid, &self.params, sample);
+        let p = std::mem::take(&mut self.power_scratch);
+        self.state.step(&self.grid, &p, sample.window_s);
+        self.power_scratch = p;
+        self.readout()
+    }
+
+    /// Jumps directly to the steady state for `sample` (open-loop sweeps,
+    /// warm starts) and returns the readout.
+    pub fn steady_state(&mut self, sample: &TrafficSample) -> ThermalReadout {
+        self.power_scratch = build_power_map(&self.grid, &self.params, sample);
+        let p = std::mem::take(&mut self.power_scratch);
+        self.state.jump_to_steady_state(&self.grid, &p);
+        self.power_scratch = p;
+        self.readout()
+    }
+
+    /// Resets all temperatures to ambient.
+    pub fn reset(&mut self) {
+        self.state = TransientState::new(&self.grid, AMBIENT_C, self.state.c_scale());
+    }
+
+    /// The current readout without advancing time.
+    pub fn readout(&self) -> ThermalReadout {
+        let t = self.state.temps();
+        let cells = self.grid.floorplan.cells();
+        let mut peak_dram = f64::NEG_INFINITY;
+        let mut sum_dram = 0.0;
+        let mut n_dram = 0usize;
+        for &layer in &self.dram_layers {
+            for c in 0..cells {
+                let v = t[self.grid.node(layer, c)];
+                peak_dram = peak_dram.max(v);
+                sum_dram += v;
+                n_dram += 1;
+            }
+        }
+        let mut peak_logic = f64::NEG_INFINITY;
+        for c in 0..cells {
+            peak_logic = peak_logic.max(t[self.grid.node(self.logic_layer, c)]);
+        }
+        ThermalReadout {
+            peak_dram_c: peak_dram,
+            avg_dram_c: sum_dram / n_dram.max(1) as f64,
+            peak_logic_c: peak_logic,
+            surface_c: t[self.grid.sink_node()],
+        }
+    }
+
+    /// Temperature field of one layer (row-major `nx × ny`), for heat maps.
+    pub fn layer_temps(&self, layer: usize) -> Vec<f64> {
+        let cells = self.grid.floorplan.cells();
+        (0..cells).map(|c| self.state.temps()[self.grid.node(layer, c)]).collect()
+    }
+
+    /// Index of the logic layer in the stack.
+    pub fn logic_layer(&self) -> usize {
+        self.logic_layer
+    }
+
+    /// Indices of the DRAM layers in the stack (bottom-up).
+    pub fn dram_layers(&self) -> &[usize] {
+        &self.dram_layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commodity_full_bandwidth_lands_near_81c() {
+        // Paper §III-B: 81 °C peak DRAM at 320 GB/s under commodity cooling.
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let r = m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
+        assert!(
+            (77.0..86.0).contains(&r.peak_dram_c),
+            "peak DRAM {} °C, expected ≈81 °C",
+            r.peak_dram_c
+        );
+    }
+
+    #[test]
+    fn commodity_idle_lands_near_33c() {
+        // Paper §III-B: 33 °C at idle under commodity cooling.
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let r = m.steady_state(&TrafficSample::idle(1e-3));
+        assert!(
+            (29.0..38.0).contains(&r.peak_dram_c),
+            "idle peak DRAM {} °C, expected ≈33 °C",
+            r.peak_dram_c
+        );
+    }
+
+    #[test]
+    fn pim_threshold_rates_match_fig5_shape() {
+        // Fig. 5's shape under full external bandwidth: temperature rises
+        // roughly linearly with the PIM rate; holding ≤85 °C bounds the
+        // rate to a low value, and the 105 °C operating limit caps it a
+        // few op/ns higher. The paper reads those crossings at 1.3 and
+        // 6.5 op/ns; our Fig-13-calibrated energy puts them lower (see
+        // the calibration note in `power.rs`) — the shape test asserts
+        // the crossings exist in a band covering both calibrations.
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let mut at = |rate: f64| {
+            m.steady_state(&TrafficSample::with_pim(320.0e9, rate, 1e-3)).peak_dram_c
+        };
+        let crossing = |m: &mut dyn FnMut(f64) -> f64, limit: f64| {
+            let mut r = 0.0;
+            while m(r) < limit && r < 8.0 {
+                r += 0.05;
+            }
+            r
+        };
+        let r85 = crossing(&mut at, 85.0);
+        let r105 = crossing(&mut at, 105.0);
+        assert!((0.2..1.5).contains(&r85), "85 °C crossing at {r85} op/ns");
+        assert!((2.0..7.0).contains(&r105), "105 °C crossing at {r105} op/ns");
+        assert!(r105 > 2.0 * r85, "curve must stay roughly linear");
+        // Monotone increase.
+        let (a, b, c) = (at(1.0), at(2.0), at(3.0));
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn hotter_with_more_bandwidth_and_worse_cooling() {
+        let mut commodity = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let mut passive = HmcThermalModel::hmc20(Cooling::Passive);
+        let low = commodity.steady_state(&TrafficSample::external_stream(80.0e9, 1e-3));
+        let high = commodity.steady_state(&TrafficSample::external_stream(240.0e9, 1e-3));
+        assert!(high.peak_dram_c > low.peak_dram_c);
+        let p = passive.steady_state(&TrafficSample::external_stream(240.0e9, 1e-3));
+        assert!(p.peak_dram_c > high.peak_dram_c);
+    }
+
+    #[test]
+    fn lowest_dram_die_is_the_hottest() {
+        // The paper observes the lowest DRAM die and logic layer reach the
+        // highest temperatures (§III-B, Fig. 3).
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
+        let layers = m.dram_layers().to_vec();
+        let peak_of = |m: &HmcThermalModel, l: usize| {
+            m.layer_temps(l).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        };
+        let bottom = peak_of(&m, layers[0]);
+        let top = peak_of(&m, *layers.last().unwrap());
+        assert!(bottom > top, "bottom die {bottom} °C not hotter than top {top} °C");
+    }
+
+    #[test]
+    fn transient_approaches_steady_state_within_a_few_tau() {
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let sample = TrafficSample::external_stream(320.0e9, 1e-4);
+        let ss = {
+            let mut m2 = HmcThermalModel::hmc20(Cooling::CommodityServer);
+            m2.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3)).peak_dram_c
+        };
+        // 8 ms = 8 nominal time constants.
+        let mut last = ThermalReadout {
+            peak_dram_c: 0.0,
+            avg_dram_c: 0.0,
+            peak_logic_c: 0.0,
+            surface_c: 0.0,
+        };
+        for _ in 0..80 {
+            last = m.step(&sample);
+        }
+        assert!(
+            (last.peak_dram_c - ss).abs() < 2.0,
+            "after 8 τ: {} vs steady {}",
+            last.peak_dram_c,
+            ss
+        );
+    }
+
+    #[test]
+    fn vault_hotspot_appears_at_vault_center() {
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
+        let logic = m.logic_layer();
+        let field = m.layer_temps(logic);
+        let fp = &m.grid().floorplan;
+        // An interior vault (away from the PHY edge bands): its centre
+        // should be hotter than its corner.
+        let v = 2 * fp.vaults_x + fp.vaults_x / 2;
+        let center = fp.vault_center_cell(v);
+        let corner = fp.vault_cells(v)[0];
+        assert!(field[center] > field[corner]);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
+        assert!(m.readout().peak_dram_c > 60.0);
+        m.reset();
+        assert!((m.readout().peak_dram_c - crate::AMBIENT_C).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_power_passthrough_matches_params() {
+        let m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let s = TrafficSample::with_pim(100.0e9, 1.0, 1e-3);
+        assert!((m.total_power_w(&s) - m.params().total_power_w(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vault_skew_raises_peak_for_equal_power() {
+        let mut uniform = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let mut skewed = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let base = TrafficSample::with_pim(200.0e9, 2.0, 1e-3);
+        let r_uniform = uniform.steady_state(&base);
+        let mut weights = vec![1.0; 32];
+        // Concentrate a third of the activity on four vaults.
+        for w in weights.iter_mut().take(4) {
+            *w = 5.0;
+        }
+        let skew = TrafficSample { vault_weights: Some(weights), ..base.clone() };
+        let r_skew = skewed.steady_state(&skew);
+        assert!(
+            r_skew.peak_dram_c > r_uniform.peak_dram_c,
+            "skewed {} !> uniform {}",
+            r_skew.peak_dram_c,
+            r_uniform.peak_dram_c
+        );
+    }
+
+    #[test]
+    fn surface_is_cooler_than_die_under_load() {
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let r = m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
+        assert!(r.surface_c < r.avg_dram_c);
+        assert!(r.avg_dram_c < r.peak_dram_c);
+    }
+
+    #[test]
+    fn step_duration_zero_is_a_noop() {
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let before = m.readout();
+        m.step(&TrafficSample::idle(0.0));
+        let after = m.readout();
+        assert!((before.peak_dram_c - after.peak_dram_c).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,332 @@
+//! Traffic-to-power model with the CoolPIM paper's published energy
+//! constants (§V-A) and the calibration from DESIGN.md §6.
+//!
+//! Average energies per transferred bit are 3.7 pJ/bit for the DRAM layers
+//! and 6.78 pJ/bit for the logic layer (Micron figures quoted by the
+//! paper). Each PIM operation additionally performs an internal
+//! read-modify-write — an activate/read/FU/write/precharge round trip —
+//! whose energy is the `pim_op_*` constants below.
+//!
+//! Calibration note: the paper's Fig. 5 (≈3.7 °C per op/ns) and its
+//! Fig. 13 workload temperatures (naïve offloading at 3–4 op/ns reaching
+//! 90–95 °C at sub-saturated bandwidth, implying ≈5 °C per op/ns) are not
+//! satisfiable by one linear model. We calibrate to the evaluation
+//! figures (10–14) — 7 nJ per PIM op, defensible as two random row
+//! activations plus the RD/WR column ops and the FU — which shifts
+//! Fig. 5's absolute crossings left (85 °C at ≈0.5 op/ns, 105 °C at
+//! ≈2.75) while preserving its shape. EXPERIMENTS.md records the
+//! discrepancy.
+
+use crate::floorplan::Floorplan;
+use crate::grid::ThermalGrid;
+use crate::layers::LayerKind;
+
+/// Energy per bit moved through the DRAM layers (J/bit): 3.7 pJ/bit.
+pub const DRAM_PJ_PER_BIT: f64 = 3.7e-12;
+/// Energy per bit handled by the logic layer (J/bit): 6.78 pJ/bit.
+pub const LOGIC_PJ_PER_BIT: f64 = 6.78e-12;
+
+/// Parameters of the cube power model.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerParams {
+    /// Static (traffic-independent) power: SerDes PHY bias, PLLs, refresh
+    /// baseline (W).
+    pub static_w: f64,
+    /// DRAM-layer energy per externally transferred bit (J/bit).
+    pub dram_j_per_bit: f64,
+    /// Logic-layer energy per externally transferred bit (J/bit).
+    pub logic_j_per_bit: f64,
+    /// DRAM-side energy per PIM operation (internal ACT/RD/WR/PRE), J/op.
+    pub pim_op_dram_j: f64,
+    /// Logic-side energy per PIM operation (vault controller + 128-bit
+    /// functional unit), J/op.
+    pub pim_op_logic_j: f64,
+    /// Fraction of static power dissipated in the link-PHY edge bands.
+    pub static_phy_fraction: f64,
+    /// Fraction of dynamic logic power dissipated in the link-PHY bands
+    /// (the rest goes to the vaults).
+    pub logic_phy_fraction: f64,
+    /// Of a vault's logic power, the fraction concentrated on the centre
+    /// cell (controller + FU); the remainder spreads over the vault
+    /// footprint (switch wiring, TSV drivers).
+    pub vault_center_fraction: f64,
+}
+
+impl PowerParams {
+    /// HMC 2.0 parameters (DESIGN.md §6 calibration).
+    pub fn hmc20() -> Self {
+        Self {
+            static_w: 4.5,
+            dram_j_per_bit: DRAM_PJ_PER_BIT,
+            logic_j_per_bit: LOGIC_PJ_PER_BIT,
+            pim_op_dram_j: 5.4e-9,
+            pim_op_logic_j: 1.6e-9,
+            static_phy_fraction: 0.6,
+            logic_phy_fraction: 0.5,
+            vault_center_fraction: 0.5,
+        }
+    }
+
+    /// HMC 1.1 prototype parameters: higher static power (11.5 W — the
+    /// prototype idles hot, Fig. 1) and an older process with higher
+    /// per-bit energy (14.4 pJ/bit split across layers), giving ≈+6.9 W at
+    /// the 60 GB/s peak.
+    pub fn hmc11() -> Self {
+        Self {
+            static_w: 11.5,
+            dram_j_per_bit: 5.2e-12,
+            logic_j_per_bit: 9.2e-12,
+            pim_op_dram_j: 0.0, // HMC 1.1 has no PIM capability
+            pim_op_logic_j: 0.0,
+            static_phy_fraction: 0.6,
+            logic_phy_fraction: 0.5,
+            vault_center_fraction: 0.5,
+        }
+    }
+
+    /// Total cube power (W) for a traffic sample — the lumped figure used
+    /// by quick estimates and reports.
+    pub fn total_power_w(&self, s: &TrafficSample) -> f64 {
+        let bits_per_s = s.ext_bytes_per_s() * 8.0;
+        self.static_w
+            + bits_per_s * (self.dram_j_per_bit + self.logic_j_per_bit)
+            + s.pim_ops_per_s() * (self.pim_op_dram_j + self.pim_op_logic_j)
+    }
+}
+
+/// A window of observed cube activity, produced by the memory-system model
+/// (or synthesised for open-loop sweeps).
+#[derive(Debug, Clone)]
+pub struct TrafficSample {
+    /// Window length in seconds.
+    pub window_s: f64,
+    /// External data bytes moved over the links during the window
+    /// (read + write payload).
+    pub ext_bytes: f64,
+    /// PIM operations executed during the window.
+    pub pim_ops: f64,
+    /// Optional per-vault activity weights (any non-negative vector; it is
+    /// normalised). `None` means uniform across vaults.
+    pub vault_weights: Option<Vec<f64>>,
+}
+
+impl TrafficSample {
+    /// An idle window of `window_s` seconds.
+    pub fn idle(window_s: f64) -> Self {
+        Self { window_s, ext_bytes: 0.0, pim_ops: 0.0, vault_weights: None }
+    }
+
+    /// A pure external-bandwidth stream: `bytes_per_s` for `window_s`.
+    pub fn external_stream(bytes_per_s: f64, window_s: f64) -> Self {
+        Self { window_s, ext_bytes: bytes_per_s * window_s, pim_ops: 0.0, vault_weights: None }
+    }
+
+    /// A mixed stream: external bandwidth plus a PIM offloading rate in
+    /// operations per nanosecond (the paper's unit).
+    pub fn with_pim(bytes_per_s: f64, pim_ops_per_ns: f64, window_s: f64) -> Self {
+        Self {
+            window_s,
+            ext_bytes: bytes_per_s * window_s,
+            pim_ops: pim_ops_per_ns * 1e9 * window_s,
+            vault_weights: None,
+        }
+    }
+
+    /// Average external data bandwidth over the window (bytes/s).
+    pub fn ext_bytes_per_s(&self) -> f64 {
+        if self.window_s == 0.0 {
+            0.0
+        } else {
+            self.ext_bytes / self.window_s
+        }
+    }
+
+    /// Average PIM rate over the window (op/s).
+    pub fn pim_ops_per_s(&self) -> f64 {
+        if self.window_s == 0.0 {
+            0.0
+        } else {
+            self.pim_ops / self.window_s
+        }
+    }
+
+    /// Average PIM rate in the paper's op/ns unit.
+    pub fn pim_ops_per_ns(&self) -> f64 {
+        self.pim_ops_per_s() / 1e9
+    }
+}
+
+/// Builds the per-node power vector for a traffic sample.
+///
+/// Power routing:
+/// * static: `static_phy_fraction` into the logic-layer PHY bands, the rest
+///   uniform over the logic layer;
+/// * dynamic logic (per-bit + PIM logic energy): `logic_phy_fraction` into
+///   the PHY bands, the rest onto vault-centre cells weighted by vault
+///   activity;
+/// * dynamic DRAM (per-bit + PIM DRAM energy): spread evenly over the DRAM
+///   dies, within each die over vault footprints weighted by activity.
+#[allow(clippy::needless_range_loop)] // vault loops index two parallel maps
+pub fn build_power_map(grid: &ThermalGrid, params: &PowerParams, sample: &TrafficSample) -> Vec<f64> {
+    let fp = &grid.floorplan;
+    let mut power = vec![0.0; grid.node_count()];
+
+    let bits_per_s = sample.ext_bytes_per_s() * 8.0;
+    let ops_per_s = sample.pim_ops_per_s();
+
+    let p_logic_dyn = bits_per_s * params.logic_j_per_bit + ops_per_s * params.pim_op_logic_j;
+    let p_dram_dyn = bits_per_s * params.dram_j_per_bit + ops_per_s * params.pim_op_dram_j;
+
+    let weights = normalised_vault_weights(fp, sample.vault_weights.as_deref());
+
+    let logic_layers = grid.layers_where(|k| k == LayerKind::Logic);
+    let dram_layers = grid.layers_where(LayerKind::is_dram);
+    assert_eq!(logic_layers.len(), 1, "expected exactly one logic layer");
+    let logic = logic_layers[0];
+
+    // Static power on the logic layer.
+    let phy = fp.phy_cells();
+    let p_static_phy = params.static_w * params.static_phy_fraction / phy.len() as f64;
+    for &c in &phy {
+        power[grid.node(logic, c)] += p_static_phy;
+    }
+    let p_static_uniform = params.static_w * (1.0 - params.static_phy_fraction) / fp.cells() as f64;
+    for c in 0..fp.cells() {
+        power[grid.node(logic, c)] += p_static_uniform;
+    }
+
+    // Dynamic logic power: PHY share + vault-centre share.
+    let p_logic_phy = p_logic_dyn * params.logic_phy_fraction / phy.len() as f64;
+    for &c in &phy {
+        power[grid.node(logic, c)] += p_logic_phy;
+    }
+    let p_logic_vault = p_logic_dyn * (1.0 - params.logic_phy_fraction);
+    for v in 0..fp.vaults() {
+        let vault_power = p_logic_vault * weights[v];
+        let center = fp.vault_center_cell(v);
+        power[grid.node(logic, center)] += vault_power * params.vault_center_fraction;
+        let cells = fp.vault_cells(v);
+        let spread = vault_power * (1.0 - params.vault_center_fraction) / cells.len() as f64;
+        for c in cells {
+            power[grid.node(logic, c)] += spread;
+        }
+    }
+
+    // Dynamic DRAM power: even across dies, vault-weighted within a die.
+    if !dram_layers.is_empty() {
+        let per_die = p_dram_dyn / dram_layers.len() as f64;
+        for &layer in &dram_layers {
+            for v in 0..fp.vaults() {
+                let cells = fp.vault_cells(v);
+                let per_cell = per_die * weights[v] / cells.len() as f64;
+                for c in cells {
+                    power[grid.node(layer, c)] += per_cell;
+                }
+            }
+        }
+    }
+
+    power
+}
+
+fn normalised_vault_weights(fp: &Floorplan, raw: Option<&[f64]>) -> Vec<f64> {
+    let vaults = fp.vaults();
+    match raw {
+        None => vec![1.0 / vaults as f64; vaults],
+        Some(w) => {
+            assert_eq!(w.len(), vaults, "vault weight vector length mismatch");
+            let sum: f64 = w.iter().copied().sum();
+            assert!(w.iter().all(|&x| x >= 0.0), "vault weights must be non-negative");
+            if sum <= 0.0 {
+                vec![1.0 / vaults as f64; vaults]
+            } else {
+                w.iter().map(|&x| x / sum).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cooling::Cooling;
+    use crate::layers::StackConfig;
+
+    fn grid() -> ThermalGrid {
+        ThermalGrid::build(StackConfig::hmc20(), Floorplan::hmc20(), Cooling::CommodityServer)
+    }
+
+    #[test]
+    fn full_bandwidth_dynamic_power_matches_paper_arithmetic() {
+        // 320 GB/s × 8 × (3.7 + 6.78) pJ/bit ≈ 26.8 W dynamic.
+        let p = PowerParams::hmc20();
+        let s = TrafficSample::external_stream(320.0e9, 1e-3);
+        let total = p.total_power_w(&s);
+        let dynamic = total - p.static_w;
+        assert!((dynamic - 26.8).abs() < 0.3, "dynamic {dynamic} W");
+    }
+
+    #[test]
+    fn power_map_sums_to_total_power() {
+        let g = grid();
+        let params = PowerParams::hmc20();
+        let s = TrafficSample::with_pim(200.0e9, 2.0, 1e-3);
+        let map = build_power_map(&g, &params, &s);
+        let sum: f64 = map.iter().sum();
+        assert!((sum - params.total_power_w(&s)).abs() < 1e-9 * sum.max(1.0));
+    }
+
+    #[test]
+    fn idle_map_is_static_only_on_logic() {
+        let g = grid();
+        let params = PowerParams::hmc20();
+        let map = build_power_map(&g, &params, &TrafficSample::idle(1e-3));
+        let sum: f64 = map.iter().sum();
+        assert!((sum - params.static_w).abs() < 1e-12);
+        // No power on DRAM layers when idle.
+        for layer in g.layers_where(LayerKind::is_dram) {
+            for c in 0..g.floorplan.cells() {
+                assert_eq!(map[g.node(layer, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_vault_weights_skew_the_map() {
+        let g = grid();
+        let params = PowerParams::hmc20();
+        let mut weights = vec![0.0; g.floorplan.vaults()];
+        weights[0] = 1.0;
+        let s = TrafficSample {
+            window_s: 1e-3,
+            ext_bytes: 320.0e9 * 1e-3,
+            pim_ops: 0.0,
+            vault_weights: Some(weights),
+        };
+        let map = build_power_map(&g, &params, &s);
+        let logic = g.layers_where(|k| k == LayerKind::Logic)[0];
+        let v0_center = g.floorplan.vault_center_cell(0);
+        let v5_center = g.floorplan.vault_center_cell(5);
+        assert!(map[g.node(logic, v0_center)] > map[g.node(logic, v5_center)]);
+    }
+
+    #[test]
+    fn pim_rate_units_round_trip() {
+        let s = TrafficSample::with_pim(0.0, 1.3, 2e-3);
+        assert!((s.pim_ops_per_ns() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_weight_length_panics() {
+        let g = grid();
+        let params = PowerParams::hmc20();
+        let s = TrafficSample {
+            window_s: 1e-3,
+            ext_bytes: 0.0,
+            pim_ops: 0.0,
+            vault_weights: Some(vec![1.0; 3]),
+        };
+        let _ = build_power_map(&g, &params, &s);
+    }
+}

@@ -1,0 +1,286 @@
+//! Steady-state and transient solvers for the RC thermal network.
+//!
+//! * [`steady_state`] solves `G·T = P` with successive over-relaxation
+//!   (the network's conductance matrix is symmetric diagonally dominant,
+//!   so SOR converges for 0 < ω < 2).
+//! * [`TransientState`] advances `C·dT/dt = P − G·T` with **backward
+//!   Euler**: each sub-step solves the implicit system with Gauss–Seidel
+//!   warm-started from the previous field. Backward Euler is
+//!   unconditionally stable, so sub-step length is chosen for accuracy of
+//!   the millisecond-scale modes rather than for stability of the
+//!   microsecond cell modes — this is what makes multi-millisecond
+//!   co-simulation windows cheap.
+//!
+//! Temperatures returned are absolute °C.
+
+use crate::grid::ThermalGrid;
+
+/// SOR relaxation factor for the steady-state solve.
+const SOR_OMEGA: f64 = 1.92;
+/// Steady-state convergence threshold (max |ΔT| per sweep, °C).
+const SS_TOLERANCE: f64 = 1e-7;
+/// Steady-state iteration cap.
+const SS_MAX_SWEEPS: usize = 60_000;
+/// Transient inner-solve convergence threshold (°C).
+const TR_TOLERANCE: f64 = 1e-6;
+/// Transient inner-solve sweep cap per sub-step.
+const TR_MAX_SWEEPS: usize = 2_000;
+
+/// Solves the steady-state temperature field for `power` (W per node) at
+/// the given ambient temperature (°C). Returns one temperature per node.
+///
+/// # Panics
+/// Panics if `power.len()` does not match the grid's node count, or if the
+/// solve fails to converge (which would indicate a malformed network).
+pub fn steady_state(grid: &ThermalGrid, power: &[f64], ambient_c: f64) -> Vec<f64> {
+    assert_eq!(power.len(), grid.node_count(), "power vector length mismatch");
+    let n = grid.node_count();
+    let g_total = grid.g_total();
+    // Solve for temperature *rise* over ambient; the ambient boundary term
+    // vanishes in rise coordinates.
+    let mut t = vec![0.0; n];
+    let mut converged = false;
+    for _ in 0..SS_MAX_SWEEPS {
+        let mut max_delta: f64 = 0.0;
+        for i in 0..n {
+            let mut acc = power[i];
+            for (nb, g) in grid.neighbours(i) {
+                acc += g * t[nb];
+            }
+            debug_assert!(g_total[i] > 0.0);
+            let fresh = acc / g_total[i];
+            let updated = t[i] + SOR_OMEGA * (fresh - t[i]);
+            max_delta = max_delta.max((updated - t[i]).abs());
+            t[i] = updated;
+        }
+        if max_delta < SS_TOLERANCE {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "steady-state solve did not converge");
+    for v in &mut t {
+        *v += ambient_c;
+    }
+    t
+}
+
+/// Transient temperature state advanced with backward Euler.
+#[derive(Debug, Clone)]
+pub struct TransientState {
+    /// Absolute node temperatures (°C).
+    temps: Vec<f64>,
+    /// Ambient temperature (°C).
+    ambient_c: f64,
+    /// Capacitance scale: <1 accelerates the plant uniformly. The CoolPIM
+    /// reproduction calibrates this so the cube-level time constant
+    /// matches the paper's ~1 ms thermal response (Fig. 8); `1.0` keeps
+    /// physical capacitances.
+    c_scale: f64,
+    /// Longest sub-step taken by [`TransientState::step`] (s).
+    max_substep_s: f64,
+    /// Scratch buffer for the previous field within a sub-step.
+    prev: Vec<f64>,
+}
+
+impl TransientState {
+    /// Creates a transient state with every node at ambient.
+    ///
+    /// The sub-step bound is set to 1/20 of the scaled sink time constant,
+    /// which resolves the dynamics the CoolPIM control loop reacts to.
+    pub fn new(grid: &ThermalGrid, ambient_c: f64, c_scale: f64) -> Self {
+        assert!(c_scale > 0.0);
+        let sink = grid.sink_node();
+        let sink_tau = c_scale * grid.capacitance()[sink] / grid.g_ambient()[sink];
+        let n = grid.node_count();
+        Self {
+            temps: vec![ambient_c; n],
+            ambient_c,
+            c_scale,
+            max_substep_s: (sink_tau / 20.0).max(1e-9),
+            prev: vec![ambient_c; n],
+        }
+    }
+
+    /// Ambient temperature (°C).
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Current node temperatures (absolute °C).
+    pub fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// The capacitance scale this state was created with.
+    pub fn c_scale(&self) -> f64 {
+        self.c_scale
+    }
+
+    /// Overwrites the state with a steady-state solution for `power`.
+    pub fn jump_to_steady_state(&mut self, grid: &ThermalGrid, power: &[f64]) {
+        self.temps = steady_state(grid, power, self.ambient_c);
+    }
+
+    /// Advances the field by `dt` seconds under constant `power` (W/node),
+    /// internally sub-stepping for accuracy.
+    pub fn step(&mut self, grid: &ThermalGrid, power: &[f64], dt: f64) {
+        assert_eq!(power.len(), grid.node_count());
+        assert!(dt >= 0.0);
+        if dt == 0.0 {
+            return;
+        }
+        let substeps = (dt / self.max_substep_s).ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
+        for _ in 0..substeps {
+            self.substep(grid, power, h);
+        }
+    }
+
+    /// One backward-Euler step of length `h`: solves
+    /// `(C/h + G) T_new = C/h · T_old + P + G_amb · T_amb`
+    /// with Gauss–Seidel warm-started from `T_old`.
+    fn substep(&mut self, grid: &ThermalGrid, power: &[f64], h: f64) {
+        let caps = grid.capacitance();
+        let g_amb = grid.g_ambient();
+        let g_total = grid.g_total();
+        let n = grid.node_count();
+        self.prev.copy_from_slice(&self.temps);
+        let mut converged = false;
+        for _ in 0..TR_MAX_SWEEPS {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let c_over_h = self.c_scale * caps[i] / h;
+                let mut acc = power[i] + c_over_h * self.prev[i] + g_amb[i] * self.ambient_c;
+                for (nb, g) in grid.neighbours(i) {
+                    acc += g * self.temps[nb];
+                }
+                let fresh = acc / (c_over_h + g_total[i]);
+                max_delta = max_delta.max((fresh - self.temps[i]).abs());
+                self.temps[i] = fresh;
+            }
+            if max_delta < TR_TOLERANCE {
+                converged = true;
+                break;
+            }
+        }
+        debug_assert!(converged, "transient inner solve did not converge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cooling::Cooling;
+    use crate::floorplan::Floorplan;
+    use crate::layers::StackConfig;
+
+    fn small_grid() -> ThermalGrid {
+        ThermalGrid::build(StackConfig::hmc11(), Floorplan::hmc11(), Cooling::LowEndActive)
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let g = small_grid();
+        let p = vec![0.0; g.node_count()];
+        let t = steady_state(&g, &p, 25.0);
+        for v in t {
+            assert!((v - 25.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn steady_state_is_linear_in_power() {
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 10)] = 2.0;
+        let t1 = steady_state(&g, &p, 0.0);
+        for v in &mut p {
+            *v *= 3.0;
+        }
+        let t3 = steady_state(&g, &p, 0.0);
+        for (a, b) in t1.iter().zip(&t3) {
+            assert!((3.0 * a - b).abs() < 1e-4, "linearity violated: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn global_energy_balance_holds_at_steady_state() {
+        // Total power in == total power out to ambient.
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 3)] = 5.0;
+        p[g.node(2, 7)] = 2.5;
+        let t = steady_state(&g, &p, 25.0);
+        let out: f64 = (0..g.node_count())
+            .map(|i| g.g_ambient()[i] * (t[i] - 25.0))
+            .sum();
+        assert!((out - 7.5).abs() < 1e-3, "energy out {out} != 7.5 W in");
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 5)] = 4.0;
+        let ss = steady_state(&g, &p, 25.0);
+        let mut tr = TransientState::new(&g, 25.0, 1e-4);
+        // Step for many scaled time constants.
+        for _ in 0..100 {
+            tr.step(&g, &p, 1e-3);
+        }
+        let max_err = tr
+            .temps()
+            .iter()
+            .zip(&ss)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 0.2, "transient end-state differs from steady state by {max_err} °C");
+    }
+
+    #[test]
+    fn transient_heats_monotonically_under_constant_power() {
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 5)] = 4.0;
+        let mut tr = TransientState::new(&g, 25.0, 1e-4);
+        let probe = g.node(1, 5);
+        let mut last = tr.temps()[probe];
+        for _ in 0..20 {
+            tr.step(&g, &p, 1e-4);
+            let now = tr.temps()[probe];
+            assert!(now >= last - 1e-9, "hot node cooled under constant power");
+            last = now;
+        }
+        assert!(last > 25.0);
+    }
+
+    #[test]
+    fn transient_cools_back_to_ambient_when_power_removed() {
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 5)] = 6.0;
+        let mut tr = TransientState::new(&g, 25.0, 1e-4);
+        tr.jump_to_steady_state(&g, &p);
+        let probe = g.node(1, 5);
+        assert!(tr.temps()[probe] > 30.0);
+        let zero = vec![0.0; g.node_count()];
+        for _ in 0..200 {
+            tr.step(&g, &zero, 1e-3);
+        }
+        assert!((tr.temps()[probe] - 25.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn smaller_c_scale_responds_faster() {
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 5)] = 6.0;
+        let probe = g.node(1, 5);
+        let mut fast = TransientState::new(&g, 25.0, 1e-5);
+        let mut slow = TransientState::new(&g, 25.0, 1e-2);
+        fast.step(&g, &p, 5e-4);
+        slow.step(&g, &p, 5e-4);
+        assert!(fast.temps()[probe] > slow.temps()[probe] + 0.5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Graph-analytics mini-evaluation: a three-workload, four-policy matrix
+//! on a medium graph — a fast version of the paper's Figure 10.
+//!
+//! Run with `cargo run --release --example graph_analytics`.
+
+use coolpim::core::cosim::CoSimConfig;
+use coolpim::core::report::{f, Table};
+use coolpim::prelude::*;
+
+fn main() {
+    let spec = GraphSpec { scale: 18, ..GraphSpec::ldbc_like() };
+    println!("generating 2^{} vertex LDBC-like graph...", spec.scale);
+    let graph = spec.build();
+
+    let workloads = [Workload::Dc, Workload::BfsDwc, Workload::PageRank];
+    let policies = [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
+    let results = run_matrix(&graph, &workloads, &policies, CoSimConfig::default());
+
+    let mut t = Table::new(
+        "Speedup over non-offloading (medium graph)",
+        &["Workload", "Naive", "CoolPIM(SW)", "CoolPIM(HW)", "Naive peak °C", "CoolPIM(SW) peak °C"],
+    );
+    for r in &results {
+        t.row(&[
+            r.workload.name().to_string(),
+            f(r.speedup(Policy::NaiveOffloading).unwrap_or(f64::NAN), 3),
+            f(r.speedup(Policy::CoolPimSw).unwrap_or(f64::NAN), 3),
+            f(r.speedup(Policy::CoolPimHw).unwrap_or(f64::NAN), 3),
+            f(r.run(Policy::NaiveOffloading).map_or(f64::NAN, |x| x.max_peak_dram_c), 1),
+            f(r.run(Policy::CoolPimSw).map_or(f64::NAN, |x| x.max_peak_dram_c), 1),
+        ]);
+    }
+    t.print();
+
+    println!("Average CoolPIM(SW) speedup: {:.3}×", mean_speedup(&results, Policy::CoolPimSw));
+    println!("Average CoolPIM(HW) speedup: {:.3}×", mean_speedup(&results, Policy::CoolPimHw));
+}

@@ -1,0 +1,48 @@
+//! "Thermal camera" view of the HMC 1.1 prototype: reproduces the Fig. 1
+//! experiment interactively — steady-state surface/die readouts per heat
+//! sink plus an ASCII thermal image of the hottest DRAM die.
+//!
+//! Run with `cargo run --release --example thermal_camera`.
+
+use coolpim::prelude::*;
+use coolpim::thermal::hmc11::{prototype_model, PrototypeSink, HMC11_PEAK_BW};
+
+fn ascii_heatmap(field: &[f64], nx: usize, ny: usize) {
+    let (lo, hi) = field
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    let glyphs = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@', b'#'];
+    for y in 0..ny {
+        let mut line = String::from("    ");
+        for x in 0..nx {
+            let v = field[y * nx + x];
+            let g = ((v - lo) / (hi - lo + 1e-9) * (glyphs.len() - 1) as f64).round() as usize;
+            line.push(glyphs[g] as char);
+        }
+        println!("{line}");
+    }
+    println!("    ({lo:.1} °C = '.' … {hi:.1} °C = '#')");
+}
+
+fn main() {
+    for sink in PrototypeSink::ALL {
+        let mut model = prototype_model(sink);
+        let idle = model.steady_state(&TrafficSample::idle(1e-3));
+        let busy = model.steady_state(&TrafficSample::external_stream(HMC11_PEAK_BW, 1e-3));
+        println!("== {} heat sink ==", sink.name());
+        println!(
+            "  idle: surface {:.1} °C, peak die {:.1} °C | busy: surface {:.1} °C, peak die {:.1} °C",
+            idle.surface_c, idle.peak_dram_c, busy.surface_c, busy.peak_dram_c
+        );
+        if busy.peak_dram_c >= 95.0 {
+            println!("  !! die leaves the extended range at full bandwidth — the real");
+            println!("     prototype shut down here (data lost, tens of seconds recovery)");
+        }
+        // Thermal image of the bottom (hottest) DRAM die under load.
+        let die = model.dram_layers()[0];
+        let field = model.layer_temps(die);
+        let fp = model.grid().floorplan.clone();
+        ascii_heatmap(&field, fp.nx, fp.ny);
+        println!();
+    }
+}

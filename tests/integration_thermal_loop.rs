@@ -1,0 +1,98 @@
+//! Integration of the thermal feedback path: cube phases, warnings, and
+//! derating driven by the thermal model, without the GPU in the loop.
+
+use coolpim::prelude::*;
+use coolpim::thermal::model::ThermalReadout;
+
+/// Drives the cube+thermal pair open-loop with a synthetic traffic level
+/// and returns the final readout.
+fn settle(hmc: &mut Hmc, thermal: &mut HmcThermalModel, bw: f64, pim_rate: f64) -> ThermalReadout {
+    let mut readout = thermal.steady_state(&TrafficSample::with_pim(bw, pim_rate, 1e-3));
+    hmc.set_peak_dram_temp(readout.peak_dram_c);
+    // One more round so the derated cube's (identical synthetic) traffic
+    // is re-evaluated — steady by construction.
+    readout = thermal.steady_state(&TrafficSample::with_pim(bw, pim_rate, 1e-3));
+    hmc.set_peak_dram_temp(readout.peak_dram_c);
+    readout
+}
+
+#[test]
+fn phases_follow_temperature() {
+    let mut hmc = Hmc::hmc20();
+    let mut thermal = HmcThermalModel::hmc20(Cooling::CommodityServer);
+    settle(&mut hmc, &mut thermal, 100.0e9, 0.0);
+    assert_eq!(hmc.phase(), TempPhase::Normal);
+    settle(&mut hmc, &mut thermal, 320.0e9, 1.5);
+    assert!(hmc.phase() >= TempPhase::Extended, "1.5 op/ns at full BW must leave the normal range");
+    settle(&mut hmc, &mut thermal, 320.0e9, 3.5);
+    assert!(hmc.phase() >= TempPhase::Critical);
+}
+
+#[test]
+fn warnings_are_emitted_in_response_tails_when_hot() {
+    let mut hmc = Hmc::hmc20();
+    let mut thermal = HmcThermalModel::hmc20(Cooling::CommodityServer);
+    settle(&mut hmc, &mut thermal, 320.0e9, 2.0);
+    let c = hmc.submit(0, &Request::read(0x40));
+    assert!(c.thermal_warning);
+    assert_eq!(c.tail.errstat, coolpim::hmc::thermal_state::ERRSTAT_THERMAL_WARNING);
+}
+
+#[test]
+fn derating_slows_bank_bound_streams_when_hot() {
+    let run_stream = |hot: bool| {
+        let mut hmc = Hmc::hmc20();
+        if hot {
+            let mut thermal = HmcThermalModel::hmc20(Cooling::CommodityServer);
+            settle(&mut hmc, &mut thermal, 320.0e9, 3.5);
+            assert!(hmc.phase() >= TempPhase::Critical);
+        }
+        // Row-miss stream on one bank: occupancy-bound.
+        let mut done = 0;
+        for i in 0..256u64 {
+            done = hmc.submit(0, &Request::read(i * 32 * 2048 * 16)).finish_ps;
+        }
+        done
+    };
+    let cold = run_stream(false);
+    let hot = run_stream(true);
+    assert!(
+        hot as f64 > cold as f64 * 1.3,
+        "critical-phase derating too weak: {hot} vs {cold}"
+    );
+}
+
+#[test]
+fn better_cooling_admits_higher_pim_rates() {
+    let max_rate = |cooling: Cooling| {
+        let mut thermal = HmcThermalModel::hmc20(cooling);
+        let mut rate = 0.0;
+        while rate < 8.0 {
+            let r = thermal.steady_state(&TrafficSample::with_pim(320.0e9, rate, 1e-3));
+            if r.peak_dram_c > 85.0 {
+                break;
+            }
+            rate += 0.25;
+        }
+        rate
+    };
+    let commodity = max_rate(Cooling::CommodityServer);
+    let high_end = max_rate(Cooling::HighEndActive);
+    assert!(
+        high_end > commodity + 1.0,
+        "high-end cooling should buy several op/ns: {high_end} vs {commodity}"
+    );
+}
+
+#[test]
+fn hmc11_cube_and_thermal_model_agree_on_scale() {
+    // The HMC 1.1 cube config and its thermal model describe the same
+    // device class: the prototype's 60 GB/s peak keeps the die below the
+    // shutdown limit under active cooling.
+    let cfg = HmcConfig::hmc11();
+    assert!(!cfg.pim_capable);
+    let mut thermal = HmcThermalModel::hmc11(Cooling::Custom { resistance: 1350 });
+    let peak = cfg.peak_data_bandwidth();
+    let r = thermal.steady_state(&TrafficSample::external_stream(peak, 1e-3));
+    assert!(r.peak_dram_c < 95.0);
+}

@@ -1,0 +1,97 @@
+//! Property-based tests over the cross-crate invariants.
+
+use coolpim::graph::builder;
+use coolpim::graph::reference;
+use coolpim::graph::workloads::bfs::{BfsKernel, BfsVariant};
+use coolpim::graph::workloads::sssp::{SsspKernel, SsspVariant};
+use coolpim::prelude::*;
+use proptest::prelude::*;
+
+/// Random small weighted digraphs.
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..40, proptest::collection::vec((0u32..40, 0u32..40, 1u32..64), 0..300)).prop_map(
+        |(n, edges)| {
+            let edges: Vec<(u32, u32, u32)> = edges
+                .into_iter()
+                .map(|(s, d, w)| (s % n as u32, d % n as u32, w))
+                .collect();
+            builder::from_weighted_edges(n, &edges)
+        },
+    )
+}
+
+fn run_kernel(kernel: &mut dyn coolpim::gpu::Kernel, policy: Policy) {
+    let cfg = coolpim::core::cosim::CoSimConfig {
+        gpu: GpuConfig::tiny(),
+        ..coolpim::core::cosim::CoSimConfig::default()
+    };
+    let r = CoSim::new(policy, cfg).run(kernel);
+    assert!(!r.shutdown && !r.timed_out);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bfs_matches_reference_on_random_graphs(g in arb_graph(), src_raw in 0u32..40, offload in any::<bool>()) {
+        let src = src_raw % g.vertices() as u32;
+        let expect = reference::bfs_levels(&g, src);
+        let mut k = BfsKernel::new(g.clone(), BfsVariant::Dwc, src);
+        run_kernel(&mut k, if offload { Policy::NaiveOffloading } else { Policy::NonOffloading });
+        prop_assert_eq!(k.levels(), &expect[..]);
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_on_random_graphs(g in arb_graph(), src_raw in 0u32..40) {
+        let src = src_raw % g.vertices() as u32;
+        let expect = reference::sssp_distances(&g, src);
+        let mut k = SsspKernel::new(g.clone(), SsspVariant::Dwc, src);
+        run_kernel(&mut k, Policy::NaiveOffloading);
+        prop_assert_eq!(k.distances(), &expect[..]);
+    }
+
+    #[test]
+    fn thermal_model_is_monotone_in_load(
+        bw_gb in 0.0f64..320.0,
+        extra_gb in 1.0f64..80.0,
+        rate in 0.0f64..3.0,
+        extra_rate in 0.1f64..2.0,
+    ) {
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let base = m.steady_state(&TrafficSample::with_pim(bw_gb * 1e9, rate, 1e-3)).peak_dram_c;
+        let more_bw = m.steady_state(&TrafficSample::with_pim((bw_gb + extra_gb) * 1e9, rate, 1e-3)).peak_dram_c;
+        let more_pim = m.steady_state(&TrafficSample::with_pim(bw_gb * 1e9, rate + extra_rate, 1e-3)).peak_dram_c;
+        prop_assert!(more_bw > base);
+        prop_assert!(more_pim > base);
+    }
+
+    #[test]
+    fn hmc_completions_are_sane(ops in proptest::collection::vec((0u64..1u64 << 26, 0u8..3), 1..200)) {
+        let mut hmc = Hmc::hmc20();
+        for (addr, kind) in ops {
+            let addr = addr & !0x3f;
+            let req = match kind {
+                0 => Request::read(addr),
+                1 => Request::write(addr),
+                _ => Request::pim(PimOp::SignedAdd, addr),
+            };
+            let c = hmc.submit(0, &req);
+            prop_assert!(c.finish_ps > 0);
+            prop_assert!(c.req_accepted_ps <= c.finish_ps);
+            prop_assert!(!c.shutdown);
+        }
+        let t = hmc.totals();
+        prop_assert_eq!(t.raw_bytes() % 16, 0);
+    }
+
+    #[test]
+    fn pim_ops_are_idempotent_where_expected(old in any::<u64>(), imm in any::<u64>()) {
+        // Boolean/comparison PIM ops are idempotent: applying twice with
+        // the same immediate equals applying once.
+        for op in [PimOp::And, PimOp::Or, PimOp::CasEqual, PimOp::CasGreater, PimOp::CasSmaller, PimOp::Swap, PimOp::BitWrite] {
+            let once = op.apply(old, imm);
+            let twice = op.apply(once, imm);
+            prop_assert_eq!(once, twice, "{:?} not idempotent", op);
+        }
+    }
+}
