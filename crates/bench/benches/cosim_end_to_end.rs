@@ -1,30 +1,59 @@
-//! Criterion benchmark of the full co-simulation: one complete dc run on
-//! a small platform per iteration (the end-to-end cost that gates the
+//! Wall-clock benchmark of the full co-simulation: one complete dc run
+//! on a small platform per iteration (the end-to-end cost that gates the
 //! paper-scale evaluation).
-use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
-use std::hint::black_box;
+//!
+//! Also the telemetry overhead guard: the last section compares a run
+//! with telemetry fully disabled against the same run with a `NullSink`
+//! attached. The instrumentation budget is ≤2% median overhead.
 
+use coolpim_bench::Runner;
 use coolpim_core::cosim::{CoSim, CoSimConfig};
 use coolpim_core::policy::Policy;
 use coolpim_gpu::GpuConfig;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
+use coolpim_telemetry::{NullSink, Telemetry};
 
-fn bench_cosim(c: &mut Criterion) {
+fn main() {
+    let r = Runner::new();
     let graph = GraphSpec::test_medium().build();
-    let mut g = c.benchmark_group("cosim");
-    g.sampling_mode(SamplingMode::Flat).sample_size(10);
-    for policy in [Policy::NonOffloading, Policy::NaiveOffloading, Policy::CoolPimHw] {
-        g.bench_function(format!("dc_medium/{}", policy.name()), |b| {
-            b.iter(|| {
-                let mut k = make_kernel(Workload::Dc, &graph);
-                let cfg = CoSimConfig { gpu: GpuConfig::tiny(), ..CoSimConfig::default() };
-                black_box(CoSim::new(policy, cfg).run(k.as_mut()))
-            })
+    let cfg = CoSimConfig {
+        gpu: GpuConfig::tiny(),
+        ..CoSimConfig::default()
+    };
+
+    for policy in [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimHw,
+    ] {
+        let cfg = cfg.clone();
+        r.bench(&format!("cosim/dc_medium/{}", policy.name()), || {
+            let mut k = make_kernel(Workload::Dc, &graph);
+            CoSim::new(policy, cfg.clone()).run(k.as_mut())
         });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_cosim);
-criterion_main!(benches);
+    // Telemetry overhead guard: disabled vs NullSink, CoolPIM-SW (the
+    // policy with the most instrumented control activity).
+    let base = r.bench("cosim/telemetry/disabled", || {
+        let mut k = make_kernel(Workload::Dc, &graph);
+        CoSim::new(Policy::CoolPimSw, cfg.clone()).run(k.as_mut())
+    });
+    let nullsink = r.bench("cosim/telemetry/null_sink", || {
+        let mut k = make_kernel(Workload::Dc, &graph);
+        CoSim::new(Policy::CoolPimSw, cfg.clone())
+            .with_telemetry(Telemetry::with_sink(Box::new(NullSink)))
+            .run(k.as_mut())
+    });
+    let overhead = nullsink.median_s / base.median_s - 1.0;
+    println!(
+        "cosim/telemetry: NullSink overhead {:+.2} %  (budget ≤ 2 %) — {}",
+        overhead * 100.0,
+        if overhead <= 0.02 {
+            "OK"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+}

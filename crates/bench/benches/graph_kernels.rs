@@ -1,29 +1,21 @@
-//! Criterion benchmarks of the graph substrate: generation, CSR build,
+//! Wall-clock benchmarks of the graph substrate: generation, CSR build,
 //! and trace emission.
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
+use coolpim_bench::Runner;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
 
-fn bench_generate(c: &mut Criterion) {
-    c.bench_function("graph/generate_2^14", |b| {
-        b.iter(|| black_box(GraphSpec::test_medium().build()))
-    });
-}
+fn main() {
+    let r = Runner::new();
 
-fn bench_trace_emission(c: &mut Criterion) {
+    r.bench("graph/generate_2^14", || GraphSpec::test_medium().build());
+
     let g = GraphSpec::test_medium().build();
-    c.bench_function("graph/dc_block_traces", |b| {
-        b.iter(|| {
-            let mut k = make_kernel(Workload::Dc, &g);
-            let blocks = k.grid_blocks();
-            for blk in 0..blocks.min(64) {
-                black_box(k.block_trace(blk, true));
-            }
-        })
+    r.bench("graph/dc_block_traces", || {
+        let mut k = make_kernel(Workload::Dc, &g);
+        let blocks = k.grid_blocks();
+        for blk in 0..blocks.min(64) {
+            std::hint::black_box(k.block_trace(blk, true));
+        }
     });
 }
-
-criterion_group!(benches, bench_generate, bench_trace_emission);
-criterion_main!(benches);

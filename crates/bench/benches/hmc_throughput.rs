@@ -1,39 +1,30 @@
-//! Criterion benchmarks of the HMC model: per-transaction cost of the
+//! Wall-clock benchmarks of the HMC model: per-transaction cost of the
 //! next-free-time engine for reads, writes, and PIM RMWs.
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 
+use coolpim_bench::Runner;
 use coolpim_hmc::{Hmc, PimOp, Request};
 
-fn bench_submit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hmc/submit");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("read64_scattered", |b| {
-        let mut hmc = Hmc::hmc20();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E3779B97F4A7C15);
-            black_box(hmc.submit(0, &Request::read(i & 0x3FFF_FFC0)))
-        })
-    });
-    g.bench_function("write64_scattered", |b| {
-        let mut hmc = Hmc::hmc20();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E3779B97F4A7C15);
-            black_box(hmc.submit(0, &Request::write(i & 0x3FFF_FFC0)))
-        })
-    });
-    g.bench_function("pim_add_scattered", |b| {
-        let mut hmc = Hmc::hmc20();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E3779B97F4A7C15);
-            black_box(hmc.submit(0, &Request::pim(PimOp::SignedAdd, i & 0x3FFF_FFF0)))
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let r = Runner::new();
 
-criterion_group!(benches, bench_submit);
-criterion_main!(benches);
+    let mut hmc = Hmc::hmc20();
+    let mut i = 0u64;
+    r.bench("hmc/submit/read64_scattered", || {
+        i = i.wrapping_add(0x9E3779B97F4A7C15);
+        hmc.submit(0, &Request::read(i & 0x3FFF_FFC0))
+    });
+
+    let mut hmc = Hmc::hmc20();
+    let mut i = 0u64;
+    r.bench("hmc/submit/write64_scattered", || {
+        i = i.wrapping_add(0x9E3779B97F4A7C15);
+        hmc.submit(0, &Request::write(i & 0x3FFF_FFC0))
+    });
+
+    let mut hmc = Hmc::hmc20();
+    let mut i = 0u64;
+    r.bench("hmc/submit/pim_add_scattered", || {
+        i = i.wrapping_add(0x9E3779B97F4A7C15);
+        hmc.submit(0, &Request::pim(PimOp::SignedAdd, i & 0x3FFF_FFF0))
+    });
+}

@@ -1,8 +1,7 @@
-//! Criterion benchmarks of the thermal substrate: RC grid assembly,
+//! Wall-clock benchmarks of the thermal substrate: RC grid assembly,
 //! steady-state solve, and transient epoch stepping.
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
+use coolpim_bench::Runner;
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::floorplan::Floorplan;
 use coolpim_thermal::grid::ThermalGrid;
@@ -10,33 +9,22 @@ use coolpim_thermal::layers::StackConfig;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
 
-fn bench_grid_build(c: &mut Criterion) {
-    c.bench_function("thermal/grid_build_hmc20", |b| {
-        b.iter(|| {
-            black_box(ThermalGrid::build(
-                StackConfig::hmc20(),
-                Floorplan::hmc20(),
-                Cooling::CommodityServer,
-            ))
-        })
-    });
-}
+fn main() {
+    let r = Runner::new();
 
-fn bench_steady_state(c: &mut Criterion) {
+    r.bench("thermal/grid_build_hmc20", || {
+        ThermalGrid::build(
+            StackConfig::hmc20(),
+            Floorplan::hmc20(),
+            Cooling::CommodityServer,
+        )
+    });
+
     let mut model = HmcThermalModel::hmc20(Cooling::CommodityServer);
     let sample = TrafficSample::with_pim(320.0e9, 2.0, 1e-3);
-    c.bench_function("thermal/steady_state_solve", |b| {
-        b.iter(|| black_box(model.steady_state(&sample)))
-    });
-}
+    r.bench("thermal/steady_state_solve", || model.steady_state(&sample));
 
-fn bench_transient_epoch(c: &mut Criterion) {
     let mut model = HmcThermalModel::hmc20(Cooling::CommodityServer);
     let sample = TrafficSample::with_pim(280.0e9, 1.5, 1e-4);
-    c.bench_function("thermal/transient_100us_epoch", |b| {
-        b.iter(|| black_box(model.step(&sample)))
-    });
+    r.bench("thermal/transient_100us_epoch", || model.step(&sample));
 }
-
-criterion_group!(benches, bench_grid_build, bench_steady_state, bench_transient_epoch);
-criterion_main!(benches);

@@ -11,12 +11,21 @@ fn main() {
     let graph = coolpim_bench::eval_graph_spec().build();
     let mut t = Table::new(
         "Ablation — SW-DynT control factor (bfs-dwc workload)",
-        &["CF (blocks)", "Runtime (ms)", "Avg PIM rate", "Peak DRAM (°C)", "Shrink steps"],
+        &[
+            "CF (blocks)",
+            "Runtime (ms)",
+            "Avg PIM rate",
+            "Peak DRAM (°C)",
+            "Shrink steps",
+        ],
     );
     for cf in [1usize, 2, 4, 8, 16] {
         let mut kernel = make_kernel(Workload::BfsDwc, &graph);
         let mut ctrl = SwDynT::new(
-            SwDynTConfig { control_factor: cf, ..SwDynTConfig::default() },
+            SwDynTConfig {
+                control_factor: cf,
+                ..SwDynTConfig::default()
+            },
             &HardwareProfile::paper(),
             &kernel.profile(),
         );

@@ -10,11 +10,22 @@ fn main() {
     let graph = coolpim_bench::eval_graph_spec().build();
     let mut t = Table::new(
         "Ablation — CoolPIM(HW) equilibrium vs cooling solution (dc)",
-        &["Cooling", "R (°C/W)", "Runtime (ms)", "Avg PIM rate", "Peak DRAM (°C)", "Fan (W)", "Outcome"],
+        &[
+            "Cooling",
+            "R (°C/W)",
+            "Runtime (ms)",
+            "Avg PIM rate",
+            "Peak DRAM (°C)",
+            "Fan (W)",
+            "Outcome",
+        ],
     );
     for cooling in Cooling::TABLE2 {
         let mut kernel = make_kernel(Workload::Dc, &graph);
-        let cfg = CoSimConfig { cooling, ..CoSimConfig::default() };
+        let cfg = CoSimConfig {
+            cooling,
+            ..CoSimConfig::default()
+        };
         let r = CoSim::new(Policy::CoolPimHw, cfg).run(kernel.as_mut());
         t.row(&[
             cooling.name().into(),
@@ -23,7 +34,11 @@ fn main() {
             f(r.avg_pim_rate_op_ns, 2),
             f(r.max_peak_dram_c, 1),
             f(cooling.fan_power_w(), 1),
-            if r.shutdown { "thermal shutdown".into() } else { "completed".into() },
+            if r.shutdown {
+                "thermal shutdown".into()
+            } else {
+                "completed".into()
+            },
         ]);
     }
     t.print();

@@ -9,11 +9,19 @@ fn main() {
     let graph = coolpim_bench::eval_graph_spec().build();
     let mut t = Table::new(
         "Ablation — thermal epoch length (dc, CoolPIM(HW))",
-        &["Epoch (µs)", "Runtime (ms)", "Avg PIM rate", "Peak DRAM (°C)"],
+        &[
+            "Epoch (µs)",
+            "Runtime (ms)",
+            "Avg PIM rate",
+            "Peak DRAM (°C)",
+        ],
     );
     for epoch_us in [25.0, 50.0, 100.0, 200.0, 400.0] {
         let mut kernel = make_kernel(Workload::Dc, &graph);
-        let cfg = CoSimConfig { epoch: ns_to_ps(epoch_us * 1000.0), ..CoSimConfig::default() };
+        let cfg = CoSimConfig {
+            epoch: ns_to_ps(epoch_us * 1000.0),
+            ..CoSimConfig::default()
+        };
         let r = CoSim::new(Policy::CoolPimHw, cfg).run(kernel.as_mut());
         t.row(&[
             f(epoch_us, 0),

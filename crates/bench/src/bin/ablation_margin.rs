@@ -10,12 +10,21 @@ fn main() {
     let graph = coolpim_bench::eval_graph_spec().build();
     let mut t = Table::new(
         "Ablation — Eq. 1 PTP initialisation margin (dc workload)",
-        &["Margin (blocks)", "Initial pool", "Final pool", "Runtime (ms)", "Peak DRAM (°C)"],
+        &[
+            "Margin (blocks)",
+            "Initial pool",
+            "Final pool",
+            "Runtime (ms)",
+            "Peak DRAM (°C)",
+        ],
     );
     for margin in [0usize, 2, 4, 8, 16, 32] {
         let mut kernel = make_kernel(Workload::Dc, &graph);
         let mut ctrl = SwDynT::new(
-            SwDynTConfig { margin, ..SwDynTConfig::default() },
+            SwDynTConfig {
+                margin,
+                ..SwDynTConfig::default()
+            },
             &HardwareProfile::paper(),
             &kernel.profile(),
         );

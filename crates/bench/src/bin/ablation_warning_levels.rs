@@ -10,11 +10,20 @@ fn main() {
     let graph = coolpim_bench::eval_graph_spec().build();
     let mut t = Table::new(
         "Ablation — single-level vs graduated thermal warnings (HW-DynT, dc)",
-        &["Controller", "Runtime (ms)", "Avg PIM rate", "Peak DRAM (°C)", "Updates"],
+        &[
+            "Controller",
+            "Runtime (ms)",
+            "Avg PIM rate",
+            "Peak DRAM (°C)",
+            "Updates",
+        ],
     );
     // Both start from a deliberately fine-grained CF of 1 slot so the
     // grading is what differs.
-    let cfg = HwDynTConfig { control_factor_slots: 1, ..HwDynTConfig::default() };
+    let cfg = HwDynTConfig {
+        control_factor_slots: 1,
+        ..HwDynTConfig::default()
+    };
 
     let mut k1 = make_kernel(Workload::Dc, &graph);
     let mut single = HwDynT::new(cfg);

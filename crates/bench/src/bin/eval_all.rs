@@ -1,8 +1,13 @@
 //! Runs the evaluation matrix ONCE and prints Figures 10–13 from the
 //! shared results — the efficient way to regenerate the whole evaluation
-//! section (the `fig10`–`fig13` binaries re-run the matrix each).
-use coolpim_bench::run_eval_matrix;
-use coolpim_core::experiment::{mean_speedup, WorkloadResults};
+//! section (the `fig10`–`fig13` binaries re-run the matrix each). After
+//! the figures it prints the aggregated metrics block (warnings,
+//! throttle steps, HMC latency histograms); set `COOLPIM_PROFILE=1` for
+//! a per-policy wall-clock self-time breakdown too.
+use coolpim_bench::{profiling_requested, run_eval_matrix};
+use coolpim_core::experiment::{
+    aggregate_metrics, aggregate_profiles, mean_speedup, WorkloadResults,
+};
 use coolpim_core::policy::Policy;
 use coolpim_core::report::{f, Table};
 
@@ -16,7 +21,14 @@ fn fig10(results: &[WorkloadResults]) {
     ];
     let mut t = Table::new(
         "Fig. 10 — speedup over the non-offloading baseline",
-        &["Workload", "Non-Off", "Naive", "CoolPIM(SW)", "CoolPIM(HW)", "Ideal"],
+        &[
+            "Workload",
+            "Non-Off",
+            "Naive",
+            "CoolPIM(SW)",
+            "CoolPIM(HW)",
+            "Ideal",
+        ],
     );
     for r in results {
         let mut row = vec![r.workload.name().to_string()];
@@ -55,7 +67,11 @@ fn fig11(results: &[WorkloadResults]) {
 }
 
 fn fig12(results: &[WorkloadResults]) {
-    let policies = [Policy::NaiveOffloading, Policy::CoolPimSw, Policy::CoolPimHw];
+    let policies = [
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
     let mut t = Table::new(
         "Fig. 12 — average PIM offloading rate (op/ns)",
         &["Workload", "Naive", "CoolPIM(SW)", "CoolPIM(HW)"],
@@ -71,7 +87,11 @@ fn fig12(results: &[WorkloadResults]) {
 }
 
 fn fig13(results: &[WorkloadResults]) {
-    let policies = [Policy::NaiveOffloading, Policy::CoolPimSw, Policy::CoolPimHw];
+    let policies = [
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
     let mut t = Table::new(
         "Fig. 13 — peak DRAM temperature (°C)",
         &["Workload", "Naive", "CoolPIM(SW)", "CoolPIM(HW)"],
@@ -86,12 +106,26 @@ fn fig13(results: &[WorkloadResults]) {
     t.print();
 }
 
+fn metrics_summary(results: &[WorkloadResults]) {
+    print!("{}", aggregate_metrics(results, None).render());
+    if profiling_requested() {
+        for p in Policy::ALL {
+            let prof = aggregate_profiles(results, Some(p));
+            if prof.enabled {
+                println!("-- {} --", p.name());
+                print!("{}", prof.render());
+            }
+        }
+    }
+}
+
 fn main() {
     let results = run_eval_matrix();
     fig10(&results);
     fig11(&results);
     fig12(&results);
     fig13(&results);
+    metrics_summary(&results);
     println!(
         "Averages: CoolPIM(SW) {:.3}x, CoolPIM(HW) {:.3}x, Naive {:.3}x, Ideal {:.3}x over baseline.",
         mean_speedup(&results, Policy::CoolPimSw),

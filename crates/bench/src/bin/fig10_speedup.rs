@@ -16,7 +16,14 @@ fn main() {
     ];
     let mut t = Table::new(
         "Fig. 10 — speedup over the non-offloading baseline",
-        &["Workload", "Non-Offloading", "Naive-Offloading", "CoolPIM(SW)", "CoolPIM(HW)", "IdealThermal"],
+        &[
+            "Workload",
+            "Non-Offloading",
+            "Naive-Offloading",
+            "CoolPIM(SW)",
+            "CoolPIM(HW)",
+            "IdealThermal",
+        ],
     );
     for r in &results {
         let mut row = vec![r.workload.name().to_string()];

@@ -14,7 +14,13 @@ fn main() {
     ];
     let mut t = Table::new(
         "Fig. 11 — bandwidth consumption normalized to the non-offloading baseline",
-        &["Workload", "Non-Offloading", "Naive-Offloading", "CoolPIM(SW)", "CoolPIM(HW)"],
+        &[
+            "Workload",
+            "Non-Offloading",
+            "Naive-Offloading",
+            "CoolPIM(SW)",
+            "CoolPIM(HW)",
+        ],
     );
     for r in &results {
         let mut row = vec![r.workload.name().to_string()];

@@ -5,7 +5,11 @@ use coolpim_core::report::{f, Table};
 
 fn main() {
     let results = run_eval_matrix();
-    let policies = [Policy::NaiveOffloading, Policy::CoolPimSw, Policy::CoolPimHw];
+    let policies = [
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
     let mut t = Table::new(
         "Fig. 12 — average PIM offloading rate (op/ns)",
         &["Workload", "Naive-Offloading", "CoolPIM(SW)", "CoolPIM(HW)"],

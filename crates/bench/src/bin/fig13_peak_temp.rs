@@ -5,7 +5,11 @@ use coolpim_core::report::{f, Table};
 
 fn main() {
     let results = run_eval_matrix();
-    let policies = [Policy::NaiveOffloading, Policy::CoolPimSw, Policy::CoolPimHw];
+    let policies = [
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
     let mut t = Table::new(
         "Fig. 13 — peak DRAM temperature (°C)",
         &["Workload", "Naive-Offloading", "CoolPIM(SW)", "CoolPIM(HW)"],

@@ -7,7 +7,11 @@ use coolpim_graph::workloads::{make_kernel, Workload};
 
 fn main() {
     let graph = coolpim_bench::eval_graph_spec().build();
-    let policies = [Policy::NaiveOffloading, Policy::CoolPimSw, Policy::CoolPimHw];
+    let policies = [
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+        Policy::CoolPimHw,
+    ];
     let mut series = Vec::new();
     for p in policies {
         let mut k = make_kernel(Workload::BfsTa, &graph);
@@ -51,7 +55,12 @@ fn main() {
     t.print();
     for (p, _, fw, exec) in &series {
         match fw {
-            Some(ms) => println!("{}: first thermal warning at {:.1} ms (runtime {:.1} ms)", p.name(), ms, exec),
+            Some(ms) => println!(
+                "{}: first thermal warning at {:.1} ms (runtime {:.1} ms)",
+                p.name(),
+                ms,
+                exec
+            ),
             None => println!("{}: no thermal warning (runtime {:.1} ms)", p.name(), exec),
         }
     }

@@ -8,7 +8,14 @@ use coolpim_thermal::EXTENDED_TEMP_LIMIT_C;
 fn main() {
     let mut t = Table::new(
         "Fig. 1 — HMC 1.1 prototype surface temperature (modeled vs measured)",
-        &["Heat sink", "Idle model", "Idle measured", "Busy model", "Busy measured", "Shutdown"],
+        &[
+            "Heat sink",
+            "Idle model",
+            "Idle measured",
+            "Busy model",
+            "Busy measured",
+            "Shutdown",
+        ],
     );
     for p in run_fig1() {
         let m = FIG1_MEASURED.iter().find(|m| m.sink == p.sink).unwrap();
@@ -17,8 +24,16 @@ fn main() {
             format!("{:.1} °C", p.idle.surface_c),
             format!("{:.1} °C", m.idle_surface_c),
             format!("{:.1} °C", p.busy.surface_c),
-            format!("{:.1} °C{}", m.busy_surface_c, if m.shutdown { " (shutdown)" } else { "" }),
-            if p.shutdown { "yes".into() } else { "no".into() },
+            format!(
+                "{:.1} °C{}",
+                m.busy_surface_c,
+                if m.shutdown { " (shutdown)" } else { "" }
+            ),
+            if p.shutdown {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t.print();

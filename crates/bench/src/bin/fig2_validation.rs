@@ -6,7 +6,13 @@ use coolpim_thermal::hmc11::run_fig2;
 fn main() {
     let mut t = Table::new(
         "Fig. 2 — thermal model validation (busy HMC 1.1)",
-        &["Heat sink", "Surface (measured)", "Die (estimated)", "Die (modeling)", "Model error"],
+        &[
+            "Heat sink",
+            "Surface (measured)",
+            "Die (estimated)",
+            "Die (modeling)",
+            "Model error",
+        ],
     );
     for v in run_fig2() {
         t.row(&[

@@ -22,14 +22,24 @@ fn main() {
             LayerKind::Dram(i) => format!("DRAM die {i}"),
             LayerKind::Tim => "TIM".to_string(),
         };
-        println!("  {label:<12} peak {peak:6.1} °C  avg {avg:6.1} °C  ({:6.1} K peak)", peak + 273.15);
+        println!(
+            "  {label:<12} peak {peak:6.1} °C  avg {avg:6.1} °C  ({:6.1} K peak)",
+            peak + 273.15
+        );
     }
     // 2-D logic-layer map.
     let logic = m.logic_layer();
     let field = m.layer_temps(logic);
     let fp = &m.grid().floorplan;
-    let (lo, hi) = field.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
-    println!("\nLogic-layer heat map ({}x{} cells, {lo:.1}–{hi:.1} °C, '.'=cool '#'=hot):", fp.nx, fp.ny);
+    let (lo, hi) = field
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    println!(
+        "\nLogic-layer heat map ({}x{} cells, {lo:.1}–{hi:.1} °C, '.'=cool '#'=hot):",
+        fp.nx, fp.ny
+    );
     let glyphs = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@', b'#'];
     for y in 0..fp.ny {
         let mut line = String::new();

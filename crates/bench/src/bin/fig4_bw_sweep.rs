@@ -20,7 +20,11 @@ fn main() {
         let mut row = vec![format!("{:.0}", bw / 1e9)];
         for (_, m) in models.iter_mut() {
             let r = m.steady_state(&TrafficSample::external_stream(bw, 1e-3));
-            let mark = if r.peak_dram_c > SHUTDOWN_TEMP_C { " (>limit)" } else { "" };
+            let mark = if r.peak_dram_c > SHUTDOWN_TEMP_C {
+                " (>limit)"
+            } else {
+                ""
+            };
             row.push(format!("{:.1}{mark}", r.peak_dram_c));
         }
         t.row(&row);

@@ -15,7 +15,9 @@ fn main() {
     let mut r105 = None;
     let mut rate = 0.0;
     while rate <= 4.0 + 1e-9 {
-        let v = m.steady_state(&TrafficSample::with_pim(320.0e9, rate, 1e-3)).peak_dram_c;
+        let v = m
+            .steady_state(&TrafficSample::with_pim(320.0e9, rate, 1e-3))
+            .peak_dram_c;
         let band = if v <= 85.0 {
             "0-85 °C"
         } else if v <= 95.0 {

@@ -3,18 +3,24 @@
 //! ```text
 //! sim [--workload NAME] [--policy NAME] [--scale N] [--degree N]
 //!     [--cooling NAME] [--seed N] [--graph FILE] [--timeline]
+//!     [--trace FILE] [--timeline-out FILE] [--profile]
 //! ```
 //!
 //! Runs one workload under one policy and prints the full metric set
 //! (runtime, PIM rate, bandwidth, peak temperature, energy). `--graph`
 //! loads a plain-text edge list instead of generating an R-MAT graph;
-//! `--timeline` dumps the per-epoch telemetry as CSV to stdout.
+//! `--timeline` dumps the per-epoch telemetry as CSV to stdout,
+//! `--timeline-out FILE` writes the same CSV to a file, `--trace FILE`
+//! streams the full event log (warnings, phase moves, pool resizes,
+//! kernel lifecycle, epoch samples) as JSONL, and `--profile` prints a
+//! wall-clock self-time breakdown of the co-sim hot phases.
 
 use coolpim_core::cosim::{CoSim, CoSimConfig};
 use coolpim_core::policy::Policy;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
 use coolpim_graph::Csr;
+use coolpim_telemetry::{CsvSink, JsonlSink, MultiSink, Sink, Telemetry, CSV_TIMELINE_HEADER};
 use coolpim_thermal::cooling::Cooling;
 
 struct Args {
@@ -26,6 +32,9 @@ struct Args {
     cooling: Cooling,
     graph_file: Option<String>,
     timeline: bool,
+    trace: Option<String>,
+    timeline_out: Option<String>,
+    profile: bool,
 }
 
 fn usage() -> ! {
@@ -34,7 +43,8 @@ fn usage() -> ! {
          \x20          [--policy baseline|naive|coolpim-sw|coolpim-hw|ideal]\n\
          \x20          [--scale N] [--degree N] [--seed N]\n\
          \x20          [--cooling passive|low-end|commodity|high-end]\n\
-         \x20          [--graph edge-list-file] [--timeline]"
+         \x20          [--graph edge-list-file] [--timeline]\n\
+         \x20          [--trace jsonl-file] [--timeline-out csv-file] [--profile]"
     );
     std::process::exit(2);
 }
@@ -64,12 +74,17 @@ fn parse_args() -> Args {
     let mut args = Args {
         workload: Workload::Dc,
         policy: Policy::CoolPimSw,
-        scale: 18,
+        // Default scale is the smallest at which the thermal feedback
+        // loop engages (warnings + throttling) under commodity cooling.
+        scale: 19,
         degree: 16,
         seed: 42,
         cooling: Cooling::CommodityServer,
         graph_file: None,
         timeline: false,
+        trace: None,
+        timeline_out: None,
+        profile: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -96,6 +111,9 @@ fn parse_args() -> Args {
             }
             "--graph" | "-g" => args.graph_file = Some(take(&mut i)),
             "--timeline" | "-t" => args.timeline = true,
+            "--trace" => args.trace = Some(take(&mut i)),
+            "--timeline-out" => args.timeline_out = Some(take(&mut i)),
+            "--profile" => args.profile = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -135,8 +153,42 @@ fn main() {
         args.cooling.name()
     );
     let mut kernel = make_kernel(args.workload, &graph);
-    let cfg = CoSimConfig { cooling: args.cooling, ..CoSimConfig::default() };
-    let r = CoSim::new(args.policy, cfg).run(kernel.as_mut());
+    let cfg = CoSimConfig {
+        cooling: args.cooling,
+        ..CoSimConfig::default()
+    };
+
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    if let Some(path) = &args.trace {
+        match JsonlSink::create(path) {
+            Ok(s) => sinks.push(Box::new(s)),
+            Err(e) => {
+                eprintln!("failed to create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.timeline_out {
+        match CsvSink::create(path) {
+            Ok(s) => sinks.push(Box::new(s)),
+            Err(e) => {
+                eprintln!("failed to create timeline file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut telemetry = match sinks.len() {
+        0 => Telemetry::disabled(),
+        1 => Telemetry::with_sink(sinks.pop().expect("one sink")),
+        _ => Telemetry::with_sink(Box::new(MultiSink::new(sinks))),
+    };
+    if args.profile {
+        telemetry = telemetry.profiled();
+    }
+
+    let r = CoSim::new(args.policy, cfg)
+        .with_telemetry(telemetry)
+        .run(kernel.as_mut());
 
     println!("workload           {}", r.workload);
     println!("policy             {}", r.policy.name());
@@ -151,11 +203,16 @@ fn main() {
     println!("fan energy         {:.3} J", r.fan_energy_j);
     println!("offload fraction   {:.3}", r.gpu.offload_fraction());
     println!("kernel launches    {}", r.gpu.launches);
+    println!("throttle steps     {}", r.throttle_steps);
     if r.shutdown {
         println!("!! thermal shutdown occurred");
     }
+    if args.profile {
+        print!("{}", r.profile.render());
+        print!("{}", r.metrics.render());
+    }
     if args.timeline {
-        println!("t_ms,pim_rate_op_ns,data_bw_gbps,peak_dram_c,phase");
+        println!("{CSV_TIMELINE_HEADER}");
         for s in &r.timeline {
             println!(
                 "{:.3},{:.3},{:.1},{:.2},{:?}",

@@ -5,7 +5,13 @@ use coolpim_thermal::cooling::{Cooling, FanCurve};
 fn main() {
     let mut t = Table::new(
         "Table II — typical cooling types",
-        &["Type", "Thermal resistance", "Cooling power (rel.)", "Fan power (W)", "Fan-curve est. (W)"],
+        &[
+            "Type",
+            "Thermal resistance",
+            "Cooling power (rel.)",
+            "Fan power (W)",
+            "Fan-curve est. (W)",
+        ],
     );
     for c in Cooling::TABLE2 {
         let r = c.resistance_c_per_w();

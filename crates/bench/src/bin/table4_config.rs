@@ -6,24 +6,72 @@ use coolpim_hmc::{ps_to_ns, HmcConfig};
 fn main() {
     let g = GpuConfig::paper();
     let h = HmcConfig::hmc20();
-    let mut t = Table::new("Table IV — performance evaluation configuration", &["Component", "Configuration"]);
-    t.row(&["Host".into(), format!("GPU, {} PTX SMs, {} threads/warp, {:.1} GHz", g.sms, g.threads_per_warp, g.clock_hz / 1e9)]);
-    t.row(&["".into(), format!("{} KB private L1D and {} MB {}-way L2 cache", g.l1_bytes / 1024, g.l2_bytes / (1024 * 1024), g.l2_ways)]);
-    t.row(&["HMC".into(), "8 GB cube, 1 logic die, 8 DRAM dies".to_string()]);
-    t.row(&["".into(), format!("{} vaults, {} DRAM banks", h.vaults, h.vaults * h.banks_per_vault)]);
-    t.row(&["".into(), format!(
-        "tCL = tRCD = tRP = {:.2} ns, tRAS = {:.1} ns",
-        ps_to_ns(h.timing.t_cl), ps_to_ns(h.timing.t_ras)
-    )]);
-    t.row(&["".into(), format!(
-        "{} links per package, {:.0} GB/s per link ({:.0} GB/s data bandwidth per link)",
-        h.links,
-        2.0 * h.link_raw_bytes_per_s_per_dir / 1e9,
-        h.peak_data_bandwidth() / h.links as f64 / 1e9
-    )]);
-    t.row(&["DRAM".into(), "Temp. phases: 0-85 °C, 85-95 °C, 95-105 °C".into()]);
-    t.row(&["".into(), "20% DRAM freq reduction per higher temp. phase".into()]);
-    t.row(&["Benchmark".into(), "GraphBIG-style workload suite (10 kernels)".into()]);
-    t.row(&["".into(), "LDBC-like synthetic social graph (R-MAT, skewed)".into()]);
+    let mut t = Table::new(
+        "Table IV — performance evaluation configuration",
+        &["Component", "Configuration"],
+    );
+    t.row(&[
+        "Host".into(),
+        format!(
+            "GPU, {} PTX SMs, {} threads/warp, {:.1} GHz",
+            g.sms,
+            g.threads_per_warp,
+            g.clock_hz / 1e9
+        ),
+    ]);
+    t.row(&[
+        "".into(),
+        format!(
+            "{} KB private L1D and {} MB {}-way L2 cache",
+            g.l1_bytes / 1024,
+            g.l2_bytes / (1024 * 1024),
+            g.l2_ways
+        ),
+    ]);
+    t.row(&[
+        "HMC".into(),
+        "8 GB cube, 1 logic die, 8 DRAM dies".to_string(),
+    ]);
+    t.row(&[
+        "".into(),
+        format!(
+            "{} vaults, {} DRAM banks",
+            h.vaults,
+            h.vaults * h.banks_per_vault
+        ),
+    ]);
+    t.row(&[
+        "".into(),
+        format!(
+            "tCL = tRCD = tRP = {:.2} ns, tRAS = {:.1} ns",
+            ps_to_ns(h.timing.t_cl),
+            ps_to_ns(h.timing.t_ras)
+        ),
+    ]);
+    t.row(&[
+        "".into(),
+        format!(
+            "{} links per package, {:.0} GB/s per link ({:.0} GB/s data bandwidth per link)",
+            h.links,
+            2.0 * h.link_raw_bytes_per_s_per_dir / 1e9,
+            h.peak_data_bandwidth() / h.links as f64 / 1e9
+        ),
+    ]);
+    t.row(&[
+        "DRAM".into(),
+        "Temp. phases: 0-85 °C, 85-95 °C, 95-105 °C".into(),
+    ]);
+    t.row(&[
+        "".into(),
+        "20% DRAM freq reduction per higher temp. phase".into(),
+    ]);
+    t.row(&[
+        "Benchmark".into(),
+        "GraphBIG-style workload suite (10 kernels)".into(),
+    ]);
+    t.row(&[
+        "".into(),
+        "LDBC-like synthetic social graph (R-MAT, skewed)".into(),
+    ]);
     t.print();
 }

@@ -1,7 +1,7 @@
 //! Shared evaluation driver for the `fig10`–`fig14` binaries.
 
 use coolpim_core::cosim::CoSimConfig;
-use coolpim_core::experiment::{run_matrix, WorkloadResults};
+use coolpim_core::experiment::{run_matrix, run_matrix_profiled, WorkloadResults};
 use coolpim_core::policy::Policy;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::Workload;
@@ -16,18 +16,31 @@ pub fn eval_graph_spec() -> GraphSpec {
             spec.avg_degree = 12;
         }
         Some(n) => {
-            let scale: u32 = n
-                .parse()
-                .unwrap_or_else(|_| panic!("COOLPIM_SCALE must be 'full', 'quick', or an integer, got {n:?}"));
-            assert!((8..=24).contains(&scale), "COOLPIM_SCALE {scale} out of range 8..=24");
+            let scale: u32 = n.parse().unwrap_or_else(|_| {
+                panic!("COOLPIM_SCALE must be 'full', 'quick', or an integer, got {n:?}")
+            });
+            assert!(
+                (8..=24).contains(&scale),
+                "COOLPIM_SCALE {scale} out of range 8..=24"
+            );
             spec.scale = scale;
         }
     }
     spec
 }
 
+/// Whether per-run wall-clock profiling was requested via the
+/// `COOLPIM_PROFILE` environment variable (`1`/`true`).
+pub fn profiling_requested() -> bool {
+    matches!(
+        std::env::var("COOLPIM_PROFILE").ok().as_deref(),
+        Some("1") | Some("true")
+    )
+}
+
 /// Runs the full evaluation matrix (all ten workloads × the five system
-/// configurations) at the configured scale.
+/// configurations) at the configured scale. Set `COOLPIM_PROFILE=1` to
+/// profile every run's hot phases.
 pub fn run_eval_matrix() -> Vec<WorkloadResults> {
     let spec = eval_graph_spec();
     eprintln!(
@@ -41,7 +54,11 @@ pub fn run_eval_matrix() -> Vec<WorkloadResults> {
         graph.edge_count(),
         Workload::ALL.len() * Policy::ALL.len()
     );
-    run_matrix(&graph, &Workload::ALL, &Policy::ALL, CoSimConfig::default())
+    if profiling_requested() {
+        run_matrix_profiled(&graph, &Workload::ALL, &Policy::ALL, CoSimConfig::default())
+    } else {
+        run_matrix(&graph, &Workload::ALL, &Policy::ALL, CoSimConfig::default())
+    }
 }
 
 /// Runs a subset of the matrix (used by the quicker figure binaries).

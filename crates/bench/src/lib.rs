@@ -1,8 +1,8 @@
 //! # coolpim-bench
 //!
 //! Reproduction harness: one binary per table and figure of the CoolPIM
-//! paper (see `src/bin/`), plus Criterion micro-benchmarks of the
-//! substrates (`benches/`).
+//! paper (see `src/bin/`), plus wall-clock micro-benchmarks of the
+//! substrates (`benches/`, driven by the in-tree [`harness`]).
 //!
 //! The evaluation binaries (`fig10`–`fig14`) share [`eval`], which runs
 //! the workload × policy matrix once at the configured scale. Scale is
@@ -18,5 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod harness;
 
-pub use eval::{eval_graph_spec, run_eval_matrix};
+pub use eval::{eval_graph_spec, profiling_requested, run_eval_matrix};
+pub use harness::{Runner, Stats};

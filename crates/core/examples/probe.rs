@@ -1,14 +1,19 @@
-use std::time::Instant;
 use coolpim_core::cosim::{CoSim, CoSimConfig};
 use coolpim_core::policy::Policy;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let wl = args.get(1).map(|s| s.as_str()).unwrap_or("dc");
     let g = GraphSpec::ldbc_like().build();
-    println!("graph: {} vertices, {} edges, maxdeg {}", g.vertices(), g.edge_count(), g.max_degree());
+    println!(
+        "graph: {} vertices, {} edges, maxdeg {}",
+        g.vertices(),
+        g.edge_count(),
+        g.max_degree()
+    );
     let w = Workload::from_name(wl).unwrap();
     for p in Policy::ALL {
         let t0 = Instant::now();

@@ -14,6 +14,7 @@ use coolpim_gpu::stats::GpuStats;
 use coolpim_gpu::system::{GpuSystem, RunOutcome};
 use coolpim_hmc::stats::StatsTotals;
 use coolpim_hmc::{ns_to_ps, Hmc, Ps, TempPhase};
+use coolpim_telemetry::{MetricsSnapshot, ProfileReport, Telemetry, TelemetryEvent};
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
@@ -101,6 +102,15 @@ pub struct CoSimResult {
     pub cube_energy_j: f64,
     /// Cooling (fan) energy over the run (J).
     pub fan_energy_j: f64,
+    /// End-of-run metrics: epoch/warning counters, pool/cap/temperature
+    /// gauges, and the cube's service-time and queue-wait histograms.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock self-time breakdown of the co-sim hot phases (empty
+    /// unless profiling was enabled via [`CoSim::with_telemetry`]).
+    pub profile: ProfileReport,
+    /// Source-throttling control actions applied: SW-DynT token-pool
+    /// shrinks plus HW-DynT PCU warp-cap updates.
+    pub throttle_steps: u64,
 }
 
 impl CoSimResult {
@@ -125,6 +135,7 @@ pub struct CoSim {
     thermal: HmcThermalModel,
     policy: Policy,
     cfg: CoSimConfig,
+    telemetry: Telemetry,
 }
 
 impl CoSim {
@@ -140,12 +151,26 @@ impl CoSim {
         hmc.set_warning_threshold(cfg.warning_threshold_c);
         let sys = GpuSystem::new(cfg.gpu.clone(), hmc);
         let thermal = HmcThermalModel::hmc20(cfg.cooling);
-        Self { sys, thermal, policy, cfg }
+        Self {
+            sys,
+            thermal,
+            policy,
+            cfg,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Replaces the GPU system (test hook for smaller configurations).
     pub fn with_system(mut self, sys: GpuSystem) -> Self {
         self.sys = sys;
+        self
+    }
+
+    /// Attaches a telemetry bundle (event sink and/or profiler). The
+    /// default is [`Telemetry::disabled`], which costs one branch per
+    /// epoch.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -167,13 +192,17 @@ impl CoSim {
         ctrl: &mut dyn coolpim_gpu::controller::OffloadController,
         feedback: bool,
     ) -> CoSimResult {
-        self.sys.hmc_mut().set_warning_threshold(self.cfg.warning_threshold_c);
+        self.sys
+            .hmc_mut()
+            .set_warning_threshold(self.cfg.warning_threshold_c);
 
         let mut timeline = Vec::new();
         let mut max_peak = f64::NEG_INFINITY;
         let mut shutdown = false;
         let mut timed_out = false;
         let mut cube_energy_j = 0.0;
+        let mut throttle_steps = 0u64;
+        let mut batch: Vec<TelemetryEvent> = Vec::new();
         let fan_power_w = self.cfg.cooling.fan_power_w();
 
         self.sys.start(kernel, ctrl, 0);
@@ -181,13 +210,17 @@ impl CoSim {
         let mut first_epoch = true;
         let end_ps = loop {
             horizon += self.cfg.epoch;
+            let span = self.telemetry.profiler.start();
             let outcome = self.sys.run_until(kernel, ctrl, horizon);
+            self.telemetry.profiler.stop("gpu_advance", span);
             let now = if outcome == RunOutcome::Finished {
                 self.sys.stats().end_ps
             } else {
                 horizon
             };
+            let span = self.telemetry.profiler.start();
             let window = self.sys.hmc_mut().take_window(now);
+            self.telemetry.profiler.stop("hmc_drain", span);
             let dur_s = window.duration_s(now).max(1e-9);
             let sample = TrafficSample {
                 window_s: dur_s,
@@ -198,23 +231,78 @@ impl CoSim {
             cube_energy_j += self.thermal.total_power_w(&sample) * dur_s;
             let readout = if first_epoch && self.cfg.warm_start {
                 first_epoch = false;
-                self.thermal.steady_state(&sample)
+                let span = self.telemetry.profiler.start();
+                let r = self.thermal.steady_state(&sample);
+                self.telemetry.profiler.stop("thermal_solve", span);
+                r
             } else {
                 first_epoch = false;
-                self.thermal.step(&sample)
+                self.thermal
+                    .step_profiled(&sample, &mut self.telemetry.profiler)
             };
             max_peak = max_peak.max(readout.peak_dram_c);
             if feedback {
-                self.sys.hmc_mut().set_peak_dram_temp(readout.peak_dram_c);
+                self.sys
+                    .hmc_mut()
+                    .set_peak_dram_temp_at(readout.peak_dram_c, now);
                 ctrl.on_thermal_reading(readout.peak_dram_c, self.cfg.warning_threshold_c, now);
             }
+            let phase = self.sys.hmc().phase();
             timeline.push(TimelineSample {
                 t_s: now as f64 * 1e-12,
                 pim_rate_op_ns: window.pim_rate_op_per_ns(now),
                 data_bw: window.data_bytes() / dur_s,
                 peak_dram_c: readout.peak_dram_c,
-                phase: self.sys.hmc().phase(),
+                phase,
             });
+
+            // Drain the epoch's buffered events from every producer (the
+            // buffers must empty even without a sink), fold them into the
+            // metrics, and stream them time-sorted with the epoch sample
+            // last.
+            self.sys.hmc_mut().drain_events(&mut batch);
+            self.sys.drain_events(&mut batch);
+            ctrl.drain_control_events(&mut batch);
+            for ev in &batch {
+                match ev {
+                    TelemetryEvent::ThermalWarningRaised { .. } => {
+                        self.telemetry.metrics.count("thermal_warnings_raised", 1);
+                    }
+                    TelemetryEvent::ThermalWarningDelivered { .. } => {
+                        self.telemetry.metrics.count("thermal_warnings_accepted", 1);
+                    }
+                    TelemetryEvent::TokenPoolResize { new, trigger, .. } => {
+                        self.telemetry.metrics.gauge("token_pool_size", *new as f64);
+                        if *trigger == "thermal_warning" {
+                            throttle_steps += 1;
+                            self.telemetry.metrics.count("token_pool_shrinks", 1);
+                        }
+                    }
+                    TelemetryEvent::WarpCapUpdate { new_slots, .. } => {
+                        throttle_steps += 1;
+                        self.telemetry.metrics.count("warp_cap_updates", 1);
+                        self.telemetry
+                            .metrics
+                            .gauge("warp_cap_slots", *new_slots as f64);
+                    }
+                    TelemetryEvent::Shutdown { .. } => {
+                        self.telemetry.metrics.count("shutdowns", 1);
+                    }
+                    _ => {}
+                }
+            }
+            self.telemetry.emit_epoch_batch(&mut batch);
+            self.telemetry.emit(TelemetryEvent::EpochSample {
+                t_ps: now,
+                pim_rate_op_ns: window.pim_rate_op_per_ns(now),
+                data_bw: window.data_bytes() / dur_s,
+                peak_dram_c: readout.peak_dram_c,
+                phase: phase.name(),
+            });
+            self.telemetry.metrics.count("epochs", 1);
+            self.telemetry
+                .metrics
+                .gauge_max("peak_dram_c", readout.peak_dram_c);
             match outcome {
                 RunOutcome::Finished => break now,
                 RunOutcome::Shutdown => {
@@ -232,12 +320,29 @@ impl CoSim {
         let totals = self.sys.hmc().totals();
         let exec_s = end_ps as f64 * 1e-12;
         let exec_ns = end_ps as f64 * 1e-3;
+
+        self.telemetry
+            .metrics
+            .merge_histogram("hmc_service_time_ps", self.sys.hmc().service_time_hist());
+        self.telemetry
+            .metrics
+            .merge_histogram("hmc_queue_wait_ps", self.sys.hmc().queue_wait_hist());
+        self.telemetry
+            .metrics
+            .gauge("hmc_row_hit_rate", self.sys.hmc().row_hit_rate());
+        self.telemetry.metrics.count("pim_ops", totals.pim_ops);
+        self.telemetry.flush();
+
         CoSimResult {
             policy: self.policy,
             workload: kernel.name().to_string(),
             exec_s,
             max_peak_dram_c: max_peak,
-            avg_pim_rate_op_ns: if exec_ns > 0.0 { totals.pim_ops as f64 / exec_ns } else { 0.0 },
+            avg_pim_rate_op_ns: if exec_ns > 0.0 {
+                totals.pim_ops as f64 / exec_ns
+            } else {
+                0.0
+            },
             ext_data_bytes: totals.data_bytes(),
             gpu: *self.sys.stats(),
             hmc: totals,
@@ -247,6 +352,9 @@ impl CoSim {
             l2_hit_rate: self.sys.l2_hit_rate(),
             cube_energy_j,
             fan_energy_j: fan_power_w * exec_s,
+            metrics: self.telemetry.metrics.take_snapshot(),
+            profile: self.telemetry.profiler.finish(),
+            throttle_steps,
         }
     }
 }
@@ -289,7 +397,50 @@ mod tests {
         let mut naive = make_kernel(Workload::Dc, &g);
         let rn = tiny_cosim(Policy::NaiveOffloading).run(naive.as_mut());
         assert!(rn.hmc.pim_ops > 0);
-        assert!(rn.ext_data_bytes < rb.ext_data_bytes, "offloading must cut traffic");
+        assert!(
+            rn.ext_data_bytes < rb.ext_data_bytes,
+            "offloading must cut traffic"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_epochs_and_kernel_lifecycle() {
+        use coolpim_telemetry::{RecordingSink, Telemetry};
+
+        let g = GraphSpec::tiny().build();
+        let mut k = make_kernel(Workload::Dc, &g);
+        let (sink, log) = RecordingSink::new();
+        let r = tiny_cosim(Policy::CoolPimSw)
+            .with_telemetry(Telemetry::with_sink(Box::new(sink)).profiled())
+            .run(k.as_mut());
+
+        let events = log.snapshot();
+        assert!(!events.is_empty());
+        // The stream is monotone in simulation time.
+        for w in events.windows(2) {
+            assert!(w[0].t_ps() <= w[1].t_ps(), "{:?} after {:?}", w[1], w[0]);
+        }
+        assert_eq!(log.count_kind("EpochSample"), r.timeline.len());
+        assert!(log.count_kind("KernelLaunch") >= 1);
+        assert_eq!(log.count_kind("KernelRetire"), 1);
+        // SW-DynT always records its Eq. 1 init sizing.
+        assert!(log.count_kind("TokenPoolResize") >= 1);
+
+        assert_eq!(r.metrics.counter("epochs"), r.timeline.len() as u64);
+        assert!(r.metrics.histogram("hmc_service_time_ps").is_some());
+        assert!(r.profile.enabled);
+        assert!(r.profile.span_s("gpu_advance") > 0.0);
+    }
+
+    #[test]
+    fn disabled_telemetry_produces_empty_profile() {
+        let g = GraphSpec::tiny().build();
+        let mut k = make_kernel(Workload::Dc, &g);
+        let r = tiny_cosim(Policy::NaiveOffloading).run(k.as_mut());
+        assert!(!r.profile.enabled);
+        assert!(r.profile.entries.is_empty());
+        // Metrics are always on: the epoch counter still runs.
+        assert_eq!(r.metrics.counter("epochs"), r.timeline.len() as u64);
     }
 
     #[test]
@@ -315,7 +466,10 @@ mod energy_tests {
     fn energy_accumulates_and_scales_with_runtime() {
         let g = GraphSpec::tiny().build();
         let mut k = make_kernel(Workload::Dc, &g);
-        let cfg = CoSimConfig { gpu: GpuConfig::tiny(), ..CoSimConfig::default() };
+        let cfg = CoSimConfig {
+            gpu: GpuConfig::tiny(),
+            ..CoSimConfig::default()
+        };
         let r = CoSim::new(Policy::NonOffloading, cfg).run(k.as_mut());
         assert!(r.cube_energy_j > 0.0);
         // Sanity: implied average power within physical bounds (4.5 W

@@ -27,7 +27,10 @@ impl HardwareProfile {
     /// The Table IV platform: 16 SMs × 6 resident blocks; peak PIM rate
     /// bounded by the request-direction link capacity (≈8 op/ns).
     pub fn paper() -> Self {
-        Self { pim_peak_rate_op_ns: 8.0, max_blocks: 96 }
+        Self {
+            pim_peak_rate_op_ns: 8.0,
+            max_blocks: 96,
+        }
     }
 }
 
@@ -60,7 +63,10 @@ mod tests {
     use super::*;
 
     fn profile(intensity: f64, divergence: f64) -> KernelProfile {
-        KernelProfile { pim_intensity: intensity, divergence_ratio: divergence }
+        KernelProfile {
+            pim_intensity: intensity,
+            divergence_ratio: divergence,
+        }
     }
 
     #[test]
@@ -94,7 +100,10 @@ mod tests {
     #[test]
     fn zero_intensity_means_no_throttling() {
         let hw = HardwareProfile::paper();
-        assert_eq!(initial_ptp_size(&hw, &profile(0.0, 0.0), 1.3, 4), hw.max_blocks);
+        assert_eq!(
+            initial_ptp_size(&hw, &profile(0.0, 0.0), 1.3, 4),
+            hw.max_blocks
+        );
     }
 
     #[test]
@@ -112,7 +121,10 @@ mod more_tests {
     #[test]
     fn margin_adds_exactly_that_many_blocks_inside_range() {
         let hw = HardwareProfile::paper();
-        let k = KernelProfile { pim_intensity: 0.4, divergence_ratio: 0.05 };
+        let k = KernelProfile {
+            pim_intensity: 0.4,
+            divergence_ratio: 0.05,
+        };
         let base = initial_ptp_size(&hw, &k, 1.3, 0);
         let with_margin = initial_ptp_size(&hw, &k, 1.3, 4);
         assert_eq!(with_margin, (base + 4).min(hw.max_blocks));
@@ -121,7 +133,10 @@ mod more_tests {
     #[test]
     fn rate_estimate_is_linear_in_pool_size() {
         let hw = HardwareProfile::paper();
-        let k = KernelProfile { pim_intensity: 0.3, divergence_ratio: 0.2 };
+        let k = KernelProfile {
+            pim_intensity: 0.3,
+            divergence_ratio: 0.2,
+        };
         let r1 = estimate_pim_rate(&hw, &k, 24);
         let r2 = estimate_pim_rate(&hw, &k, 48);
         assert!((r2 - 2.0 * r1).abs() < 1e-12);
@@ -130,7 +145,10 @@ mod more_tests {
     #[test]
     fn full_divergence_means_zero_rate() {
         let hw = HardwareProfile::paper();
-        let k = KernelProfile { pim_intensity: 0.5, divergence_ratio: 1.0 };
+        let k = KernelProfile {
+            pim_intensity: 0.5,
+            divergence_ratio: 1.0,
+        };
         assert_eq!(estimate_pim_rate(&hw, &k, 96), 0.0);
         assert_eq!(initial_ptp_size(&hw, &k, 1.3, 0), hw.max_blocks);
     }

@@ -2,12 +2,16 @@
 //! behind the paper's Figures 10–13.
 //!
 //! Each cell is an independent co-simulated run; cells fan out over a
-//! bounded worker pool (crossbeam channel + scoped threads, per the
-//! repo's HPC guides) and results are gathered deterministically by
-//! index.
+//! bounded worker pool (a shared atomic task index over scoped threads —
+//! no external runtime needed) and results are gathered
+//! deterministically by index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use coolpim_graph::csr::Csr;
 use coolpim_graph::workloads::{make_kernel, Workload};
+use coolpim_telemetry::{MetricsSnapshot, ProfileReport, Telemetry};
 
 use crate::cosim::{CoSim, CoSimConfig, CoSimResult};
 use crate::policy::Policy;
@@ -52,29 +56,50 @@ pub fn run_matrix(
     policies: &[Policy],
     cfg: CoSimConfig,
 ) -> Vec<WorkloadResults> {
+    run_matrix_inner(graph, workloads, policies, cfg, false)
+}
+
+/// [`run_matrix`] with wall-clock span profiling enabled in every run;
+/// fold the per-run reports with [`aggregate_profiles`].
+pub fn run_matrix_profiled(
+    graph: &Csr,
+    workloads: &[Workload],
+    policies: &[Policy],
+    cfg: CoSimConfig,
+) -> Vec<WorkloadResults> {
+    run_matrix_inner(graph, workloads, policies, cfg, true)
+}
+
+fn run_matrix_inner(
+    graph: &Csr,
+    workloads: &[Workload],
+    policies: &[Policy],
+    cfg: CoSimConfig,
+    profile: bool,
+) -> Vec<WorkloadResults> {
     let cfg = &cfg;
     let tasks: Vec<(usize, Workload, usize, Policy)> = workloads
         .iter()
         .enumerate()
         .flat_map(|(wi, &w)| {
-            policies.iter().enumerate().map(move |(pi, &p)| (wi, w, pi, p))
+            policies
+                .iter()
+                .enumerate()
+                .map(move |(pi, &p)| (wi, w, pi, p))
         })
         .collect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let threads = threads.min(tasks.len()).max(1);
 
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Workload, usize, Policy)>();
-    for t in &tasks {
-        tx.send(*t).unwrap();
-    }
-    drop(tx);
-
-    let results = parking_lot::Mutex::new(vec![
-        Vec::<Option<CoSimResult>>::new();
-        workloads.len()
-    ]);
+    // Work distribution: each worker claims the next unclaimed task
+    // index. Slots are pre-sized so workers write disjoint cells and the
+    // output order is independent of scheduling.
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(vec![Vec::<Option<CoSimResult>>::new(); workloads.len()]);
     {
-        let mut guard = results.lock();
+        let mut guard = results.lock().expect("results poisoned");
         for slot in guard.iter_mut() {
             slot.resize_with(policies.len(), || None);
         }
@@ -82,29 +107,37 @@ pub fn run_matrix(
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let rx = rx.clone();
+            let next = &next;
+            let tasks = &tasks;
             let results = &results;
             let graph = graph.clone();
-            scope.spawn(move || {
-                while let Ok((wi, w, pi, p)) = rx.recv() {
-                    let started = std::time::Instant::now();
-                    let mut kernel = make_kernel(w, &graph);
-                    let r = CoSim::new(p, cfg.clone()).run(kernel.as_mut());
-                    eprintln!(
-                        "# {:<10} {:<18} {:>8.3} ms simulated ({:>5.1} s wall)",
-                        w.name(),
-                        p.name(),
-                        r.exec_s * 1e3,
-                        started.elapsed().as_secs_f64()
-                    );
-                    results.lock()[wi][pi] = Some(r);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(wi, w, pi, p)) = tasks.get(i) else {
+                    break;
+                };
+                let started = std::time::Instant::now();
+                let mut kernel = make_kernel(w, &graph);
+                let mut sim = CoSim::new(p, cfg.clone());
+                if profile {
+                    sim = sim.with_telemetry(Telemetry::disabled().profiled());
                 }
+                let r = sim.run(kernel.as_mut());
+                eprintln!(
+                    "# {:<10} {:<18} {:>8.3} ms simulated ({:>5.1} s wall)",
+                    w.name(),
+                    p.name(),
+                    r.exec_s * 1e3,
+                    started.elapsed().as_secs_f64()
+                );
+                results.lock().expect("results poisoned")[wi][pi] = Some(r);
             });
         }
     });
 
     results
         .into_inner()
+        .expect("results poisoned")
         .into_iter()
         .zip(workloads)
         .map(|(runs, &workload)| WorkloadResults {
@@ -117,12 +150,41 @@ pub fn run_matrix(
 /// Arithmetic mean of per-workload speedups for `policy` (the paper's
 /// "on average" figures).
 pub fn mean_speedup(results: &[WorkloadResults], policy: Policy) -> f64 {
-    let speedups: Vec<f64> =
-        results.iter().filter_map(|r| r.speedup(policy)).collect();
+    let speedups: Vec<f64> = results.iter().filter_map(|r| r.speedup(policy)).collect();
     if speedups.is_empty() {
         return 0.0;
     }
     speedups.iter().sum::<f64>() / speedups.len() as f64
+}
+
+/// Folds every run's wall-clock profile for `policy` into one report
+/// (pass `None` to aggregate across all policies). Empty unless the
+/// runs were executed with profiling enabled.
+pub fn aggregate_profiles(results: &[WorkloadResults], policy: Option<Policy>) -> ProfileReport {
+    let mut agg = ProfileReport::default();
+    for wr in results {
+        for run in &wr.runs {
+            if policy.is_none_or(|p| p == run.policy) {
+                agg.merge(&run.profile);
+            }
+        }
+    }
+    agg
+}
+
+/// Folds every run's metrics snapshot for `policy` into one (pass
+/// `None` to aggregate across all policies): counters sum, gauges keep
+/// their maximum, histograms combine.
+pub fn aggregate_metrics(results: &[WorkloadResults], policy: Option<Policy>) -> MetricsSnapshot {
+    let mut agg = MetricsSnapshot::default();
+    for wr in results {
+        for run in &wr.runs {
+            if policy.is_none_or(|p| p == run.policy) {
+                agg.merge(&run.metrics);
+            }
+        }
+    }
+    agg
 }
 
 #[cfg(test)]
@@ -148,7 +210,9 @@ mod tests {
         assert_eq!(res[0].runs[1].policy, Policy::NaiveOffloading);
         let s = res[0].speedup(Policy::NaiveOffloading).unwrap();
         assert!(s > 0.1 && s < 10.0, "speedup {s} out of sanity range");
-        let nb = res[0].normalized_bandwidth(Policy::NaiveOffloading).unwrap();
+        let nb = res[0]
+            .normalized_bandwidth(Policy::NaiveOffloading)
+            .unwrap();
         assert!(nb < 1.0, "offloading must reduce bandwidth (got {nb})");
     }
 
@@ -163,5 +227,19 @@ mod tests {
         );
         let m = mean_speedup(&res, Policy::NonOffloading);
         assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unprofiled_matrix_aggregates_to_empty_profile() {
+        let g = GraphSpec::tiny().build();
+        let res = run_matrix(
+            &g,
+            &[Workload::Dc],
+            &[Policy::NonOffloading],
+            CoSimConfig::default(),
+        );
+        let prof = aggregate_profiles(&res, None);
+        assert!(!prof.enabled);
+        assert!(prof.entries.is_empty());
     }
 }

@@ -12,6 +12,7 @@
 
 use coolpim_gpu::controller::OffloadController;
 use coolpim_hmc::{ns_to_ps, Ps};
+use coolpim_telemetry::TelemetryEvent;
 
 /// Tunables of the hardware throttler.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +55,8 @@ pub struct HwDynT {
     updates: u64,
     first_warning_at: Option<Ps>,
     last_warning_at: Ps,
+    /// Buffered control-action telemetry, drained by the co-sim driver.
+    events: Vec<TelemetryEvent>,
 }
 
 /// A pending update is dropped if no warning arrived within this window
@@ -72,6 +75,7 @@ impl HwDynT {
             updates: 0,
             first_warning_at: None,
             last_warning_at: 0,
+            events: Vec::new(),
         }
     }
 
@@ -103,6 +107,7 @@ impl HwDynT {
                 // effective global granularity is finer than one slot ×
                 // all SMs at once.
                 let cf = self.cfg.control_factor_slots;
+                let old_slots = self.enabled_slots[0] as u64;
                 // Reduce the currently-highest SMs first.
                 for _ in 0..(cf * self.cfg.sms) {
                     if let Some(slot) = self.enabled_slots.iter_mut().max_by_key(|s| **s) {
@@ -112,6 +117,11 @@ impl HwDynT {
                 self.updates += 1;
                 self.pending_update_at = None;
                 self.quiet_until = at + self.cfg.t_settle;
+                self.events.push(TelemetryEvent::WarpCapUpdate {
+                    t_ps: now,
+                    old_slots,
+                    new_slots: self.enabled_slots[0] as u64,
+                });
             }
         }
     }
@@ -136,7 +146,13 @@ impl OffloadController for HwDynT {
         if now >= self.quiet_until && self.pending_update_at.is_none() {
             self.pending_update_at = Some(now + self.cfg.t_throttle);
             self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
+            self.events
+                .push(TelemetryEvent::ThermalWarningDelivered { t_ps: now });
         }
+    }
+
+    fn drain_control_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.append(&mut self.events);
     }
 }
 
@@ -198,6 +214,40 @@ mod tests {
         }
         assert_eq!(c.enabled_slots(), 0);
         assert!(!c.warp_may_offload(5, 0, t + 1));
+    }
+
+    #[test]
+    fn control_events_mirror_pcu_updates() {
+        let mut c = HwDynT::new(HwDynTConfig::default());
+        let settle = HwDynTConfig::default().t_settle;
+        c.on_thermal_warning(0);
+        c.warp_may_offload(0, 0, settle);
+        c.on_thermal_warning(settle + ns_to_ps(200.0));
+        c.warp_may_offload(0, 0, settle + ns_to_ps(400.0));
+        assert_eq!(c.update_steps(), 2);
+
+        let mut events = Vec::new();
+        c.drain_control_events(&mut events);
+        let caps: Vec<_> = events
+            .iter()
+            .filter_map(|e| match *e {
+                TelemetryEvent::WarpCapUpdate {
+                    old_slots,
+                    new_slots,
+                    ..
+                } => Some((old_slots, new_slots)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(caps, vec![(8, 6), (6, 4)]);
+        let delivered = events
+            .iter()
+            .filter(|e| e.kind() == "ThermalWarningDelivered")
+            .count();
+        assert_eq!(delivered, 2);
+        let mut again = Vec::new();
+        c.drain_control_events(&mut again);
+        assert!(again.is_empty());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use coolpim_gpu::controller::OffloadController;
 use coolpim_hmc::Ps;
+use coolpim_telemetry::TelemetryEvent;
 
 use crate::hw_dynt::HwDynTConfig;
 
@@ -87,6 +88,8 @@ pub struct GraduatedHwDynT {
     pending_update_at: Option<Ps>,
     quiet_until: Ps,
     updates: u64,
+    /// Buffered control-action telemetry, drained by the co-sim driver.
+    events: Vec<TelemetryEvent>,
 }
 
 impl GraduatedHwDynT {
@@ -99,6 +102,7 @@ impl GraduatedHwDynT {
             pending_update_at: None,
             quiet_until: 0,
             updates: 0,
+            events: Vec::new(),
         }
     }
 
@@ -121,6 +125,7 @@ impl GraduatedHwDynT {
         if let Some(at) = self.pending_update_at {
             if now >= at {
                 let cf = self.cfg.control_factor_slots * self.level.cf_multiplier();
+                let old_slots = self.enabled_slots[0] as u64;
                 for slot in self.enabled_slots.iter_mut() {
                     *slot = slot.saturating_sub(cf);
                 }
@@ -128,6 +133,11 @@ impl GraduatedHwDynT {
                 self.pending_update_at = None;
                 self.quiet_until = at + self.cfg.t_settle;
                 self.level = WarningLevel::None;
+                self.events.push(TelemetryEvent::WarpCapUpdate {
+                    t_ps: now,
+                    old_slots,
+                    new_slots: self.enabled_slots[0] as u64,
+                });
             }
         }
     }
@@ -149,11 +159,17 @@ impl OffloadController for GraduatedHwDynT {
         if now >= self.quiet_until && self.pending_update_at.is_none() {
             self.pending_update_at = Some(now + self.cfg.t_throttle);
             self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
+            self.events
+                .push(TelemetryEvent::ThermalWarningDelivered { t_ps: now });
         }
     }
 
     fn on_thermal_reading(&mut self, peak_dram_c: f64, threshold_c: f64, _now: Ps) {
         self.observe_level(WarningLevel::classify(peak_dram_c, threshold_c));
+    }
+
+    fn drain_control_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.append(&mut self.events);
     }
 }
 
@@ -172,14 +188,24 @@ mod tests {
 
     #[test]
     fn errstat_round_trips() {
-        for l in [WarningLevel::None, WarningLevel::Mild, WarningLevel::Elevated, WarningLevel::Severe] {
+        for l in [
+            WarningLevel::None,
+            WarningLevel::Mild,
+            WarningLevel::Elevated,
+            WarningLevel::Severe,
+        ] {
             assert_eq!(WarningLevel::from_errstat(l.errstat()), l);
         }
     }
 
     #[test]
     fn severe_warnings_cut_deeper() {
-        let mk = || GraduatedHwDynT::new(HwDynTConfig { control_factor_slots: 1, ..Default::default() });
+        let mk = || {
+            GraduatedHwDynT::new(HwDynTConfig {
+                control_factor_slots: 1,
+                ..Default::default()
+            })
+        };
         let step = ns_to_ps(100.0) + 1;
 
         let mut mild = mk();

@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn controllers_build_for_every_policy() {
-        let k = KernelProfile { pim_intensity: 0.3, divergence_ratio: 0.1 };
+        let k = KernelProfile {
+            pim_intensity: 0.3,
+            divergence_ratio: 0.1,
+        };
         for p in Policy::ALL {
             let mut c = p.controller(&k);
             let grants = c.on_block_launch(0, 0);

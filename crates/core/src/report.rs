@@ -49,7 +49,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -95,6 +97,21 @@ mod tests {
     fn rejects_wrong_arity() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn headerless_table_renders_without_panicking() {
+        let t = Table::new("Empty", &[]);
+        let s = t.render();
+        assert!(s.contains("== Empty =="));
+    }
+
+    #[test]
+    fn rowless_table_renders_headers_only() {
+        let t = Table::new("NoRows", &["a", "bb"]);
+        let s = t.render();
+        assert!(s.contains("a  bb"), "got {s:?}");
+        assert_eq!(s.lines().count(), 3, "title, header, rule — no rows");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use coolpim_gpu::controller::OffloadController;
 use coolpim_gpu::kernel::KernelProfile;
 use coolpim_hmc::{ns_to_ps, Ps};
+use coolpim_telemetry::TelemetryEvent;
 
 use crate::estimate::{initial_ptp_size, HardwareProfile};
 use crate::token_pool::TokenPool;
@@ -58,6 +59,8 @@ pub struct SwDynT {
     first_warning_at: Option<Ps>,
     /// Latest thermal warning observed.
     last_warning_at: Ps,
+    /// Buffered control-action telemetry, drained by the co-sim driver.
+    events: Vec<TelemetryEvent>,
 }
 
 /// A pending shrink is dropped if no warning arrived within this window
@@ -78,6 +81,12 @@ impl SwDynT {
             shrinks: 0,
             first_warning_at: None,
             last_warning_at: 0,
+            events: vec![TelemetryEvent::TokenPoolResize {
+                t_ps: 0,
+                old: size as u64,
+                new: size as u64,
+                trigger: "init",
+            }],
         }
     }
 
@@ -103,12 +112,26 @@ impl SwDynT {
                     // Temperature recovered before the handler ran.
                     self.pending_shrink_at = None;
                     self.quiet_until = at;
+                    let size = self.pool.size() as u64;
+                    self.events.push(TelemetryEvent::TokenPoolResize {
+                        t_ps: now,
+                        old: size,
+                        new: size,
+                        trigger: "stale_cancelled",
+                    });
                     return;
                 }
+                let old = self.pool.size() as u64;
                 self.pool.shrink(self.cfg.control_factor);
                 self.shrinks += 1;
                 self.pending_shrink_at = None;
                 self.quiet_until = at + self.cfg.t_settle;
+                self.events.push(TelemetryEvent::TokenPoolResize {
+                    t_ps: now,
+                    old,
+                    new: self.pool.size() as u64,
+                    trigger: "thermal_warning",
+                });
             }
         }
     }
@@ -134,7 +157,13 @@ impl OffloadController for SwDynT {
             // Interrupt raised; the handler takes effect after T_throttle.
             self.pending_shrink_at = Some(now + self.cfg.t_throttle);
             self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
+            self.events
+                .push(TelemetryEvent::ThermalWarningDelivered { t_ps: now });
         }
+    }
+
+    fn drain_control_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.append(&mut self.events);
     }
 }
 
@@ -146,7 +175,10 @@ mod tests {
         SwDynT::new(
             SwDynTConfig::default(),
             &HardwareProfile::paper(),
-            &KernelProfile { pim_intensity: intensity, divergence_ratio: 0.1 },
+            &KernelProfile {
+                pim_intensity: intensity,
+                divergence_ratio: 0.1,
+            },
         )
     }
 
@@ -167,7 +199,7 @@ mod tests {
             c.on_block_launch(b, 0);
         }
         c.on_thermal_warning(1_000_000); // t = 1 µs
-        // Still pending: too early.
+                                         // Still pending: too early.
         c.on_block_launch(100, 1_500_000);
         assert_eq!(c.shrink_steps(), 0);
         // After T_throttle (0.1 ms) the next launch applies it.
@@ -187,7 +219,11 @@ mod tests {
             c.on_thermal_warning(t * 1000);
         }
         c.on_block_launch(200, ns_to_ps(200_000.0));
-        assert_eq!(c.shrink_steps(), 1, "flooded warnings must collapse to one step");
+        assert_eq!(
+            c.shrink_steps(),
+            1,
+            "flooded warnings must collapse to one step"
+        );
     }
 
     #[test]
@@ -203,6 +239,54 @@ mod tests {
         c.on_thermal_warning(step + 2);
         c.on_block_launch(201, 2 * step + 3);
         assert_eq!(c.shrink_steps(), 2);
+    }
+
+    #[test]
+    fn control_events_mirror_shrink_steps() {
+        let mut c = controller(0.4);
+        for b in 0..96 {
+            c.on_block_launch(b, 0);
+        }
+        let step = ns_to_ps(100_000.0) + ns_to_ps(1_000_000.0);
+        c.on_thermal_warning(0);
+        c.on_block_launch(200, step + 1);
+        c.on_thermal_warning(step + 2);
+        c.on_block_launch(201, 2 * step + 3);
+        assert_eq!(c.shrink_steps(), 2);
+
+        let mut events = Vec::new();
+        c.drain_control_events(&mut events);
+        let resizes: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TelemetryEvent::TokenPoolResize {
+                        trigger: "thermal_warning",
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(resizes.len() as u64, c.shrink_steps());
+        let delivered = events
+            .iter()
+            .filter(|e| e.kind() == "ThermalWarningDelivered")
+            .count();
+        assert_eq!(delivered, 2);
+        // Init event records the Eq. 1 pool size.
+        assert!(matches!(
+            events[0],
+            TelemetryEvent::TokenPoolResize {
+                t_ps: 0,
+                trigger: "init",
+                ..
+            }
+        ));
+        // Drain empties the buffer.
+        let mut again = Vec::new();
+        c.drain_control_events(&mut again);
+        assert!(again.is_empty());
     }
 
     #[test]

@@ -106,7 +106,12 @@ impl Cache {
             let victim_block = (old.tag << self.sets.trailing_zeros()) | set as u64;
             victim_block * self.line_bytes
         });
-        self.lines[victim] = Line { tag, valid: true, dirty: write, lru: self.tick };
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
         CacheOutcome::Miss { writeback }
     }
 
@@ -162,10 +167,15 @@ mod tests {
         let mut c = Cache::new(4096, 2, 64);
         let stride = (sets * 64) as u64;
         assert_eq!(c.access(0, true), CacheOutcome::Miss { writeback: None });
-        assert_eq!(c.access(stride, false), CacheOutcome::Miss { writeback: None });
+        assert_eq!(
+            c.access(stride, false),
+            CacheOutcome::Miss { writeback: None }
+        );
         // Third conflicting access evicts the LRU (the dirty line at 0).
         match c.access(2 * stride, false) {
-            CacheOutcome::Miss { writeback: Some(addr) } => assert_eq!(addr, 0),
+            CacheOutcome::Miss {
+                writeback: Some(addr),
+            } => assert_eq!(addr, 0),
             other => panic!("expected dirty eviction, got {other:?}"),
         }
     }

@@ -7,6 +7,7 @@
 //! tails. All times are simulation picoseconds.
 
 use coolpim_hmc::Ps;
+use coolpim_telemetry::TelemetryEvent;
 
 /// Decides where atomics execute; implemented by `coolpim-core`'s
 /// policies (naïve offloading, SW-DynT, HW-DynT) and by the trivial
@@ -42,6 +43,14 @@ pub trait OffloadController {
     /// their response; the base controllers ignore it.
     fn on_thermal_reading(&mut self, peak_dram_c: f64, threshold_c: f64, now: Ps) {
         let _ = (peak_dram_c, threshold_c, now);
+    }
+
+    /// Moves any control-action telemetry the controller buffered (token
+    /// pool resizes, warp-cap updates, accepted warnings) into `out`.
+    /// The co-simulation driver calls this at epoch boundaries; trivial
+    /// controllers have nothing to report.
+    fn drain_control_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        let _ = out;
     }
 }
 

@@ -97,7 +97,10 @@ mod tests {
     fn active_lane_accounting() {
         assert_eq!(WarpOp::Compute(10).active_lanes(), 0);
         assert_eq!(WarpOp::Load(vec![0, 64, 128]).active_lanes(), 3);
-        let a = WarpOp::Atomic { op: PimOp::SignedAdd, addrs: vec![0; 32] };
+        let a = WarpOp::Atomic {
+            op: PimOp::SignedAdd,
+            addrs: vec![0; 32],
+        };
         assert_eq!(a.active_lanes(), 32);
         assert!(a.is_atomic());
     }
@@ -106,9 +109,15 @@ mod tests {
     fn atomic_lane_ops_counts_lanes_not_instructions() {
         let t = WarpTrace {
             ops: vec![
-                WarpOp::Atomic { op: PimOp::SignedAdd, addrs: vec![0, 8] },
+                WarpOp::Atomic {
+                    op: PimOp::SignedAdd,
+                    addrs: vec![0, 8],
+                },
                 WarpOp::Compute(5),
-                WarpOp::Atomic { op: PimOp::CasGreater, addrs: vec![16] },
+                WarpOp::Atomic {
+                    op: PimOp::CasGreater,
+                    addrs: vec![16],
+                },
             ],
         };
         assert_eq!(t.atomic_lane_ops(), 3);

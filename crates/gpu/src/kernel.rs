@@ -63,7 +63,11 @@ mod tests {
 
     impl StreamKernel {
         pub fn new(launches: usize, blocks: usize, warps: usize) -> Self {
-            Self { launches_left: launches, blocks, warps }
+            Self {
+                launches_left: launches,
+                blocks,
+                warps,
+            }
         }
     }
 
@@ -94,7 +98,10 @@ mod tests {
             self.launches_left > 0
         }
         fn profile(&self) -> KernelProfile {
-            KernelProfile { pim_intensity: 0.0, divergence_ratio: 0.0 }
+            KernelProfile {
+                pim_intensity: 0.0,
+                divergence_ratio: 0.0,
+            }
         }
     }
 

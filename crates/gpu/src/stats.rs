@@ -47,7 +47,11 @@ mod tests {
     fn offload_fraction_handles_zero() {
         let s = GpuStats::default();
         assert_eq!(s.offload_fraction(), 0.0);
-        let s2 = GpuStats { pim_lane_ops: 3, host_lane_ops: 1, ..Default::default() };
+        let s2 = GpuStats {
+            pim_lane_ops: 3,
+            host_lane_ops: 1,
+            ..Default::default()
+        };
         assert!((s2.offload_fraction() - 0.75).abs() < 1e-12);
     }
 }

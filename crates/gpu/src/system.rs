@@ -20,6 +20,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use coolpim_hmc::{Hmc, Ps, Request};
+use coolpim_telemetry::TelemetryEvent;
 
 use crate::cache::{Cache, CacheOutcome};
 use crate::coalesce::coalesce_into;
@@ -88,6 +89,9 @@ pub struct GpuSystem {
     started: bool,
     stats: GpuStats,
     scratch: Vec<u64>,
+    /// Kernel launch/retire events since the last drain (one per grid —
+    /// rare; drained at epoch boundaries by the co-simulator).
+    events: Vec<TelemetryEvent>,
 }
 
 impl GpuSystem {
@@ -98,7 +102,11 @@ impl GpuSystem {
             .collect();
         let l2 = Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes);
         let sms = vec![
-            SmState { issue_next_free: 0, resident_blocks: 0, resident_warps: 0 };
+            SmState {
+                issue_next_free: 0,
+                resident_blocks: 0,
+                resident_warps: 0
+            };
             cfg.sms
         ];
         Self {
@@ -121,6 +129,7 @@ impl GpuSystem {
             started: false,
             stats: GpuStats::default(),
             scratch: Vec::with_capacity(32),
+            events: Vec::new(),
         }
     }
 
@@ -175,7 +184,17 @@ impl GpuSystem {
         self.launch_ready = start;
         self.now = start;
         self.stats.launches = 1;
+        self.events.push(TelemetryEvent::KernelLaunch {
+            t_ps: start,
+            launch: 1,
+        });
         self.fill_sms(kernel, controller);
+    }
+
+    /// Moves the engine's buffered telemetry events (kernel launches and
+    /// the final retire) into `out`.
+    pub fn drain_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.append(&mut self.events);
     }
 
     /// Processes events up to `until`; returns why it stopped.
@@ -211,11 +230,19 @@ impl GpuSystem {
                         self.next_block = 0;
                         self.launch_ready = self.now + self.cfg.launch_overhead;
                         self.stats.launches += 1;
+                        self.events.push(TelemetryEvent::KernelLaunch {
+                            t_ps: self.launch_ready,
+                            launch: self.stats.launches,
+                        });
                         self.fill_sms(kernel, controller);
                         continue;
                     }
                     self.finished = true;
                     self.stats.end_ps = self.now;
+                    self.events.push(TelemetryEvent::KernelRetire {
+                        t_ps: self.now,
+                        launch: self.stats.launches,
+                    });
                     return RunOutcome::Finished;
                 }
                 Some(Reverse((ready, slot))) => {
@@ -241,7 +268,10 @@ impl GpuSystem {
 
     fn fill_sms(&mut self, kernel: &mut dyn Kernel, controller: &mut dyn OffloadController) {
         let wpb = kernel.warps_per_block();
-        assert!(wpb > 0 && wpb <= self.cfg.max_warps_per_sm, "warps/block {wpb} unschedulable");
+        assert!(
+            wpb > 0 && wpb <= self.cfg.max_warps_per_sm,
+            "warps/block {wpb} unschedulable"
+        );
         // Round-robin over SMs until no SM can take another block.
         let mut placed = true;
         while placed && self.next_block < self.grid_blocks {
@@ -294,7 +324,12 @@ impl GpuSystem {
             self.free_blocks.push(block_slot);
             return;
         }
-        self.blocks[block_slot] = Some(BlockRun { id, sm, pim, warps_left: live_warps });
+        self.blocks[block_slot] = Some(BlockRun {
+            id,
+            sm,
+            pim,
+            warps_left: live_warps,
+        });
         self.sms[sm].resident_blocks += 1;
         self.sms[sm].resident_warps += live_warps;
         for (wi, wt) in trace.warps.into_iter().enumerate() {
@@ -388,7 +423,11 @@ impl GpuSystem {
                         let addr = addrs[li];
                         let c = self.hmc.submit(issue_start, &Request::pim(op, addr));
                         self.note_completion(&c, controller);
-                        done = done.max(if wait_for_data { c.finish_ps } else { c.req_accepted_ps });
+                        done = done.max(if wait_for_data {
+                            c.finish_ps
+                        } else {
+                            c.req_accepted_ps
+                        });
                     }
                     done
                 } else {
@@ -402,7 +441,9 @@ impl GpuSystem {
                     self.sms[sm].issue_next_free = issue_start + txs * cycle;
                     let wait_for_data = op.returns_data();
                     let mut done = issue_start
-                        + self.cfg.cycles_ps(self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles);
+                        + self
+                            .cfg
+                            .cycles_ps(self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles);
                     for i in 0..blocks.len() {
                         let (accepted, data) =
                             self.host_atomic_block(issue_start, blocks[i], controller);
@@ -493,8 +534,9 @@ impl GpuSystem {
         addr: u64,
         controller: &mut dyn OffloadController,
     ) -> (Ps, Ps) {
-        let t_l2 =
-            t + self.cfg.cycles_ps(self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles);
+        let t_l2 = t + self
+            .cfg
+            .cycles_ps(self.cfg.l1_hit_cycles + self.cfg.l2_hit_cycles);
         match self.l2.access(addr, true) {
             CacheOutcome::Hit => (t_l2, t_l2),
             CacheOutcome::Miss { writeback } => {
@@ -545,7 +587,14 @@ mod tests {
 
     impl SyntheticKernel {
         fn new(launches: usize, blocks: usize, warps: usize, loads: usize, atomics: usize) -> Self {
-            Self { launches_left: launches, blocks, warps, loads, atomics, seed: 0x9E3779B97F4A7C15 }
+            Self {
+                launches_left: launches,
+                blocks,
+                warps,
+                loads,
+                atomics,
+                seed: 0x9E3779B97F4A7C15,
+            }
         }
         fn addr(&self, i: u64) -> u64 {
             // Cheap deterministic scatter over 256 MB.
@@ -570,7 +619,9 @@ mod tests {
                 let base = (block * self.warps + w) as u64 * 1000;
                 for l in 0..self.loads {
                     ops.push(WarpOp::Load(
-                        (0..32u64).map(|lane| self.addr(base + l as u64 * 37 + lane)).collect(),
+                        (0..32u64)
+                            .map(|lane| self.addr(base + l as u64 * 37 + lane))
+                            .collect(),
                     ));
                     ops.push(WarpOp::Compute(6));
                 }
@@ -591,7 +642,10 @@ mod tests {
             self.launches_left > 0
         }
         fn profile(&self) -> KernelProfile {
-            KernelProfile { pim_intensity: 0.3, divergence_ratio: 0.1 }
+            KernelProfile {
+                pim_intensity: 0.3,
+                divergence_ratio: 0.1,
+            }
         }
     }
 
@@ -659,6 +713,31 @@ mod tests {
     }
 
     #[test]
+    fn launch_and_retire_events_bracket_the_run() {
+        let mut sys = GpuSystem::new(GpuConfig::tiny(), Hmc::hmc20());
+        let mut k = SyntheticKernel::new(3, 4, 2, 1, 1);
+        sys.run_to_completion(&mut k, &mut NeverOffload);
+        let mut evs = Vec::new();
+        sys.drain_events(&mut evs);
+        let launches: Vec<_> = evs
+            .iter()
+            .filter(|e| e.kind() == "KernelLaunch")
+            .map(|e| e.t_ps())
+            .collect();
+        assert_eq!(launches.len(), 3, "one event per grid launch");
+        assert!(
+            launches.windows(2).all(|w| w[0] <= w[1]),
+            "launch times monotone"
+        );
+        let retires: Vec<_> = evs.iter().filter(|e| e.kind() == "KernelRetire").collect();
+        assert_eq!(retires.len(), 1, "single retire at workload completion");
+        assert_eq!(retires[0].t_ps(), sys.stats().end_ps);
+        let mut again = Vec::new();
+        sys.drain_events(&mut again);
+        assert!(again.is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
     fn warnings_propagate_to_controller() {
         struct CountingCtrl {
             warnings: u64,
@@ -695,7 +774,7 @@ mod tests {
         struct EvenBlocks;
         impl OffloadController for EvenBlocks {
             fn on_block_launch(&mut self, b: usize, _t: Ps) -> bool {
-                b % 2 == 0
+                b.is_multiple_of(2)
             }
         }
         let mut sys = GpuSystem::new(GpuConfig::tiny(), Hmc::hmc20());
@@ -718,7 +797,10 @@ mod tests {
         };
         let cool = run_with_temp(40.0);
         let hot = run_with_temp(96.0);
-        assert!(hot > cool, "critical-phase derating must slow the run: {hot} vs {cool}");
+        assert!(
+            hot > cool,
+            "critical-phase derating must slow the run: {hot} vs {cool}"
+        );
     }
 }
 
@@ -755,13 +837,20 @@ mod more_tests {
         fn block_trace(&mut self, _block: usize, _pim: bool) -> BlockTrace {
             assert!(!self.fired, "single block requested twice");
             self.fired = true;
-            BlockTrace { warps: vec![WarpTrace { ops: self.ops.clone() }] }
+            BlockTrace {
+                warps: vec![WarpTrace {
+                    ops: self.ops.clone(),
+                }],
+            }
         }
         fn next_launch(&mut self) -> bool {
             false
         }
         fn profile(&self) -> KernelProfile {
-            KernelProfile { pim_intensity: 0.5, divergence_ratio: 0.0 }
+            KernelProfile {
+                pim_intensity: 0.5,
+                divergence_ratio: 0.0,
+            }
         }
     }
 
@@ -803,7 +892,10 @@ mod more_tests {
         let run = |op: PimOp| {
             let mut sys = GpuSystem::new(GpuConfig::tiny(), Hmc::hmc20());
             let ops = (0..64)
-                .map(|i| WarpOp::Atomic { op, addrs: vec![i * 4096] })
+                .map(|i| WarpOp::Atomic {
+                    op,
+                    addrs: vec![i * 4096],
+                })
                 .collect();
             let mut k = OneShot::new(ops);
             sys.run_to_completion(&mut k, &mut AlwaysOffload);
@@ -824,7 +916,10 @@ mod more_tests {
             WarpOp::Compute(5),
             WarpOp::Load(vec![0]),
             WarpOp::Store(vec![64]),
-            WarpOp::Atomic { op: PimOp::SignedAdd, addrs: vec![128, 132] },
+            WarpOp::Atomic {
+                op: PimOp::SignedAdd,
+                addrs: vec![128, 132],
+            },
         ]);
         sys.run_to_completion(&mut k, &mut AlwaysOffload);
         let s = sys.stats();

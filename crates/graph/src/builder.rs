@@ -28,7 +28,10 @@ fn from_weighted_edges_inner(n: usize, edges: &[(u32, u32)], weights: Option<&[u
     let mut last: Option<(u32, u32)> = None;
     for &i in &idx {
         let (s, d) = edges[i as usize];
-        assert!((s as usize) < n && (d as usize) < n, "edge ({s},{d}) out of range");
+        assert!(
+            (s as usize) < n && (d as usize) < n,
+            "edge ({s},{d}) out of range"
+        );
         if s == d || last == Some((s, d)) {
             continue; // drop self-loops and duplicates
         }

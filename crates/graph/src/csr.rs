@@ -28,13 +28,25 @@ impl Csr {
         assert!(!offsets.is_empty(), "offsets must have at least one entry");
         assert_eq!(*offsets.first().unwrap(), 0);
         assert_eq!(*offsets.last().unwrap() as usize, edges.len());
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets not monotone");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets not monotone"
+        );
         let n = offsets.len() - 1;
-        assert!(edges.iter().all(|&e| (e as usize) < n), "edge target out of range");
+        assert!(
+            edges.iter().all(|&e| (e as usize) < n),
+            "edge target out of range"
+        );
         if let Some(w) = &weights {
             assert_eq!(w.len(), edges.len(), "weights length mismatch");
         }
-        Self { inner: Arc::new(CsrInner { offsets, edges, weights }) }
+        Self {
+            inner: Arc::new(CsrInner {
+                offsets,
+                edges,
+                weights,
+            }),
+        }
     }
 
     /// Number of vertices.
@@ -88,7 +100,10 @@ impl Csr {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> u32 {
-        (0..self.vertices() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -7,11 +7,9 @@
 //! space, as after LDBC's id assignment). See DESIGN.md §2 for the
 //! substitution rationale.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder;
 use crate::csr::Csr;
+use crate::rng::SplitMix64;
 
 /// R-MAT quadrant probabilities with social-network skew.
 pub const RMAT_SOCIAL: (f64, f64, f64, f64) = (0.45, 0.22, 0.22, 0.11);
@@ -49,19 +47,37 @@ impl GraphSpec {
     /// milliseconds of simulated time, multiple thermal response times
     /// (the co-simulator's warm start covers the steady regime).
     pub fn ldbc_like() -> Self {
-        Self { kind: GraphKind::RmatSocial, scale: 20, avg_degree: 16, weighted: true, seed: 42 }
+        Self {
+            kind: GraphKind::RmatSocial,
+            scale: 20,
+            avg_degree: 16,
+            weighted: true,
+            seed: 42,
+        }
     }
 
     /// A small graph for unit tests (2^10 vertices).
     pub fn tiny() -> Self {
-        Self { kind: GraphKind::RmatSocial, scale: 10, avg_degree: 8, weighted: true, seed: 7 }
+        Self {
+            kind: GraphKind::RmatSocial,
+            scale: 10,
+            avg_degree: 8,
+            weighted: true,
+            seed: 7,
+        }
     }
 
     /// A medium test graph whose property array exceeds the tiny GPU
     /// configuration's L2, so offloading behaviour is representative
     /// (2^14 vertices).
     pub fn test_medium() -> Self {
-        Self { kind: GraphKind::RmatSocial, scale: 14, avg_degree: 8, weighted: true, seed: 11 }
+        Self {
+            kind: GraphKind::RmatSocial,
+            scale: 14,
+            avg_degree: 8,
+            weighted: true,
+            seed: 11,
+        }
     }
 
     /// Vertex count.
@@ -73,20 +89,21 @@ impl GraphSpec {
     pub fn build(&self) -> Csr {
         let n = self.vertices();
         let m = n * self.avg_degree as usize;
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         // Deterministic vertex permutation scatters R-MAT's low-id hubs.
         let perm = permutation(n, &mut rng);
         let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(m);
         for _ in 0..m {
             let (mut s, mut d) = match self.kind {
                 GraphKind::RmatSocial => rmat_edge(self.scale, RMAT_SOCIAL, &mut rng),
-                GraphKind::Uniform => {
-                    (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))
-                }
+                GraphKind::Uniform => (
+                    rng.gen_range_u32(0, n as u32),
+                    rng.gen_range_u32(0, n as u32),
+                ),
             };
             s = perm[s as usize];
             d = perm[d as usize];
-            let w = rng.gen_range(1..64u32);
+            let w = rng.gen_range_u32(1, 64);
             edges.push((s, d, w));
         }
         if self.weighted {
@@ -98,7 +115,7 @@ impl GraphSpec {
     }
 }
 
-fn rmat_edge(scale: u32, (a, b, c, _d): (f64, f64, f64, f64), rng: &mut SmallRng) -> (u32, u32) {
+fn rmat_edge(scale: u32, (a, b, c, _d): (f64, f64, f64, f64), rng: &mut SplitMix64) -> (u32, u32) {
     let mut s = 0u32;
     let mut t = 0u32;
     for _ in 0..scale {
@@ -106,7 +123,7 @@ fn rmat_edge(scale: u32, (a, b, c, _d): (f64, f64, f64, f64), rng: &mut SmallRng
         t <<= 1;
         // Add a little per-level noise so the quadrant structure is not
         // perfectly self-similar (standard R-MAT practice).
-        let r: f64 = rng.gen();
+        let r: f64 = rng.gen_f64();
         if r < a {
             // top-left: neither bit set
         } else if r < a + b {
@@ -121,11 +138,11 @@ fn rmat_edge(scale: u32, (a, b, c, _d): (f64, f64, f64, f64), rng: &mut SmallRng
     (s, t)
 }
 
-fn permutation(n: usize, rng: &mut SmallRng) -> Vec<u32> {
+fn permutation(n: usize, rng: &mut SplitMix64) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     // Fisher–Yates.
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.gen_range_inclusive_usize(0, i);
         perm.swap(i, j);
     }
     perm
@@ -148,7 +165,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = GraphSpec::tiny().build();
-        let b = GraphSpec { seed: 8, ..GraphSpec::tiny() }.build();
+        let b = GraphSpec {
+            seed: 8,
+            ..GraphSpec::tiny()
+        }
+        .build();
         let same = (0..a.vertices() as u32).all(|v| a.neighbours(v) == b.neighbours(v));
         assert!(!same);
     }
@@ -156,7 +177,11 @@ mod tests {
     #[test]
     fn rmat_is_skewed_relative_to_uniform() {
         let rmat = GraphSpec::tiny().build();
-        let uni = GraphSpec { kind: GraphKind::Uniform, ..GraphSpec::tiny() }.build();
+        let uni = GraphSpec {
+            kind: GraphKind::Uniform,
+            ..GraphSpec::tiny()
+        }
+        .build();
         assert!(
             rmat.max_degree() > 2 * uni.max_degree(),
             "R-MAT max degree {} should dwarf uniform {}",
@@ -170,7 +195,11 @@ mod tests {
         let g = GraphSpec::tiny().build();
         let target = g.vertices() * 8;
         // Deduplication loses some edges, but most survive.
-        assert!(g.edge_count() > target / 2, "{} of {target} edges", g.edge_count());
+        assert!(
+            g.edge_count() > target / 2,
+            "{} of {target} edges",
+            g.edge_count()
+        );
         assert!(g.edge_count() <= target);
     }
 

@@ -61,13 +61,18 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, IoError> {
             None => 1,
             Some(tok) => {
                 any_weight = true;
-                tok.parse().map_err(|_| IoError::Parse(idx + 1, line.clone()))?
+                tok.parse()
+                    .map_err(|_| IoError::Parse(idx + 1, line.clone()))?
             }
         };
         max_v = max_v.max(s).max(d);
         edges.push((s, d, w));
     }
-    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_v as usize + 1
+    };
     Ok(if any_weight {
         builder::from_weighted_edges(n, &edges)
     } else {
@@ -85,7 +90,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Csr, IoError> {
 /// Writes a graph as an edge list (with weights when present).
 pub fn write_edge_list<W: Write>(g: &Csr, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# coolpim edge list: {} vertices, {} edges", g.vertices(), g.edge_count())?;
+    writeln!(
+        w,
+        "# coolpim edge list: {} vertices, {} edges",
+        g.vertices(),
+        g.edge_count()
+    )?;
     for v in 0..g.vertices() as u32 {
         if g.is_weighted() {
             for (&d, &wt) in g.neighbours(v).iter().zip(g.weights_of(v)) {

@@ -74,8 +74,7 @@ pub fn kcore_membership(g: &Csr, k: u32) -> Vec<bool> {
         }
     }
     let mut alive = vec![true; n];
-    let mut queue: Vec<u32> =
-        (0..n as u32).filter(|&v| deg[v as usize] < k).collect();
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| deg[v as usize] < k).collect();
     for &v in &queue {
         alive[v as usize] = false;
     }
@@ -155,10 +154,7 @@ mod tests {
     #[test]
     fn kcore_peels_low_degree_tail() {
         // Triangle (both directions) + pendant vertex 3.
-        let g = from_edges(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (0, 3)],
-        );
+        let g = from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (0, 3)]);
         let core = kcore_membership(&g, 3);
         assert_eq!(core, vec![true, true, true, false]);
     }

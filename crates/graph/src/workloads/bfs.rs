@@ -112,7 +112,9 @@ impl BfsKernel {
         }
         match self.variant {
             BfsVariant::Dwc => {
-                let Some(&u) = self.frontier.get(warp_idx) else { return };
+                let Some(&u) = self.frontier.get(warp_idx) else {
+                    return;
+                };
                 b.load(vec![layout::aux_addr(u)]); // fetch the work item
                 warp_centric_vertex(b, &g, u, false, PimOp::CasSmaller, visit!());
             }
@@ -238,10 +240,22 @@ impl Kernel for BfsKernel {
 
     fn profile(&self) -> KernelProfile {
         match self.variant {
-            BfsVariant::Dwc => KernelProfile { pim_intensity: 0.28, divergence_ratio: 0.10 },
-            BfsVariant::Twc => KernelProfile { pim_intensity: 0.22, divergence_ratio: 0.15 },
-            BfsVariant::Ta => KernelProfile { pim_intensity: 0.30, divergence_ratio: 0.60 },
-            BfsVariant::Ttc => KernelProfile { pim_intensity: 0.15, divergence_ratio: 0.60 },
+            BfsVariant::Dwc => KernelProfile {
+                pim_intensity: 0.28,
+                divergence_ratio: 0.10,
+            },
+            BfsVariant::Twc => KernelProfile {
+                pim_intensity: 0.22,
+                divergence_ratio: 0.15,
+            },
+            BfsVariant::Ta => KernelProfile {
+                pim_intensity: 0.30,
+                divergence_ratio: 0.60,
+            },
+            BfsVariant::Ttc => KernelProfile {
+                pim_intensity: 0.15,
+                divergence_ratio: 0.60,
+            },
         }
     }
 }
@@ -277,7 +291,12 @@ mod tests {
 
     #[test]
     fn functional_levels_on_chain_all_variants() {
-        for variant in [BfsVariant::Ta, BfsVariant::Dwc, BfsVariant::Twc, BfsVariant::Ttc] {
+        for variant in [
+            BfsVariant::Ta,
+            BfsVariant::Dwc,
+            BfsVariant::Twc,
+            BfsVariant::Ttc,
+        ] {
             let mut k = BfsKernel::new(chain(), variant, 0);
             loop {
                 for b in 0..k.grid_blocks() {
@@ -320,7 +339,10 @@ mod tests {
         };
         let ta = count_atomics(BfsVariant::Ta);
         let ttc = count_atomics(BfsVariant::Ttc);
-        assert!(ttc < ta, "ttc {ttc} should emit fewer atomic lanes than ta {ta}");
+        assert!(
+            ttc < ta,
+            "ttc {ttc} should emit fewer atomic lanes than ta {ta}"
+        );
     }
 
     #[test]
@@ -335,9 +357,18 @@ mod tests {
     #[test]
     fn names_match_paper_labels() {
         let g = chain();
-        assert_eq!(BfsKernel::new(g.clone(), BfsVariant::Ta, 0).name(), "bfs-ta");
-        assert_eq!(BfsKernel::new(g.clone(), BfsVariant::Dwc, 0).name(), "bfs-dwc");
-        assert_eq!(BfsKernel::new(g.clone(), BfsVariant::Twc, 0).name(), "bfs-twc");
+        assert_eq!(
+            BfsKernel::new(g.clone(), BfsVariant::Ta, 0).name(),
+            "bfs-ta"
+        );
+        assert_eq!(
+            BfsKernel::new(g.clone(), BfsVariant::Dwc, 0).name(),
+            "bfs-dwc"
+        );
+        assert_eq!(
+            BfsKernel::new(g.clone(), BfsVariant::Twc, 0).name(),
+            "bfs-twc"
+        );
         assert_eq!(BfsKernel::new(g, BfsVariant::Ttc, 0).name(), "bfs-ttc");
     }
 
@@ -352,10 +383,14 @@ mod tests {
                 for op in w.ops {
                     match op {
                         WarpOp::Load(addrs) => {
-                            saw_aux |= addrs.iter().any(|&a| a >= layout::AUX_BASE && a < layout::WEIGHTS_BASE);
+                            saw_aux |= addrs
+                                .iter()
+                                .any(|&a| (layout::AUX_BASE..layout::WEIGHTS_BASE).contains(&a));
                         }
                         WarpOp::Atomic { addrs, .. } => {
-                            assert!(addrs.iter().all(|&a| (layout::PROP_BASE..layout::AUX_BASE).contains(&a)));
+                            assert!(addrs
+                                .iter()
+                                .all(|&a| (layout::PROP_BASE..layout::AUX_BASE).contains(&a)));
                             saw_prop_atomic |= !addrs.is_empty();
                         }
                         _ => {}

@@ -127,7 +127,10 @@ impl Kernel for CcKernel {
     }
 
     fn profile(&self) -> KernelProfile {
-        KernelProfile { pim_intensity: 0.25, divergence_ratio: 0.15 }
+        KernelProfile {
+            pim_intensity: 0.25,
+            divergence_ratio: 0.15,
+        }
     }
 }
 
@@ -153,7 +156,16 @@ mod tests {
         // Bidirectional cycles {0,1,2} and {3,4}.
         let g = from_edges(
             5,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (3, 4), (4, 3)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 0),
+                (0, 2),
+                (3, 4),
+                (4, 3),
+            ],
         );
         let mut k = CcKernel::new(g.clone());
         run(&mut k);
@@ -182,6 +194,10 @@ mod tests {
         let g = GraphSpec::tiny().build();
         let mut k = CcKernel::new(g);
         run(&mut k);
-        assert!(k.rounds() < 64, "label propagation took {} rounds", k.rounds());
+        assert!(
+            k.rounds() < 64,
+            "label propagation took {} rounds",
+            k.rounds()
+        );
     }
 }

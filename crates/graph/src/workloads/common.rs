@@ -25,9 +25,17 @@ pub fn warp_centric_vertex(
     b.compute(8);
     for (ci, chunk) in neighbours.chunks(WARP).enumerate() {
         let base = start + (ci * WARP) as u64;
-        b.load((0..chunk.len()).map(|i| layout::edge_addr(base + i as u64)).collect());
+        b.load(
+            (0..chunk.len())
+                .map(|i| layout::edge_addr(base + i as u64))
+                .collect(),
+        );
         if weighted {
-            b.load((0..chunk.len()).map(|i| layout::weight_addr(base + i as u64)).collect());
+            b.load(
+                (0..chunk.len())
+                    .map(|i| layout::weight_addr(base + i as u64))
+                    .collect(),
+            );
         }
         b.compute(4);
         b.atomic(op, chunk.iter().map(|&w| layout::prop_addr(w)).collect());
@@ -75,7 +83,11 @@ pub fn thread_centric_group(
                     edge_loads.push(layout::weight_addr(ei));
                 }
                 let w = g.neighbours(v)[e as usize];
-                let wt = if weighted { g.weights_of(v)[e as usize] } else { 0 };
+                let wt = if weighted {
+                    g.weights_of(v)[e as usize]
+                } else {
+                    0
+                };
                 targets.push(layout::prop_addr(w));
                 visit(v, w, wt);
             }
@@ -134,9 +146,16 @@ mod tests {
         let g = from_weighted_edges(5, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 4, 1)]);
         let mut b = TraceBuilder::new();
         let mut count = 0;
-        thread_centric_group(&mut b, &g, &[0, 1, 2], true, PimOp::CasSmaller, |_, _, _| {
-            count += 1;
-        });
+        thread_centric_group(
+            &mut b,
+            &g,
+            &[0, 1, 2],
+            true,
+            PimOp::CasSmaller,
+            |_, _, _| {
+                count += 1;
+            },
+        );
         let t = b.finish();
         assert_eq!(count, 4);
         let atomics: Vec<usize> = t

@@ -26,7 +26,11 @@ impl DcKernel {
     /// Creates the kernel over `g`.
     pub fn new(g: Csr) -> Self {
         let n = g.vertices();
-        Self { g, counts: vec![0; n], done: false }
+        Self {
+            g,
+            counts: vec![0; n],
+            done: false,
+        }
     }
 
     /// In-degree counts (valid once the run completes).
@@ -72,7 +76,10 @@ impl Kernel for DcKernel {
     }
 
     fn profile(&self) -> KernelProfile {
-        KernelProfile { pim_intensity: 0.40, divergence_ratio: 0.05 }
+        KernelProfile {
+            pim_intensity: 0.40,
+            divergence_ratio: 0.05,
+        }
     }
 }
 

@@ -50,7 +50,14 @@ impl KCoreKernel {
                 deg[w as usize] += 1;
             }
         }
-        Self { g, k, deg, alive: vec![true; n], phase: Phase::Scan, peeled: Vec::new() }
+        Self {
+            g,
+            k,
+            deg,
+            alive: vec![true; n],
+            phase: Phase::Scan,
+            peeled: Vec::new(),
+        }
     }
 
     /// Per-vertex k-core membership (valid once the run completes).
@@ -106,18 +113,11 @@ impl Kernel for KCoreKernel {
                             b.load(vec![layout::aux_addr(u)]); // work item
                             let deg = &mut self.deg;
                             let alive = &self.alive;
-                            warp_centric_vertex(
-                                &mut b,
-                                &g,
-                                u,
-                                false,
-                                PimOp::SignedAdd,
-                                |t, _| {
-                                    if alive[t as usize] {
-                                        deg[t as usize] -= 1;
-                                    }
-                                },
-                            );
+                            warp_centric_vertex(&mut b, &g, u, false, PimOp::SignedAdd, |t, _| {
+                                if alive[t as usize] {
+                                    deg[t as usize] -= 1;
+                                }
+                            });
                         }
                     }
                 }
@@ -146,7 +146,10 @@ impl Kernel for KCoreKernel {
     }
 
     fn profile(&self) -> KernelProfile {
-        KernelProfile { pim_intensity: 0.05, divergence_ratio: 0.30 }
+        KernelProfile {
+            pim_intensity: 0.05,
+            divergence_ratio: 0.30,
+        }
     }
 }
 

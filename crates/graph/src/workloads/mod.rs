@@ -28,7 +28,9 @@ use crate::csr::Csr;
 /// guaranteed to seed a substantial traversal on any non-empty graph
 /// (GraphBIG-style hub source).
 pub fn default_source(g: &Csr) -> u32 {
-    (0..g.vertices() as u32).max_by_key(|&v| g.degree(v)).unwrap_or(0)
+    (0..g.vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap_or(0)
 }
 
 /// Warps per thread block used by all workloads (256 threads/block).
@@ -104,20 +106,38 @@ pub fn make_kernel(workload: Workload, graph: &Csr) -> Box<dyn Kernel> {
     match workload {
         Workload::Dc => Box::new(dc::DcKernel::new(graph.clone())),
         Workload::BfsTa => Box::new(bfs::BfsKernel::new(graph.clone(), bfs::BfsVariant::Ta, src)),
-        Workload::BfsDwc => Box::new(bfs::BfsKernel::new(graph.clone(), bfs::BfsVariant::Dwc, src)),
-        Workload::BfsTwc => Box::new(bfs::BfsKernel::new(graph.clone(), bfs::BfsVariant::Twc, src)),
-        Workload::BfsTtc => Box::new(bfs::BfsKernel::new(graph.clone(), bfs::BfsVariant::Ttc, src)),
+        Workload::BfsDwc => Box::new(bfs::BfsKernel::new(
+            graph.clone(),
+            bfs::BfsVariant::Dwc,
+            src,
+        )),
+        Workload::BfsTwc => Box::new(bfs::BfsKernel::new(
+            graph.clone(),
+            bfs::BfsVariant::Twc,
+            src,
+        )),
+        Workload::BfsTtc => Box::new(bfs::BfsKernel::new(
+            graph.clone(),
+            bfs::BfsVariant::Ttc,
+            src,
+        )),
         Workload::KCore => Box::new(kcore::KCoreKernel::new(graph.clone(), 8)),
         Workload::PageRank => Box::new(pagerank::PageRankKernel::new(graph.clone(), 3)),
-        Workload::SsspDtc => {
-            Box::new(sssp::SsspKernel::new(graph.clone(), sssp::SsspVariant::Dtc, src))
-        }
-        Workload::SsspDwc => {
-            Box::new(sssp::SsspKernel::new(graph.clone(), sssp::SsspVariant::Dwc, src))
-        }
-        Workload::SsspTwc => {
-            Box::new(sssp::SsspKernel::new(graph.clone(), sssp::SsspVariant::Twc, src))
-        }
+        Workload::SsspDtc => Box::new(sssp::SsspKernel::new(
+            graph.clone(),
+            sssp::SsspVariant::Dtc,
+            src,
+        )),
+        Workload::SsspDwc => Box::new(sssp::SsspKernel::new(
+            graph.clone(),
+            sssp::SsspVariant::Dwc,
+            src,
+        )),
+        Workload::SsspTwc => Box::new(sssp::SsspKernel::new(
+            graph.clone(),
+            sssp::SsspVariant::Twc,
+            src,
+        )),
     }
 }
 

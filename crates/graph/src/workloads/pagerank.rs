@@ -98,7 +98,10 @@ impl Kernel for PageRankKernel {
     }
 
     fn profile(&self) -> KernelProfile {
-        KernelProfile { pim_intensity: 0.32, divergence_ratio: 0.10 }
+        KernelProfile {
+            pim_intensity: 0.32,
+            divergence_ratio: 0.10,
+        }
     }
 }
 

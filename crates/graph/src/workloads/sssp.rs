@@ -101,7 +101,9 @@ impl SsspKernel {
         }
         match self.variant {
             SsspVariant::Dwc => {
-                let Some(&u) = self.frontier.get(warp_idx) else { return };
+                let Some(&u) = self.frontier.get(warp_idx) else {
+                    return;
+                };
                 b.load(vec![layout::aux_addr(u)]); // work item + own distance
                 let du = self.dist[u as usize];
                 warp_centric_vertex(b, &g, u, true, PimOp::CasSmaller, relax!(du));
@@ -192,9 +194,18 @@ impl Kernel for SsspKernel {
 
     fn profile(&self) -> KernelProfile {
         match self.variant {
-            SsspVariant::Dwc => KernelProfile { pim_intensity: 0.25, divergence_ratio: 0.10 },
-            SsspVariant::Twc => KernelProfile { pim_intensity: 0.20, divergence_ratio: 0.15 },
-            SsspVariant::Dtc => KernelProfile { pim_intensity: 0.20, divergence_ratio: 0.60 },
+            SsspVariant::Dwc => KernelProfile {
+                pim_intensity: 0.25,
+                divergence_ratio: 0.10,
+            },
+            SsspVariant::Twc => KernelProfile {
+                pim_intensity: 0.20,
+                divergence_ratio: 0.15,
+            },
+            SsspVariant::Dtc => KernelProfile {
+                pim_intensity: 0.20,
+                divergence_ratio: 0.60,
+            },
         }
     }
 }
@@ -247,8 +258,10 @@ mod tests {
     fn frontier_deduplication_holds() {
         // A vertex reachable over many parallel paths must appear in the
         // next frontier exactly once — grid sizes stay bounded.
-        let edges: Vec<(u32, u32, u32)> =
-            (1..=30).map(|i| (0, i, 1)).chain((1..=30).map(|i| (i, 31, i))).collect();
+        let edges: Vec<(u32, u32, u32)> = (1..=30)
+            .map(|i| (0, i, 1))
+            .chain((1..=30).map(|i| (i, 31, i)))
+            .collect();
         let g = from_weighted_edges(32, &edges);
         let mut k = SsspKernel::new(g, SsspVariant::Dwc, 0);
         for b in 0..k.grid_blocks() {

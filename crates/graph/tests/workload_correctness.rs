@@ -23,7 +23,12 @@ fn run(kernel: &mut dyn coolpim_gpu::Kernel, ctrl: &mut dyn OffloadController) -
 fn bfs_variants_match_reference_in_both_modes() {
     let g = GraphSpec::tiny().build();
     let expect = reference::bfs_levels(&g, 0);
-    for variant in [BfsVariant::Ta, BfsVariant::Dwc, BfsVariant::Twc, BfsVariant::Ttc] {
+    for variant in [
+        BfsVariant::Ta,
+        BfsVariant::Dwc,
+        BfsVariant::Twc,
+        BfsVariant::Ttc,
+    ] {
         let mut k = BfsKernel::new(g.clone(), variant, 0);
         run(&mut k, &mut AlwaysOffload);
         assert_eq!(k.levels(), &expect[..], "{variant:?} (offloaded)");

@@ -113,7 +113,10 @@ impl PimOp {
     /// to know whether the swap happened); adds and boolean ops used by
     /// the graph workloads are fire-and-forget.
     pub fn returns_data(self) -> bool {
-        matches!(self, PimOp::CasEqual | PimOp::CasGreater | PimOp::CasSmaller | PimOp::Swap)
+        matches!(
+            self,
+            PimOp::CasEqual | PimOp::CasGreater | PimOp::CasSmaller | PimOp::Swap
+        )
     }
 
     /// FLIT cost of this instruction per Table I.
@@ -154,9 +157,7 @@ impl PimOp {
                     old
                 }
             }
-            PimOp::FloatAdd => {
-                (f64::from_bits(old) + f64::from_bits(imm)).to_bits()
-            }
+            PimOp::FloatAdd => (f64::from_bits(old) + f64::from_bits(imm)).to_bits(),
         }
     }
 }

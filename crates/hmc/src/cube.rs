@@ -1,6 +1,8 @@
 //! The assembled cube: links → crossbar → vaults → banks, plus thermal
 //! status and activity counters.
 
+use coolpim_telemetry::{Histogram, TelemetryEvent};
+
 use crate::link::Link;
 use crate::ns_to_ps;
 use crate::packet::{Request, ResponseTail};
@@ -84,9 +86,7 @@ impl HmcConfig {
     /// Peak external data bandwidth in bytes/s (all links, both
     /// directions, at Table I efficiency): 320 GB/s for HMC 2.0.
     pub fn peak_data_bandwidth(&self) -> f64 {
-        crate::flit::raw_to_data_bytes(
-            self.links as f64 * 2.0 * self.link_raw_bytes_per_s_per_dir,
-        )
+        crate::flit::raw_to_data_bytes(self.links as f64 * 2.0 * self.link_raw_bytes_per_s_per_dir)
     }
 }
 
@@ -124,6 +124,14 @@ pub struct Hmc {
     refresh_permille: u64,
     /// Frequency stretch of the vault-internal domain (num, den).
     freq_stretch: (u64, u64),
+    /// Rare thermal/protocol events since the last drain (warning
+    /// raised, phase moves, derates, shutdown) — the co-simulator drains
+    /// these each epoch into its telemetry sink.
+    events: Vec<TelemetryEvent>,
+    /// End-to-end service time of every transaction (ps).
+    service_hist: Histogram,
+    /// Bank queue wait of every transaction (ps).
+    queue_hist: Histogram,
 }
 
 impl Hmc {
@@ -154,6 +162,9 @@ impl Hmc {
             derated_timing,
             refresh_permille: 0,
             freq_stretch: (1, 1),
+            events: Vec::new(),
+            service_hist: Histogram::new(),
+            queue_hist: Histogram::new(),
         };
         hmc.recompute_derating();
         hmc
@@ -182,8 +193,71 @@ impl Hmc {
     /// Pushes a new peak-DRAM temperature from the thermal model; updates
     /// phase-dependent derating and the warning flag.
     pub fn set_peak_dram_temp(&mut self, peak_dram_c: f64) {
+        self.set_peak_dram_temp_at(peak_dram_c, 0);
+    }
+
+    /// Like [`Self::set_peak_dram_temp`], but stamps any resulting
+    /// telemetry events (warning raised, phase transition, derate,
+    /// shutdown) with the simulation time `now`.
+    pub fn set_peak_dram_temp_at(&mut self, peak_dram_c: f64, now: Ps) {
+        let was_warning = self.thermal.warning_active();
+        let old_phase = self.thermal.phase();
         self.thermal.peak_dram_c = peak_dram_c;
         self.recompute_derating();
+        if !was_warning && self.thermal.warning_active() {
+            self.events.push(TelemetryEvent::ThermalWarningRaised {
+                t_ps: now,
+                peak_dram_c,
+            });
+        }
+        let phase = self.thermal.phase();
+        if phase != old_phase {
+            self.events.push(TelemetryEvent::PhaseTransition {
+                t_ps: now,
+                from: old_phase.name(),
+                to: phase.name(),
+            });
+            let (stretch_num, stretch_den) = self.freq_stretch;
+            self.events.push(TelemetryEvent::FrequencyDerate {
+                t_ps: now,
+                stretch_num,
+                stretch_den,
+            });
+            if phase == TempPhase::Shutdown {
+                self.events.push(TelemetryEvent::Shutdown {
+                    t_ps: now,
+                    peak_dram_c,
+                });
+            }
+        }
+    }
+
+    /// Moves the cube's buffered telemetry events into `out`.
+    pub fn drain_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.append(&mut self.events);
+    }
+
+    /// Per-transaction service-time histogram (host-observed, ps).
+    pub fn service_time_hist(&self) -> &Histogram {
+        &self.service_hist
+    }
+
+    /// Per-transaction bank-queue-wait histogram (ps).
+    pub fn queue_wait_hist(&self) -> &Histogram {
+        &self.queue_hist
+    }
+
+    /// Fraction of DRAM accesses that hit an open row, across all
+    /// vaults.
+    pub fn row_hit_rate(&self) -> f64 {
+        let (hits, misses) = self.vaults.iter().fold((0u64, 0u64), |(h, m), v| {
+            (h + v.row_hits(), m + v.row_misses())
+        });
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
     }
 
     /// Overrides the warning threshold (°C).
@@ -284,6 +358,11 @@ impl Hmc {
         }
         let _ = is_pim;
 
+        // Always-on latency accounting: two constant-time histogram
+        // inserts, no allocation.
+        self.service_hist.record(finish.saturating_sub(now));
+        self.queue_hist.record(vc.queue_delay);
+
         let tail = ResponseTail {
             errstat: self.thermal.errstat(),
             atomic_flag: is_pim,
@@ -348,7 +427,10 @@ mod tests {
         hmc.set_peak_dram_temp(86.0);
         let c = hmc.submit(0, &Request::read(0));
         assert!(c.thermal_warning);
-        assert_eq!(c.tail.errstat, crate::thermal_state::ERRSTAT_THERMAL_WARNING);
+        assert_eq!(
+            c.tail.errstat,
+            crate::thermal_state::ERRSTAT_THERMAL_WARNING
+        );
     }
 
     #[test]
@@ -356,7 +438,7 @@ mod tests {
         let mut cool = Hmc::hmc20();
         let mut hot = Hmc::hmc20();
         hot.set_peak_dram_temp(96.0); // critical phase
-        // Hammer one bank so the bank occupancy dominates.
+                                      // Hammer one bank so the bank occupancy dominates.
         let mut cool_done = 0;
         let mut hot_done = 0;
         for _ in 0..64 {
@@ -381,8 +463,8 @@ mod tests {
     #[test]
     fn vault_and_bank_mapping_cover_all_units() {
         let hmc = Hmc::hmc20();
-        let mut vaults_seen = vec![false; 32];
-        let mut banks_seen = vec![false; 16];
+        let mut vaults_seen = [false; 32];
+        let mut banks_seen = [false; 16];
         for block in 0..4096u64 {
             let addr = block * 64;
             vaults_seen[hmc.vault_of(addr)] = true;
@@ -433,7 +515,10 @@ mod tests {
         }
         let bytes = n * 64;
         let gbps = bytes as f64 / (last as f64 * 1e-12) / 1e9;
-        assert!((150.0..200.0).contains(&gbps), "read payload throughput {gbps} GB/s");
+        assert!(
+            (150.0..200.0).contains(&gbps),
+            "read payload throughput {gbps} GB/s"
+        );
     }
 }
 
@@ -453,7 +538,9 @@ mod more_tests {
         let mut last = 0;
         for i in 0..n {
             let addr = (i * 0x9E37) % (1 << 30);
-            last = hmc.submit(0, &Request::pim(PimOp::SignedAdd, addr & !0xF)).finish_ps;
+            last = hmc
+                .submit(0, &Request::pim(PimOp::SignedAdd, addr & !0xF))
+                .finish_ps;
         }
         let rate = n as f64 / (last as f64 / 1000.0); // op/ns
         assert!((2.0..12.0).contains(&rate), "PIM rate {rate} op/ns");
@@ -489,13 +576,12 @@ mod more_tests {
     fn phase_recovery_restores_timing() {
         // Same-bank row-miss stream: hot is slower, and cooling restores
         // nominal speed for subsequent requests.
-        let bank_stride = 32 * 64; // next block in the same vault? ensure same bank via vault stride
         let mut hmc = Hmc::hmc20();
         let probe = |hmc: &mut Hmc, base: u64| {
             let mut last = 0;
             for i in 0..32u64 {
                 // Alternate two rows of one bank to defeat the row buffer.
-                let addr = base + (i % 2) * ROW_BYTES * 32 * 16 + i / 2 * bank_stride * 0;
+                let addr = base + (i % 2) * ROW_BYTES * 32 * 16;
                 last = hmc.submit(0, &Request::read(addr)).finish_ps;
             }
             last
@@ -505,7 +591,82 @@ mod more_tests {
         let hot = probe(&mut hmc, 1 << 24) - cold;
         hmc.set_peak_dram_temp(60.0);
         let recovered = probe(&mut hmc, 1 << 25) - cold - hot;
-        assert!(hot > recovered, "hot {hot} should exceed recovered {recovered}");
+        assert!(
+            hot > recovered,
+            "hot {hot} should exceed recovered {recovered}"
+        );
+    }
+
+    #[test]
+    fn thermal_events_fire_on_crossings() {
+        let mut hmc = Hmc::hmc20();
+        hmc.set_peak_dram_temp_at(84.5, 1_000); // warning threshold
+        hmc.set_peak_dram_temp_at(86.0, 2_000); // extended phase
+        hmc.set_peak_dram_temp_at(106.0, 3_000); // shutdown
+        let mut evs = Vec::new();
+        hmc.drain_events(&mut evs);
+        let kinds: Vec<_> = evs.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "ThermalWarningRaised",
+                "PhaseTransition",
+                "FrequencyDerate",
+                "PhaseTransition",
+                "FrequencyDerate",
+                "Shutdown",
+            ]
+        );
+        assert_eq!(evs[0].t_ps(), 1_000);
+        assert_eq!(evs[1].t_ps(), 2_000);
+        assert_eq!(evs[5].t_ps(), 3_000);
+        // Drained: a second drain yields nothing.
+        let mut again = Vec::new();
+        hmc.drain_events(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn no_events_without_crossings() {
+        let mut hmc = Hmc::hmc20();
+        hmc.set_peak_dram_temp_at(50.0, 1_000);
+        hmc.set_peak_dram_temp_at(60.0, 2_000);
+        let mut evs = Vec::new();
+        hmc.drain_events(&mut evs);
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn histograms_track_every_submission() {
+        let mut hmc = Hmc::hmc20();
+        for i in 0..50u64 {
+            hmc.submit(i * 1000, &Request::read(i * 64));
+        }
+        assert_eq!(hmc.service_time_hist().count(), 50);
+        assert_eq!(hmc.queue_wait_hist().count(), 50);
+        // Service time includes the DRAM access: tens of ns.
+        assert!(
+            hmc.service_time_hist().min() > 10_000,
+            "min {} ps",
+            hmc.service_time_hist().min()
+        );
+    }
+
+    #[test]
+    fn row_hit_rate_reflects_locality() {
+        // Hammering one address: the first access opens the row, the
+        // rest hit it.
+        let mut hot_row = Hmc::hmc20();
+        for _ in 0..64 {
+            hot_row.submit(0, &Request::read(0x40));
+        }
+        assert!(
+            hot_row.row_hit_rate() > 0.9,
+            "rate {}",
+            hot_row.row_hit_rate()
+        );
+        let idle = Hmc::hmc20();
+        assert_eq!(idle.row_hit_rate(), 0.0);
     }
 
     #[test]

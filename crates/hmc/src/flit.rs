@@ -30,13 +30,25 @@ impl FlitCost {
 }
 
 /// 64-byte READ: 1 request FLIT, 5 response FLITs.
-pub const READ64: FlitCost = FlitCost { request: 1, response: 5 };
+pub const READ64: FlitCost = FlitCost {
+    request: 1,
+    response: 5,
+};
 /// 64-byte WRITE: 5 request FLITs, 1 response FLIT.
-pub const WRITE64: FlitCost = FlitCost { request: 5, response: 1 };
+pub const WRITE64: FlitCost = FlitCost {
+    request: 5,
+    response: 1,
+};
 /// PIM instruction without return data: 2 request FLITs, 1 response FLIT.
-pub const PIM_NO_RETURN: FlitCost = FlitCost { request: 2, response: 1 };
+pub const PIM_NO_RETURN: FlitCost = FlitCost {
+    request: 2,
+    response: 1,
+};
 /// PIM instruction with return data: 2 request FLITs, 2 response FLITs.
-pub const PIM_WITH_RETURN: FlitCost = FlitCost { request: 2, response: 2 };
+pub const PIM_WITH_RETURN: FlitCost = FlitCost {
+    request: 2,
+    response: 2,
+};
 
 /// Fraction of raw link bytes that is useful data at the 64-byte
 /// READ/WRITE efficiency (64 data bytes per 96 raw bytes). The paper's
@@ -96,7 +108,10 @@ mod more_tests {
     #[test]
     fn pim_with_return_still_beats_a_read() {
         assert!(PIM_WITH_RETURN.total() < READ64.total());
-        assert!((1.0 - PIM_WITH_RETURN.total() as f64 / READ64.total() as f64 - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (1.0 - PIM_WITH_RETURN.total() as f64 / READ64.total() as f64 - 1.0 / 3.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

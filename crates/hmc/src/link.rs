@@ -25,7 +25,11 @@ impl Link {
     pub fn with_raw_bandwidth(bytes_per_s_per_dir: f64) -> Self {
         assert!(bytes_per_s_per_dir > 0.0);
         let flit_time = (FLIT_BYTES as f64 / bytes_per_s_per_dir * 1e12).round() as Ps;
-        Self { flit_time: flit_time.max(1), req_next_free: 0, resp_next_free: 0 }
+        Self {
+            flit_time: flit_time.max(1),
+            req_next_free: 0,
+            resp_next_free: 0,
+        }
     }
 
     /// Serializes `flits` on the request direction starting no earlier
@@ -68,7 +72,7 @@ mod tests {
         assert_eq!(a, 5 * 267);
         let b = l.serialize_request(0, 1);
         assert_eq!(b, 6 * 267); // queued behind the first packet
-        // Response direction is independent.
+                                // Response direction is independent.
         let c = l.serialize_response(0, 2);
         assert_eq!(c, 2 * 267);
     }

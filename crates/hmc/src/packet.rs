@@ -103,7 +103,10 @@ mod tests {
     fn tail_thermal_warning_decoding() {
         let clean = ResponseTail::default();
         assert!(!clean.thermal_warning());
-        let hot = ResponseTail { errstat: 0x01, atomic_flag: true };
+        let hot = ResponseTail {
+            errstat: 0x01,
+            atomic_flag: true,
+        };
         assert!(hot.thermal_warning());
     }
 }

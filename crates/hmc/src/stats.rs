@@ -27,7 +27,11 @@ pub struct StatsWindow {
 impl StatsWindow {
     /// Creates an empty window for `vaults` vaults starting at `start_ps`.
     pub fn new(vaults: usize, start_ps: Ps) -> Self {
-        Self { vault_ops: vec![0; vaults], start_ps, ..Default::default() }
+        Self {
+            vault_ops: vec![0; vaults],
+            start_ps,
+            ..Default::default()
+        }
     }
 
     /// Raw bytes moved over the links.

@@ -71,6 +71,16 @@ impl TempPhase {
     pub fn operational(self) -> bool {
         self != TempPhase::Shutdown
     }
+
+    /// Stable phase name for telemetry payloads and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TempPhase::Normal => "Normal",
+            TempPhase::Extended => "Extended",
+            TempPhase::Critical => "Critical",
+            TempPhase::Shutdown => "Shutdown",
+        }
+    }
 }
 
 /// Live thermal status held by the cube and updated by the co-simulator.
@@ -84,7 +94,10 @@ pub struct ThermalStatus {
 
 impl Default for ThermalStatus {
     fn default() -> Self {
-        Self { peak_dram_c: 25.0, warning_threshold_c: DEFAULT_WARNING_THRESHOLD_C }
+        Self {
+            peak_dram_c: 25.0,
+            warning_threshold_c: DEFAULT_WARNING_THRESHOLD_C,
+        }
     }
 }
 

@@ -50,6 +50,10 @@ pub struct Vault {
     fu_latency: Ps,
     /// TSV bus time per byte (ps) at nominal frequency.
     bus_ps_per_byte: f64,
+    /// Accesses that hit the open row.
+    row_hits: u64,
+    /// Accesses that paid a row activation.
+    row_misses: u64,
 }
 
 impl Vault {
@@ -67,12 +71,34 @@ impl Vault {
             ctrl_occupancy,
             fu_latency,
             bus_ps_per_byte: 1e12 / bus_bytes_per_s,
+            row_hits: 0,
+            row_misses: 0,
         }
     }
 
     /// Number of banks.
     pub fn bank_count(&self) -> usize {
         self.banks.len()
+    }
+
+    /// Accesses that hit the open row so far.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Accesses that paid a row activation so far.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Fraction of accesses that hit the open row (0 when idle).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
     }
 
     /// Services one access to `addr` arriving at `arrive` on `bank`,
@@ -103,16 +129,24 @@ impl Vault {
         // Column-cycle occupancy for row hits (read + write column ops).
         let col = 2 * timing.t_burst;
         let (hit_occ, miss_occ) = match access {
-            VaultAccess::Read | VaultAccess::Write => {
-                (stretch(col), stretch(timing.t_rc().max(timing.read_latency())))
-            }
+            VaultAccess::Read | VaultAccess::Write => (
+                stretch(col),
+                stretch(timing.t_rc().max(timing.read_latency())),
+            ),
             VaultAccess::PimRmw => (
                 stretch(self.fu_latency + col),
-                stretch(timing.t_rcd + timing.t_cl + self.fu_latency + timing.t_burst + timing.t_rp),
+                stretch(
+                    timing.t_rcd + timing.t_cl + self.fu_latency + timing.t_burst + timing.t_rp,
+                ),
             ),
         };
 
         let (bank_start, row_hit) = self.banks[bank].reserve(ready, addr, hit_occ, miss_occ);
+        if row_hit {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
+        }
         let queue_delay = bank_start - arrive.min(bank_start);
 
         let resp_latency = match (access, row_hit) {
@@ -130,7 +164,12 @@ impl Vault {
         if access == VaultAccess::PimRmw {
             // The FU is shared across the vault's banks: the modify stage
             // serializes there too.
-            let fu_ready = bank_start + if row_hit { timing.t_cl } else { timing.t_rcd + timing.t_cl };
+            let fu_ready = bank_start
+                + if row_hit {
+                    timing.t_cl
+                } else {
+                    timing.t_rcd + timing.t_cl
+                };
             let fu_start = self.fu_next_free.max(fu_ready);
             self.fu_next_free = fu_start + self.fu_latency * fnum / fden;
             response_ready = response_ready.max(fu_start + self.fu_latency + timing.t_burst);
@@ -148,7 +187,11 @@ impl Vault {
         self.bus_next_free = bus_start + bus_occ;
         response_ready = response_ready.max(bus_start + bus_occ);
 
-        VaultCompletion { response_ready, queue_delay, row_hit }
+        VaultCompletion {
+            response_ready,
+            queue_delay,
+            row_hit,
+        }
     }
 }
 
@@ -230,7 +273,9 @@ mod tests {
         let t = DramTiming::hmc20();
         let mut last = 0;
         for _ in 0..100 {
-            last = v.service(0, 0, 0x40, VaultAccess::PimRmw, &t, 0, NOMINAL).response_ready;
+            last = v
+                .service(0, 0, 0x40, VaultAccess::PimRmw, &t, 0, NOMINAL)
+                .response_ready;
         }
         let per_op_ns = crate::ps_to_ns(last) / 100.0;
         assert!(

@@ -1,0 +1,460 @@
+//! The typed event vocabulary of the co-simulation loop.
+//!
+//! Every event carries its **simulation** timestamp in integer
+//! picoseconds (`t_ps`), matching the `Ps` time base of the timing
+//! models. Events are produced by the cube (warnings, phase moves,
+//! derating, shutdown), the GPU engine (kernel launch/retire), the
+//! throttling controllers (pool resizes, PCU warp-cap updates), and the
+//! co-simulation driver (epoch samples), and flow to a [`crate::Sink`].
+//!
+//! The JSONL encoding is a flat object per line —
+//! `{"kind":"TokenPoolResize","t_ps":1200,...}` — hand-rolled so the
+//! crate stays dependency-free; [`TelemetryEvent::from_jsonl`] parses it
+//! back for round-trip tooling.
+
+/// One structured, simulation-time-stamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// The cube's peak DRAM temperature crossed the warning threshold
+    /// upward: response tails start carrying ERRSTAT = 0x01.
+    ThermalWarningRaised {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// Peak DRAM temperature at the crossing (°C).
+        peak_dram_c: f64,
+    },
+    /// A throttling controller accepted a delivered warning for action
+    /// (debounced duplicates within a control window are not recorded).
+    ThermalWarningDelivered {
+        /// Simulation time (ps).
+        t_ps: u64,
+    },
+    /// The cube moved between operating phases (normal / extended /
+    /// critical / shutdown).
+    PhaseTransition {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// Phase before the move.
+        from: &'static str,
+        /// Phase after the move.
+        to: &'static str,
+    },
+    /// The DRAM-domain frequency stretch changed with the phase.
+    FrequencyDerate {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// Timing stretch numerator (e.g. 5 for the 5/4 extended-range
+        /// stretch).
+        stretch_num: u64,
+        /// Timing stretch denominator.
+        stretch_den: u64,
+    },
+    /// The cube exceeded 105 °C and stopped serving requests.
+    Shutdown {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// Peak DRAM temperature that triggered the shutdown (°C).
+        peak_dram_c: f64,
+    },
+    /// SW-DynT resized the PIM token pool.
+    TokenPoolResize {
+        /// Simulation time (ps) at which the resize took effect.
+        t_ps: u64,
+        /// Pool size before.
+        old: u64,
+        /// Pool size after.
+        new: u64,
+        /// What caused the resize (e.g. `"thermal_warning"`).
+        trigger: &'static str,
+    },
+    /// HW-DynT's PCU changed the per-SM PIM-enabled warp cap.
+    WarpCapUpdate {
+        /// Simulation time (ps) at which the update took effect.
+        t_ps: u64,
+        /// Enabled warp slots before (SM 0; the cap is cube-global).
+        old_slots: u64,
+        /// Enabled warp slots after.
+        new_slots: u64,
+    },
+    /// One thermal epoch's aggregate sample (the `TimelineSample` data).
+    EpochSample {
+        /// End-of-epoch simulation time (ps).
+        t_ps: u64,
+        /// Average PIM rate over the epoch (op/ns).
+        pim_rate_op_ns: f64,
+        /// Average external data bandwidth over the epoch (bytes/s).
+        data_bw: f64,
+        /// Peak DRAM temperature at the end of the epoch (°C).
+        peak_dram_c: f64,
+        /// Operating phase after the thermal update.
+        phase: &'static str,
+    },
+    /// A kernel grid was launched on the GPU.
+    KernelLaunch {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// 1-based launch ordinal within the run.
+        launch: u64,
+    },
+    /// The workload's final grid retired (the run completed).
+    KernelRetire {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// 1-based ordinal of the retiring launch.
+        launch: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's simulation timestamp (ps).
+    pub fn t_ps(&self) -> u64 {
+        match *self {
+            TelemetryEvent::ThermalWarningRaised { t_ps, .. }
+            | TelemetryEvent::ThermalWarningDelivered { t_ps }
+            | TelemetryEvent::PhaseTransition { t_ps, .. }
+            | TelemetryEvent::FrequencyDerate { t_ps, .. }
+            | TelemetryEvent::Shutdown { t_ps, .. }
+            | TelemetryEvent::TokenPoolResize { t_ps, .. }
+            | TelemetryEvent::WarpCapUpdate { t_ps, .. }
+            | TelemetryEvent::EpochSample { t_ps, .. }
+            | TelemetryEvent::KernelLaunch { t_ps, .. }
+            | TelemetryEvent::KernelRetire { t_ps, .. } => t_ps,
+        }
+    }
+
+    /// The event kind as it appears in the JSONL `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::ThermalWarningRaised { .. } => "ThermalWarningRaised",
+            TelemetryEvent::ThermalWarningDelivered { .. } => "ThermalWarningDelivered",
+            TelemetryEvent::PhaseTransition { .. } => "PhaseTransition",
+            TelemetryEvent::FrequencyDerate { .. } => "FrequencyDerate",
+            TelemetryEvent::Shutdown { .. } => "Shutdown",
+            TelemetryEvent::TokenPoolResize { .. } => "TokenPoolResize",
+            TelemetryEvent::WarpCapUpdate { .. } => "WarpCapUpdate",
+            TelemetryEvent::EpochSample { .. } => "EpochSample",
+            TelemetryEvent::KernelLaunch { .. } => "KernelLaunch",
+            TelemetryEvent::KernelRetire { .. } => "KernelRetire",
+        }
+    }
+
+    /// Encodes the event as one JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = format!("{{\"kind\":\"{}\",\"t_ps\":{}", self.kind(), self.t_ps());
+        match self {
+            TelemetryEvent::ThermalWarningRaised { peak_dram_c, .. }
+            | TelemetryEvent::Shutdown { peak_dram_c, .. } => {
+                push_f64(&mut s, "peak_dram_c", *peak_dram_c);
+            }
+            TelemetryEvent::ThermalWarningDelivered { .. } => {}
+            TelemetryEvent::PhaseTransition { from, to, .. } => {
+                push_str(&mut s, "from", from);
+                push_str(&mut s, "to", to);
+            }
+            TelemetryEvent::FrequencyDerate {
+                stretch_num,
+                stretch_den,
+                ..
+            } => {
+                push_u64(&mut s, "stretch_num", *stretch_num);
+                push_u64(&mut s, "stretch_den", *stretch_den);
+            }
+            TelemetryEvent::TokenPoolResize {
+                old, new, trigger, ..
+            } => {
+                push_u64(&mut s, "old", *old);
+                push_u64(&mut s, "new", *new);
+                push_str(&mut s, "trigger", trigger);
+            }
+            TelemetryEvent::WarpCapUpdate {
+                old_slots,
+                new_slots,
+                ..
+            } => {
+                push_u64(&mut s, "old_slots", *old_slots);
+                push_u64(&mut s, "new_slots", *new_slots);
+            }
+            TelemetryEvent::EpochSample {
+                pim_rate_op_ns,
+                data_bw,
+                peak_dram_c,
+                phase,
+                ..
+            } => {
+                push_f64(&mut s, "pim_rate_op_ns", *pim_rate_op_ns);
+                push_f64(&mut s, "data_bw", *data_bw);
+                push_f64(&mut s, "peak_dram_c", *peak_dram_c);
+                push_str(&mut s, "phase", phase);
+            }
+            TelemetryEvent::KernelLaunch { launch, .. }
+            | TelemetryEvent::KernelRetire { launch, .. } => {
+                push_u64(&mut s, "launch", *launch);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line produced by [`Self::to_jsonl`].
+    ///
+    /// Returns `None` for malformed lines, unknown kinds, or missing
+    /// fields. String payloads are interned against the vocabulary this
+    /// simulator emits (phase names, resize triggers); unrecognised
+    /// strings map to `"?"`.
+    pub fn from_jsonl(line: &str) -> Option<TelemetryEvent> {
+        let fields = parse_flat_object(line)?;
+        let kind = fields.str_field("kind")?;
+        let t_ps = fields.u64_field("t_ps")?;
+        Some(match kind {
+            "ThermalWarningRaised" => TelemetryEvent::ThermalWarningRaised {
+                t_ps,
+                peak_dram_c: fields.f64_field("peak_dram_c")?,
+            },
+            "ThermalWarningDelivered" => TelemetryEvent::ThermalWarningDelivered { t_ps },
+            "PhaseTransition" => TelemetryEvent::PhaseTransition {
+                t_ps,
+                from: intern(fields.str_field("from")?),
+                to: intern(fields.str_field("to")?),
+            },
+            "FrequencyDerate" => TelemetryEvent::FrequencyDerate {
+                t_ps,
+                stretch_num: fields.u64_field("stretch_num")?,
+                stretch_den: fields.u64_field("stretch_den")?,
+            },
+            "Shutdown" => TelemetryEvent::Shutdown {
+                t_ps,
+                peak_dram_c: fields.f64_field("peak_dram_c")?,
+            },
+            "TokenPoolResize" => TelemetryEvent::TokenPoolResize {
+                t_ps,
+                old: fields.u64_field("old")?,
+                new: fields.u64_field("new")?,
+                trigger: intern(fields.str_field("trigger")?),
+            },
+            "WarpCapUpdate" => TelemetryEvent::WarpCapUpdate {
+                t_ps,
+                old_slots: fields.u64_field("old_slots")?,
+                new_slots: fields.u64_field("new_slots")?,
+            },
+            "EpochSample" => TelemetryEvent::EpochSample {
+                t_ps,
+                pim_rate_op_ns: fields.f64_field("pim_rate_op_ns")?,
+                data_bw: fields.f64_field("data_bw")?,
+                peak_dram_c: fields.f64_field("peak_dram_c")?,
+                phase: intern(fields.str_field("phase")?),
+            },
+            "KernelLaunch" => TelemetryEvent::KernelLaunch {
+                t_ps,
+                launch: fields.u64_field("launch")?,
+            },
+            "KernelRetire" => TelemetryEvent::KernelRetire {
+                t_ps,
+                launch: fields.u64_field("launch")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+fn push_u64(s: &mut String, key: &str, v: u64) {
+    s.push_str(&format!(",\"{key}\":{v}"));
+}
+
+fn push_f64(s: &mut String, key: &str, v: f64) {
+    // `{}` on f64 is Rust's shortest round-trippable decimal form.
+    if v.is_finite() {
+        s.push_str(&format!(",\"{key}\":{v}"));
+    } else {
+        s.push_str(&format!(",\"{key}\":null"));
+    }
+}
+
+fn push_str(s: &mut String, key: &str, v: &str) {
+    s.push_str(&format!(",\"{key}\":\"{v}\""));
+}
+
+/// Maps a parsed string back to the static vocabulary the simulator
+/// emits. Unknown strings become `"?"` (the crate never leaks).
+fn intern(s: &str) -> &'static str {
+    const VOCAB: &[&str] = &[
+        "Normal",
+        "Extended",
+        "Critical",
+        "Shutdown",
+        "thermal_warning",
+        "init",
+        "stale_cancelled",
+        "?",
+    ];
+    VOCAB.iter().find(|&&v| v == s).copied().unwrap_or("?")
+}
+
+/// Parsed fields of one flat JSON object.
+struct FlatObject {
+    fields: Vec<(String, FlatValue)>,
+}
+
+enum FlatValue {
+    Num(f64),
+    Str(String),
+    Null,
+}
+
+impl FlatObject {
+    fn get(&self, key: &str) -> Option<&FlatValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            FlatValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn f64_field(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            FlatValue::Num(n) => Some(*n),
+            FlatValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            FlatValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal parser for the flat (non-nested) objects this crate writes:
+/// `{"key":value,...}` with string, number, and null values. Not a
+/// general JSON parser — escapes inside strings are not interpreted
+/// (the emitted vocabulary contains none).
+fn parse_flat_object(line: &str) -> Option<FlatObject> {
+    let s = line.trim();
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let kq = rest.find('"')?;
+        let key = rest[..kq].to_string();
+        rest = rest[kq + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let value;
+        if let Some(r) = rest.strip_prefix('"') {
+            let vq = r.find('"')?;
+            value = FlatValue::Str(r[..vq].to_string());
+            rest = r[vq + 1..].trim_start();
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            let tok = rest[..end].trim();
+            value = if tok == "null" {
+                FlatValue::Null
+            } else {
+                FlatValue::Num(tok.parse::<f64>().ok()?)
+            };
+            rest = rest[end..].trim_start();
+        }
+        fields.push((key, value));
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(FlatObject { fields })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: TelemetryEvent) {
+        let line = ev.to_jsonl();
+        let back =
+            TelemetryEvent::from_jsonl(&line).unwrap_or_else(|| panic!("failed to parse {line:?}"));
+        assert_eq!(ev, back, "round trip through {line:?}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        roundtrip(TelemetryEvent::ThermalWarningRaised {
+            t_ps: 12,
+            peak_dram_c: 84.25,
+        });
+        roundtrip(TelemetryEvent::ThermalWarningDelivered { t_ps: 99 });
+        roundtrip(TelemetryEvent::PhaseTransition {
+            t_ps: 1,
+            from: "Normal",
+            to: "Extended",
+        });
+        roundtrip(TelemetryEvent::FrequencyDerate {
+            t_ps: 2,
+            stretch_num: 5,
+            stretch_den: 4,
+        });
+        roundtrip(TelemetryEvent::Shutdown {
+            t_ps: 3,
+            peak_dram_c: 105.5,
+        });
+        roundtrip(TelemetryEvent::TokenPoolResize {
+            t_ps: 4,
+            old: 96,
+            new: 92,
+            trigger: "thermal_warning",
+        });
+        roundtrip(TelemetryEvent::WarpCapUpdate {
+            t_ps: 5,
+            old_slots: 8,
+            new_slots: 6,
+        });
+        roundtrip(TelemetryEvent::EpochSample {
+            t_ps: 6,
+            pim_rate_op_ns: 1.375,
+            data_bw: 1.5e11,
+            peak_dram_c: 83.0,
+            phase: "Normal",
+        });
+        roundtrip(TelemetryEvent::KernelLaunch { t_ps: 7, launch: 1 });
+        roundtrip(TelemetryEvent::KernelRetire { t_ps: 8, launch: 3 });
+    }
+
+    #[test]
+    fn malformed_lines_return_none() {
+        assert!(TelemetryEvent::from_jsonl("").is_none());
+        assert!(TelemetryEvent::from_jsonl("{}").is_none());
+        assert!(TelemetryEvent::from_jsonl("{\"kind\":\"Nope\",\"t_ps\":1}").is_none());
+        assert!(TelemetryEvent::from_jsonl("{\"kind\":\"KernelLaunch\",\"t_ps\":1}").is_none());
+        assert!(TelemetryEvent::from_jsonl("not json").is_none());
+    }
+
+    #[test]
+    fn unknown_strings_intern_to_placeholder() {
+        let ev = TelemetryEvent::from_jsonl(
+            "{\"kind\":\"PhaseTransition\",\"t_ps\":1,\"from\":\"Weird\",\"to\":\"Critical\"}",
+        )
+        .unwrap();
+        assert_eq!(
+            ev,
+            TelemetryEvent::PhaseTransition {
+                t_ps: 1,
+                from: "?",
+                to: "Critical"
+            }
+        );
+    }
+
+    #[test]
+    fn kind_and_time_accessors() {
+        let ev = TelemetryEvent::TokenPoolResize {
+            t_ps: 42,
+            old: 8,
+            new: 4,
+            trigger: "init",
+        };
+        assert_eq!(ev.kind(), "TokenPoolResize");
+        assert_eq!(ev.t_ps(), 42);
+    }
+}

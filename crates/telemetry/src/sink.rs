@@ -1,0 +1,341 @@
+//! Pluggable event sinks.
+//!
+//! The co-simulator emits [`TelemetryEvent`]s into a `Box<dyn Sink>`;
+//! what happens next is the sink's business: drop them ([`NullSink`]),
+//! keep them in memory for assertions ([`RecordingSink`]), or stream
+//! them to disk as JSONL ([`JsonlSink`]) or CSV ([`CsvSink`]).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TelemetryEvent;
+
+/// Receives the event stream of one run.
+pub trait Sink: Send {
+    /// Records one event. Called in non-decreasing `t_ps` order within a
+    /// run.
+    fn record(&mut self, ev: &TelemetryEvent);
+
+    /// Flushes buffered output (file sinks); default no-op.
+    fn flush(&mut self) {}
+}
+
+/// Discards every event — the default, so instrumentation costs one
+/// branch when tracing is off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _ev: &TelemetryEvent) {}
+}
+
+/// Shared handle onto the events captured by a [`RecordingSink`].
+///
+/// The sink is moved into the co-simulator; the log stays with the test
+/// or tool that wants to inspect the stream afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Arc<Mutex<Vec<TelemetryEvent>>>,
+}
+
+impl EventLog {
+    /// A snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events matching `pred`, in recording order.
+    pub fn filtered(&self, pred: impl Fn(&TelemetryEvent) -> bool) -> Vec<TelemetryEvent> {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
+    }
+
+    /// How many events of the given kind were recorded.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .count()
+    }
+}
+
+/// Captures every event into a shared in-memory log.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    log: EventLog,
+}
+
+impl RecordingSink {
+    /// Creates the sink and the log handle that outlives it.
+    pub fn new() -> (RecordingSink, EventLog) {
+        let log = EventLog::default();
+        (RecordingSink { log: log.clone() }, log)
+    }
+}
+
+impl Sink for RecordingSink {
+    fn record(&mut self, ev: &TelemetryEvent) {
+        self.log
+            .events
+            .lock()
+            .expect("event log poisoned")
+            .push(ev.clone());
+    }
+}
+
+/// Streams every event as one JSON object per line.
+pub struct JsonlSink<W: Write + Send> {
+    w: BufWriter<W>,
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncates) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(w: W) -> Self {
+        Self {
+            w: BufWriter::new(w),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, ev: &TelemetryEvent) {
+        // Write errors are surfaced on flush; per-event error plumbing
+        // would put a Result on the hot path for no benefit.
+        let _ = writeln!(self.w, "{}", ev.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.w.flush() {
+            eprintln!("telemetry: JSONL flush failed: {e}");
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Fans one event stream out to several sinks — e.g. a JSONL trace and
+/// a CSV timeline written by the same run.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// Wraps the given sinks; events are delivered in order.
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+
+    /// Adds another downstream sink.
+    pub fn push(&mut self, sink: Box<dyn Sink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of downstream sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether there are no downstream sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Sink for MultiSink {
+    fn record(&mut self, ev: &TelemetryEvent) {
+        for s in &mut self.sinks {
+            s.record(ev);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Column headers of the CSV timeline emitted by [`CsvSink`].
+pub const CSV_TIMELINE_HEADER: &str = "t_ms,pim_rate_op_ns,data_bw_gbps,peak_dram_c,phase";
+
+/// Streams the per-epoch timeline ([`TelemetryEvent::EpochSample`]) as
+/// CSV with a header row; other event kinds are ignored. This is the
+/// machine-readable form of the paper's Fig. 14 time series.
+pub struct CsvSink<W: Write + Send> {
+    w: BufWriter<W>,
+    wrote_header: bool,
+}
+
+impl CsvSink<File> {
+    /// Creates (truncates) `path` and streams the timeline into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> CsvSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(w: W) -> Self {
+        Self {
+            w: BufWriter::new(w),
+            wrote_header: false,
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for CsvSink<W> {
+    fn record(&mut self, ev: &TelemetryEvent) {
+        if let TelemetryEvent::EpochSample {
+            t_ps,
+            pim_rate_op_ns,
+            data_bw,
+            peak_dram_c,
+            phase,
+        } = ev
+        {
+            if !self.wrote_header {
+                self.wrote_header = true;
+                let _ = writeln!(self.w, "{CSV_TIMELINE_HEADER}");
+            }
+            let _ = writeln!(
+                self.w,
+                "{:.3},{:.3},{:.1},{:.2},{}",
+                *t_ps as f64 * 1e-9,
+                pim_rate_op_ns,
+                data_bw / 1e9,
+                peak_dram_c,
+                phase
+            );
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.w.flush() {
+            eprintln!("telemetry: CSV flush failed: {e}");
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for CsvSink<W> {
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t_ps: u64) -> TelemetryEvent {
+        TelemetryEvent::EpochSample {
+            t_ps,
+            pim_rate_op_ns: 1.0,
+            data_bw: 2.0e9,
+            peak_dram_c: 80.0,
+            phase: "Normal",
+        }
+    }
+
+    #[test]
+    fn recording_sink_shares_its_log() {
+        let (mut sink, log) = RecordingSink::new();
+        sink.record(&sample(1));
+        sink.record(&TelemetryEvent::KernelLaunch { t_ps: 2, launch: 1 });
+        drop(sink);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.count_kind("EpochSample"), 1);
+        assert_eq!(
+            log.snapshot()[1],
+            TelemetryEvent::KernelLaunch { t_ps: 2, launch: 1 }
+        );
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.record(&sample(5));
+            sink.record(&TelemetryEvent::Shutdown {
+                t_ps: 9,
+                peak_dram_c: 106.0,
+            });
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let events: Vec<_> = text
+            .lines()
+            .map(|l| TelemetryEvent::from_jsonl(l).expect("parse"))
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], sample(5));
+    }
+
+    #[test]
+    fn csv_sink_writes_header_and_only_epoch_rows() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = CsvSink::new(&mut buf);
+            sink.record(&TelemetryEvent::KernelLaunch { t_ps: 0, launch: 1 });
+            sink.record(&sample(1_000_000_000)); // 1 ms
+            sink.record(&sample(2_000_000_000));
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_TIMELINE_HEADER);
+        assert!(lines[1].starts_with("1.000,"), "got {:?}", lines[1]);
+    }
+
+    #[test]
+    fn empty_csv_sink_writes_nothing() {
+        let mut buf = Vec::new();
+        drop(CsvSink::new(&mut buf));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn multi_sink_fans_out_to_every_downstream() {
+        let (a, log_a) = RecordingSink::new();
+        let (b, log_b) = RecordingSink::new();
+        let mut multi = MultiSink::new(vec![Box::new(a)]);
+        multi.push(Box::new(b));
+        assert_eq!(multi.len(), 2);
+        assert!(!multi.is_empty());
+        multi.record(&sample(7));
+        multi.flush();
+        assert_eq!(log_a.len(), 1);
+        assert_eq!(log_b.snapshot(), log_a.snapshot());
+    }
+}

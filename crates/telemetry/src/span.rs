@@ -1,0 +1,247 @@
+//! Span-based wall-clock profiling of the co-simulation hot phases.
+//!
+//! The driver brackets each hot phase (GPU advance, HMC drain, thermal
+//! solve, power-map build) with [`Profiler::start`] /
+//! [`Profiler::stop`]; the per-run [`ProfileReport`] shows where
+//! wall-clock time went — the baseline future performance PRs measure
+//! against. A disabled profiler never reads the clock.
+
+use std::time::Instant;
+
+/// An in-flight span (see [`Profiler::start`]). `None` when the
+/// profiler is disabled, so disabled runs skip the clock read entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Option<Instant>);
+
+#[derive(Debug, Clone)]
+struct SpanStat {
+    name: &'static str,
+    total_s: f64,
+    calls: u64,
+}
+
+/// Accumulates named wall-clock spans.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    enabled: bool,
+    spans: Vec<SpanStat>,
+    run_started: Option<Instant>,
+}
+
+impl Profiler {
+    /// A profiler that records nothing and never reads the clock.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A recording profiler; the run clock starts now.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            spans: Vec::new(),
+            run_started: Some(Instant::now()),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span. Pair with [`Self::stop`].
+    #[inline]
+    pub fn start(&self) -> SpanTimer {
+        SpanTimer(if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        })
+    }
+
+    /// Closes a span under `name`, accumulating its wall time.
+    #[inline]
+    pub fn stop(&mut self, name: &'static str, timer: SpanTimer) {
+        if let Some(t0) = timer.0 {
+            let dt = t0.elapsed().as_secs_f64();
+            match self.spans.iter_mut().find(|s| s.name == name) {
+                Some(s) => {
+                    s.total_s += dt;
+                    s.calls += 1;
+                }
+                None => self.spans.push(SpanStat {
+                    name,
+                    total_s: dt,
+                    calls: 1,
+                }),
+            }
+        }
+    }
+
+    /// Times a closure as one span.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t = self.start();
+        let r = f();
+        self.stop(name, t);
+        r
+    }
+
+    /// Finishes the run and produces the report (the profiler resets).
+    pub fn finish(&mut self) -> ProfileReport {
+        let wall_s = self
+            .run_started
+            .map_or(0.0, |t0| t0.elapsed().as_secs_f64());
+        let spans = std::mem::take(&mut self.spans);
+        let enabled = self.enabled;
+        *self = if enabled {
+            Self::enabled()
+        } else {
+            Self::disabled()
+        };
+        ProfileReport {
+            enabled,
+            wall_s,
+            entries: spans
+                .into_iter()
+                .map(|s| ProfileEntry {
+                    name: s.name.to_string(),
+                    total_s: s.total_s,
+                    calls: s.calls,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One span's accumulated totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Span name.
+    pub name: String,
+    /// Accumulated wall time (s).
+    pub total_s: f64,
+    /// Number of times the span ran.
+    pub calls: u64,
+}
+
+/// Per-run wall-clock self-time breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Whether the profiler was recording (a disabled run reports empty).
+    pub enabled: bool,
+    /// Wall time of the whole run (s).
+    pub wall_s: f64,
+    /// Per-span totals, in first-use order.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl ProfileReport {
+    /// Accumulated time of the named span (0 if absent).
+    pub fn span_s(&self, name: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0.0, |e| e.total_s)
+    }
+
+    /// Sum of all span times (s).
+    pub fn spans_total_s(&self) -> f64 {
+        self.entries.iter().map(|e| e.total_s).sum()
+    }
+
+    /// Folds another run's report in (per-config aggregation in the
+    /// experiment harness).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        self.enabled |= other.enabled;
+        self.wall_s += other.wall_s;
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|m| m.name == e.name) {
+                Some(m) => {
+                    m.total_s += e.total_s;
+                    m.calls += e.calls;
+                }
+                None => self.entries.push(e.clone()),
+            }
+        }
+    }
+
+    /// Renders the self-time breakdown, largest span first. "other" is
+    /// wall time outside every span (graph generation, reporting, ...).
+    pub fn render(&self) -> String {
+        if !self.enabled {
+            return String::from("== profile ==\n(profiling disabled)\n");
+        }
+        let mut out = format!("== profile ==  wall {:.3} s\n", self.wall_s);
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+        let denom = if self.wall_s > 0.0 { self.wall_s } else { 1.0 };
+        for e in &entries {
+            out.push_str(&format!(
+                "{:<18} {:>9.3} s  {:>5.1} %  {:>9} calls\n",
+                e.name,
+                e.total_s,
+                100.0 * e.total_s / denom,
+                e.calls
+            ));
+        }
+        let other = (self.wall_s - self.spans_total_s()).max(0.0);
+        out.push_str(&format!(
+            "{:<18} {:>9.3} s  {:>5.1} %\n",
+            "other",
+            other,
+            100.0 * other / denom
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::disabled();
+        let t = p.start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        p.stop("x", t);
+        let r = p.finish();
+        assert!(!r.enabled);
+        assert!(r.entries.is_empty());
+        assert!(r.render().contains("disabled"));
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates_spans() {
+        let mut p = Profiler::enabled();
+        for _ in 0..3 {
+            let t = p.start();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            p.stop("solve", t);
+        }
+        p.time("drain", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let r = p.finish();
+        assert!(r.enabled);
+        assert_eq!(r.entries.len(), 2);
+        assert!(r.span_s("solve") >= 0.006);
+        assert!(r.span_s("drain") >= 0.001);
+        assert!(r.wall_s >= r.spans_total_s() * 0.5);
+        let text = r.render();
+        assert!(text.contains("solve"));
+        assert!(text.contains("other"));
+    }
+
+    #[test]
+    fn reports_merge_across_runs() {
+        let mut p1 = Profiler::enabled();
+        p1.time("a", || {});
+        let mut r1 = p1.finish();
+        let mut p2 = Profiler::enabled();
+        p2.time("a", || {});
+        p2.time("b", || {});
+        r1.merge(&p2.finish());
+        assert_eq!(r1.entries.len(), 2);
+        assert_eq!(r1.entries.iter().find(|e| e.name == "a").unwrap().calls, 2);
+    }
+}

@@ -1,31 +1,60 @@
 use coolpim_thermal::cooling::Cooling;
+use coolpim_thermal::hmc11::{run_fig1, run_fig2};
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
-use coolpim_thermal::hmc11::{run_fig1, run_fig2};
 
 fn main() {
     let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
-    println!("R logic->amb (commodity): {:.3}", m.grid().logic_to_ambient_resistance());
+    println!(
+        "R logic->amb (commodity): {:.3}",
+        m.grid().logic_to_ambient_resistance()
+    );
     let idle = m.steady_state(&TrafficSample::idle(1e-3));
-    println!("idle: peak_dram={:.1} surface={:.1}", idle.peak_dram_c, idle.surface_c);
+    println!(
+        "idle: peak_dram={:.1} surface={:.1}",
+        idle.peak_dram_c, idle.surface_c
+    );
     for bw in [80.0e9, 160.0e9, 240.0e9, 320.0e9] {
         let r = m.steady_state(&TrafficSample::external_stream(bw, 1e-3));
-        println!("bw={:.0}GB/s: peak_dram={:.1} logic={:.1} surface={:.1} P={:.1}W",
-            bw/1e9, r.peak_dram_c, r.peak_logic_c, r.surface_c,
-            m.total_power_w(&TrafficSample::external_stream(bw, 1e-3)));
+        println!(
+            "bw={:.0}GB/s: peak_dram={:.1} logic={:.1} surface={:.1} P={:.1}W",
+            bw / 1e9,
+            r.peak_dram_c,
+            r.peak_logic_c,
+            r.surface_c,
+            m.total_power_w(&TrafficSample::external_stream(bw, 1e-3))
+        );
     }
     for rate in [0.0, 1.3, 3.0, 6.5] {
         let s = TrafficSample::with_pim(320.0e9, rate, 1e-3);
         let r = m.steady_state(&s);
-        println!("pim={:.1}op/ns: peak_dram={:.1} P={:.1}W", rate, r.peak_dram_c, m.total_power_w(&s));
+        println!(
+            "pim={:.1}op/ns: peak_dram={:.1} P={:.1}W",
+            rate,
+            r.peak_dram_c,
+            m.total_power_w(&s)
+        );
     }
     println!("--- fig1 ---");
     for p in run_fig1() {
-        println!("{}: idle surf={:.1} dram={:.1} | busy surf={:.1} dram={:.1} shutdown={}",
-            p.sink.name(), p.idle.surface_c, p.idle.peak_dram_c, p.busy.surface_c, p.busy.peak_dram_c, p.shutdown);
+        println!(
+            "{}: idle surf={:.1} dram={:.1} | busy surf={:.1} dram={:.1} shutdown={}",
+            p.sink.name(),
+            p.idle.surface_c,
+            p.idle.peak_dram_c,
+            p.busy.surface_c,
+            p.busy.peak_dram_c,
+            p.shutdown
+        );
     }
     println!("--- fig2 ---");
     for v in run_fig2() {
-        println!("{}: measured={:.1} est={:.1} model={:.1}", v.sink.name(), v.surface_measured_c, v.die_estimated_c, v.die_modeled_c);
+        println!(
+            "{}: measured={:.1} est={:.1} model={:.1}",
+            v.sink.name(),
+            v.surface_measured_c,
+            v.die_estimated_c,
+            v.die_modeled_c
+        );
     }
 }

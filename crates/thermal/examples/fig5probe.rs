@@ -2,7 +2,9 @@ use coolpim_thermal::{cooling::Cooling, model::HmcThermalModel, power::TrafficSa
 fn main() {
     let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
     for r in [0.0, 0.5, 1.0, 1.1, 1.3, 2.0, 3.0, 4.0, 5.0, 5.5, 6.5] {
-        let t = m.steady_state(&TrafficSample::with_pim(320.0e9, r, 1e-3)).peak_dram_c;
+        let t = m
+            .steady_state(&TrafficSample::with_pim(320.0e9, r, 1e-3))
+            .peak_dram_c;
         println!("r={r:4}: {t:.1} C");
     }
 }

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn table2_resistances() {
-        let r: Vec<f64> = Cooling::TABLE2.iter().map(|c| c.resistance_c_per_w()).collect();
+        let r: Vec<f64> = Cooling::TABLE2
+            .iter()
+            .map(|c| c.resistance_c_per_w())
+            .collect();
         assert_eq!(r, vec![4.0, 2.0, 0.5, 0.2]);
     }
 
@@ -143,7 +146,10 @@ mod tests {
     #[test]
     fn high_end_fan_is_about_13_watts() {
         let p = Cooling::HighEndActive.fan_power_w();
-        assert!((12.0..15.0).contains(&p), "high-end fan power {p} W not ≈13 W");
+        assert!(
+            (12.0..15.0).contains(&p),
+            "high-end fan power {p} W not ≈13 W"
+        );
     }
 
     #[test]

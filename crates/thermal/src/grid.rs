@@ -89,7 +89,8 @@ impl ThermalGrid {
                     // Vertical edge to the layer above.
                     if li + 1 < n_layers {
                         let upper = &stack.layers[li + 1];
-                        let mut r = t / (2.0 * k) + upper.thickness / (2.0 * upper.material.conductivity);
+                        let mut r =
+                            t / (2.0 * k) + upper.thickness / (2.0 * upper.material.conductivity);
                         if let Some((ti, mi)) = upper.interface_below {
                             r += ti / mi.conductivity;
                         }
@@ -127,7 +128,16 @@ impl ThermalGrid {
             })
             .collect();
 
-        Self { stack, floorplan, cooling, capacitance, edge_offsets, edges, g_ambient, g_total }
+        Self {
+            stack,
+            floorplan,
+            cooling,
+            capacitance,
+            edge_offsets,
+            edges,
+            g_ambient,
+            g_total,
+        }
     }
 
     /// Total node count (including the sink node).
@@ -195,8 +205,7 @@ impl ThermalGrid {
             p[self.node(logic, c)] = watts / cells as f64;
         }
         let t = crate::solver::steady_state(self, &p, 0.0);
-        let avg: f64 =
-            (0..cells).map(|c| t[self.node(logic, c)]).sum::<f64>() / cells as f64;
+        let avg: f64 = (0..cells).map(|c| t[self.node(logic, c)]).sum::<f64>() / cells as f64;
         avg / watts
     }
 }
@@ -208,13 +217,20 @@ mod tests {
     use crate::layers::StackConfig;
 
     fn grid() -> ThermalGrid {
-        ThermalGrid::build(StackConfig::hmc20(), Floorplan::hmc20(), Cooling::CommodityServer)
+        ThermalGrid::build(
+            StackConfig::hmc20(),
+            Floorplan::hmc20(),
+            Cooling::CommodityServer,
+        )
     }
 
     #[test]
     fn node_count_is_layers_times_cells_plus_sink() {
         let g = grid();
-        assert_eq!(g.node_count(), g.stack.layers.len() * g.floorplan.cells() + 1);
+        assert_eq!(
+            g.node_count(),
+            g.stack.layers.len() * g.floorplan.cells() + 1
+        );
     }
 
     #[test]
@@ -223,8 +239,7 @@ mod tests {
         for node in 0..g.node_count() {
             for (nb, cond) in g.neighbours(node) {
                 assert!(cond > 0.0);
-                let back: Vec<_> =
-                    g.neighbours(nb).filter(|&(o, _)| o == node).collect();
+                let back: Vec<_> = g.neighbours(nb).filter(|&(o, _)| o == node).collect();
                 assert_eq!(back.len(), 1, "edge {node}->{nb} not symmetric");
                 assert!((back[0].1 - cond).abs() < 1e-15);
             }

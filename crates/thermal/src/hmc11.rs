@@ -30,8 +30,11 @@ pub enum PrototypeSink {
 
 impl PrototypeSink {
     /// All three sinks in Fig. 1 order (high-end, low-end, passive).
-    pub const ALL: [PrototypeSink; 3] =
-        [PrototypeSink::HighEndActive, PrototypeSink::LowEndActive, PrototypeSink::Passive];
+    pub const ALL: [PrototypeSink; 3] = [
+        PrototypeSink::HighEndActive,
+        PrototypeSink::LowEndActive,
+        PrototypeSink::Passive,
+    ];
 
     /// Effective sink-to-ambient resistance (°C/W), calibrated so the
     /// *modelled* idle surface temperature (which includes the secondary
@@ -46,7 +49,9 @@ impl PrototypeSink {
 
     /// As a [`Cooling`] value for model construction.
     pub fn cooling(self) -> Cooling {
-        Cooling::Custom { resistance: (self.resistance_c_per_w() * 1000.0).round() as u32 }
+        Cooling::Custom {
+            resistance: (self.resistance_c_per_w() * 1000.0).round() as u32,
+        }
     }
 
     /// Display name matching Fig. 1.
@@ -131,7 +136,12 @@ pub fn run_fig1() -> Vec<PrototypePanel> {
             // The prototype firmware stops the device once the in-package
             // DRAM leaves the extended range (≈95 °C die, §III-A.2).
             let shutdown = busy.peak_dram_c >= EXTENDED_TEMP_LIMIT_C;
-            PrototypePanel { sink, idle, busy, shutdown }
+            PrototypePanel {
+                sink,
+                idle,
+                busy,
+                shutdown,
+            }
         })
         .collect()
 }
@@ -152,8 +162,8 @@ pub struct ValidationPoint {
 
 /// Runs the Fig. 2 reproduction for the low-end and high-end sinks.
 pub fn run_fig2() -> Vec<ValidationPoint> {
-    let busy_power = PowerParams::hmc11()
-        .total_power_w(&TrafficSample::external_stream(HMC11_PEAK_BW, 1e-3));
+    let busy_power =
+        PowerParams::hmc11().total_power_w(&TrafficSample::external_stream(HMC11_PEAK_BW, 1e-3));
     FIG1_MEASURED
         .iter()
         .filter(|m| !m.shutdown)
@@ -177,7 +187,8 @@ pub fn max_sustainable_bandwidth(sink: PrototypeSink, die_limit_c: f64) -> f64 {
     let mut hi = HMC11_PEAK_BW;
     let mut m = prototype_model(sink);
     let peak_at = |m: &mut HmcThermalModel, bw: f64| {
-        m.steady_state(&TrafficSample::external_stream(bw, 1e-3)).peak_dram_c
+        m.steady_state(&TrafficSample::external_stream(bw, 1e-3))
+            .peak_dram_c
     };
     if peak_at(&mut m, hi) < die_limit_c {
         return hi;
@@ -203,10 +214,7 @@ mod tests {
     #[test]
     fn idle_surfaces_match_measurements_within_tolerance() {
         for panel in run_fig1() {
-            let meas = FIG1_MEASURED
-                .iter()
-                .find(|m| m.sink == panel.sink)
-                .unwrap();
+            let meas = FIG1_MEASURED.iter().find(|m| m.sink == panel.sink).unwrap();
             let err = (panel.idle.surface_c - meas.idle_surface_c).abs();
             assert!(
                 err < 4.0,
@@ -222,7 +230,10 @@ mod tests {
     fn busy_surfaces_match_measurements_within_tolerance() {
         // Active sinks only; the passive run shut down mid-ramp so its
         // measured "busy" value is a shutdown snapshot, not steady state.
-        for panel in run_fig1().iter().filter(|p| p.sink != PrototypeSink::Passive) {
+        for panel in run_fig1()
+            .iter()
+            .filter(|p| p.sink != PrototypeSink::Passive)
+        {
             let meas = FIG1_MEASURED.iter().find(|m| m.sink == panel.sink).unwrap();
             let err = (panel.busy.surface_c - meas.busy_surface_c).abs();
             assert!(
@@ -238,17 +249,30 @@ mod tests {
     #[test]
     fn passive_sink_cannot_sustain_peak_bandwidth() {
         let panels = run_fig1();
-        let passive = panels.iter().find(|p| p.sink == PrototypeSink::Passive).unwrap();
-        assert!(passive.shutdown, "passive sink should overheat at peak bandwidth");
+        let passive = panels
+            .iter()
+            .find(|p| p.sink == PrototypeSink::Passive)
+            .unwrap();
+        assert!(
+            passive.shutdown,
+            "passive sink should overheat at peak bandwidth"
+        );
         let max_bw = max_sustainable_bandwidth(PrototypeSink::Passive, EXTENDED_TEMP_LIMIT_C);
-        assert!(max_bw < HMC11_PEAK_BW, "sustainable {max_bw} should be below peak");
+        assert!(
+            max_bw < HMC11_PEAK_BW,
+            "sustainable {max_bw} should be below peak"
+        );
     }
 
     #[test]
     fn active_sinks_do_not_shut_down() {
         for panel in run_fig1() {
             if panel.sink != PrototypeSink::Passive {
-                assert!(!panel.shutdown, "{} unexpectedly shut down", panel.sink.name());
+                assert!(
+                    !panel.shutdown,
+                    "{} unexpectedly shut down",
+                    panel.sink.name()
+                );
             }
         }
     }

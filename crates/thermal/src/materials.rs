@@ -18,7 +18,10 @@ impl Material {
     /// Creates a material from conductivity (W/(m·K)) and volumetric heat
     /// capacity (J/(m³·K)).
     pub const fn new(conductivity: f64, volumetric_capacity: f64) -> Self {
-        Self { conductivity, volumetric_capacity }
+        Self {
+            conductivity,
+            volumetric_capacity,
+        }
     }
 }
 
@@ -53,7 +56,8 @@ mod tests {
 
     #[test]
     fn silicon_is_far_more_conductive_than_bond_layers() {
-        assert!(SILICON.conductivity / BOND_LAYER.conductivity > 50.0);
+        let ratio = SILICON.conductivity / BOND_LAYER.conductivity;
+        assert!(ratio > 50.0, "ratio {ratio}");
     }
 
     #[test]

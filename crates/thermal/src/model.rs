@@ -1,6 +1,8 @@
 //! High-level KitFox-style façade: couple a power model to the RC grid and
 //! expose the readouts the rest of the system consumes.
 
+use coolpim_telemetry::Profiler;
+
 use crate::cooling::Cooling;
 use crate::floorplan::Floorplan;
 use crate::grid::ThermalGrid;
@@ -44,12 +46,24 @@ pub struct HmcThermalModel {
 impl HmcThermalModel {
     /// HMC 2.0 cube (8 DRAM dies, 32 vaults) under `cooling`.
     pub fn hmc20(cooling: Cooling) -> Self {
-        Self::new(StackConfig::hmc20(), Floorplan::hmc20(), cooling, PowerParams::hmc20(), DEFAULT_THERMAL_TAU_S)
+        Self::new(
+            StackConfig::hmc20(),
+            Floorplan::hmc20(),
+            cooling,
+            PowerParams::hmc20(),
+            DEFAULT_THERMAL_TAU_S,
+        )
     }
 
     /// HMC 1.1 prototype cube (4 DRAM dies, 16 vaults) under `cooling`.
     pub fn hmc11(cooling: Cooling) -> Self {
-        Self::new(StackConfig::hmc11(), Floorplan::hmc11(), cooling, PowerParams::hmc11(), DEFAULT_THERMAL_TAU_S)
+        Self::new(
+            StackConfig::hmc11(),
+            Floorplan::hmc11(),
+            cooling,
+            PowerParams::hmc11(),
+            DEFAULT_THERMAL_TAU_S,
+        )
     }
 
     /// Fully custom model. `tau_target_s` calibrates the transient plant's
@@ -70,14 +84,21 @@ impl HmcThermalModel {
         let r_sink = 1.0 / grid.g_ambient()[sink];
         let r_total = grid.logic_to_ambient_resistance();
         let r_internal = (r_total - r_sink).max(0.05);
-        let tau_raw = grid.capacitance()[sink] * r_sink
-            + grid.total_stack_capacitance() * r_internal;
+        let tau_raw =
+            grid.capacitance()[sink] * r_sink + grid.total_stack_capacitance() * r_internal;
         let c_scale = (tau_target_s / tau_raw).min(1.0);
         let state = TransientState::new(&grid, AMBIENT_C, c_scale);
         let dram_layers = grid.layers_where(LayerKind::is_dram);
         let logic_layer = grid.layers_where(|k| k == LayerKind::Logic)[0];
         let n = grid.node_count();
-        Self { grid, params, state, dram_layers, logic_layer, power_scratch: vec![0.0; n] }
+        Self {
+            grid,
+            params,
+            state,
+            dram_layers,
+            logic_layer,
+            power_scratch: vec![0.0; n],
+        }
     }
 
     /// The underlying RC grid (for heat-map style inspection).
@@ -103,10 +124,21 @@ impl HmcThermalModel {
     /// Advances the transient state by `sample.window_s` under the power
     /// implied by `sample`, returning the end-of-window readout.
     pub fn step(&mut self, sample: &TrafficSample) -> ThermalReadout {
+        self.step_profiled(sample, &mut Profiler::disabled())
+    }
+
+    /// Like [`Self::step`], but attributes the power-map build and the
+    /// transient solve to `prof`'s `power_map_build` / `thermal_solve`
+    /// spans (the co-simulator's `--profile` breakdown).
+    pub fn step_profiled(&mut self, sample: &TrafficSample, prof: &mut Profiler) -> ThermalReadout {
+        let t = prof.start();
         self.power_scratch = build_power_map(&self.grid, &self.params, sample);
+        prof.stop("power_map_build", t);
+        let t = prof.start();
         let p = std::mem::take(&mut self.power_scratch);
         self.state.step(&self.grid, &p, sample.window_s);
         self.power_scratch = p;
+        prof.stop("thermal_solve", t);
         self.readout()
     }
 
@@ -155,7 +187,9 @@ impl HmcThermalModel {
     /// Temperature field of one layer (row-major `nx × ny`), for heat maps.
     pub fn layer_temps(&self, layer: usize) -> Vec<f64> {
         let cells = self.grid.floorplan.cells();
-        (0..cells).map(|c| self.state.temps()[self.grid.node(layer, c)]).collect()
+        (0..cells)
+            .map(|c| self.state.temps()[self.grid.node(layer, c)])
+            .collect()
     }
 
     /// Index of the logic layer in the stack.
@@ -208,7 +242,8 @@ mod tests {
         // the crossings exist in a band covering both calibrations.
         let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
         let mut at = |rate: f64| {
-            m.steady_state(&TrafficSample::with_pim(320.0e9, rate, 1e-3)).peak_dram_c
+            m.steady_state(&TrafficSample::with_pim(320.0e9, rate, 1e-3))
+                .peak_dram_c
         };
         let crossing = |m: &mut dyn FnMut(f64) -> f64, limit: f64| {
             let mut r = 0.0;
@@ -220,7 +255,10 @@ mod tests {
         let r85 = crossing(&mut at, 85.0);
         let r105 = crossing(&mut at, 105.0);
         assert!((0.2..1.5).contains(&r85), "85 °C crossing at {r85} op/ns");
-        assert!((2.0..7.0).contains(&r105), "105 °C crossing at {r105} op/ns");
+        assert!(
+            (2.0..7.0).contains(&r105),
+            "105 °C crossing at {r105} op/ns"
+        );
         assert!(r105 > 2.0 * r85, "curve must stay roughly linear");
         // Monotone increase.
         let (a, b, c) = (at(1.0), at(2.0), at(3.0));
@@ -246,11 +284,16 @@ mod tests {
         m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
         let layers = m.dram_layers().to_vec();
         let peak_of = |m: &HmcThermalModel, l: usize| {
-            m.layer_temps(l).into_iter().fold(f64::NEG_INFINITY, f64::max)
+            m.layer_temps(l)
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max)
         };
         let bottom = peak_of(&m, layers[0]);
         let top = peak_of(&m, *layers.last().unwrap());
-        assert!(bottom > top, "bottom die {bottom} °C not hotter than top {top} °C");
+        assert!(
+            bottom > top,
+            "bottom die {bottom} °C not hotter than top {top} °C"
+        );
     }
 
     #[test]
@@ -259,7 +302,8 @@ mod tests {
         let sample = TrafficSample::external_stream(320.0e9, 1e-4);
         let ss = {
             let mut m2 = HmcThermalModel::hmc20(Cooling::CommodityServer);
-            m2.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3)).peak_dram_c
+            m2.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3))
+                .peak_dram_c
         };
         // 8 ms = 8 nominal time constants.
         let mut last = ThermalReadout {
@@ -326,7 +370,10 @@ mod more_tests {
         for w in weights.iter_mut().take(4) {
             *w = 5.0;
         }
-        let skew = TrafficSample { vault_weights: Some(weights), ..base.clone() };
+        let skew = TrafficSample {
+            vault_weights: Some(weights),
+            ..base.clone()
+        };
         let r_skew = skewed.steady_state(&skew);
         assert!(
             r_skew.peak_dram_c > r_uniform.peak_dram_c,
@@ -342,6 +389,22 @@ mod more_tests {
         let r = m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
         assert!(r.surface_c < r.avg_dram_c);
         assert!(r.avg_dram_c < r.peak_dram_c);
+    }
+
+    #[test]
+    fn profiled_step_matches_plain_step_and_records_spans() {
+        let mut plain = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let mut profiled = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        let sample = TrafficSample::external_stream(200.0e9, 1e-4);
+        let mut prof = Profiler::enabled();
+        for _ in 0..5 {
+            let a = plain.step(&sample);
+            let b = profiled.step_profiled(&sample, &mut prof);
+            assert_eq!(a, b, "profiling must not change the physics");
+        }
+        let report = prof.finish();
+        assert!(report.span_s("power_map_build") > 0.0);
+        assert!(report.span_s("thermal_solve") > 0.0);
     }
 
     #[test]

@@ -113,12 +113,22 @@ pub struct TrafficSample {
 impl TrafficSample {
     /// An idle window of `window_s` seconds.
     pub fn idle(window_s: f64) -> Self {
-        Self { window_s, ext_bytes: 0.0, pim_ops: 0.0, vault_weights: None }
+        Self {
+            window_s,
+            ext_bytes: 0.0,
+            pim_ops: 0.0,
+            vault_weights: None,
+        }
     }
 
     /// A pure external-bandwidth stream: `bytes_per_s` for `window_s`.
     pub fn external_stream(bytes_per_s: f64, window_s: f64) -> Self {
-        Self { window_s, ext_bytes: bytes_per_s * window_s, pim_ops: 0.0, vault_weights: None }
+        Self {
+            window_s,
+            ext_bytes: bytes_per_s * window_s,
+            pim_ops: 0.0,
+            vault_weights: None,
+        }
     }
 
     /// A mixed stream: external bandwidth plus a PIM offloading rate in
@@ -167,7 +177,11 @@ impl TrafficSample {
 /// * dynamic DRAM (per-bit + PIM DRAM energy): spread evenly over the DRAM
 ///   dies, within each die over vault footprints weighted by activity.
 #[allow(clippy::needless_range_loop)] // vault loops index two parallel maps
-pub fn build_power_map(grid: &ThermalGrid, params: &PowerParams, sample: &TrafficSample) -> Vec<f64> {
+pub fn build_power_map(
+    grid: &ThermalGrid,
+    params: &PowerParams,
+    sample: &TrafficSample,
+) -> Vec<f64> {
     let fp = &grid.floorplan;
     let mut power = vec![0.0; grid.node_count()];
 
@@ -236,7 +250,10 @@ fn normalised_vault_weights(fp: &Floorplan, raw: Option<&[f64]>) -> Vec<f64> {
         Some(w) => {
             assert_eq!(w.len(), vaults, "vault weight vector length mismatch");
             let sum: f64 = w.iter().copied().sum();
-            assert!(w.iter().all(|&x| x >= 0.0), "vault weights must be non-negative");
+            assert!(
+                w.iter().all(|&x| x >= 0.0),
+                "vault weights must be non-negative"
+            );
             if sum <= 0.0 {
                 vec![1.0 / vaults as f64; vaults]
             } else {
@@ -253,7 +270,11 @@ mod tests {
     use crate::layers::StackConfig;
 
     fn grid() -> ThermalGrid {
-        ThermalGrid::build(StackConfig::hmc20(), Floorplan::hmc20(), Cooling::CommodityServer)
+        ThermalGrid::build(
+            StackConfig::hmc20(),
+            Floorplan::hmc20(),
+            Cooling::CommodityServer,
+        )
     }
 
     #[test]

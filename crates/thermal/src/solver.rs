@@ -33,7 +33,11 @@ const TR_MAX_SWEEPS: usize = 2_000;
 /// Panics if `power.len()` does not match the grid's node count, or if the
 /// solve fails to converge (which would indicate a malformed network).
 pub fn steady_state(grid: &ThermalGrid, power: &[f64], ambient_c: f64) -> Vec<f64> {
-    assert_eq!(power.len(), grid.node_count(), "power vector length mismatch");
+    assert_eq!(
+        power.len(),
+        grid.node_count(),
+        "power vector length mismatch"
+    );
     let n = grid.node_count();
     let g_total = grid.g_total();
     // Solve for temperature *rise* over ambient; the ambient boundary term
@@ -176,7 +180,11 @@ mod tests {
     use crate::layers::StackConfig;
 
     fn small_grid() -> ThermalGrid {
-        ThermalGrid::build(StackConfig::hmc11(), Floorplan::hmc11(), Cooling::LowEndActive)
+        ThermalGrid::build(
+            StackConfig::hmc11(),
+            Floorplan::hmc11(),
+            Cooling::LowEndActive,
+        )
     }
 
     #[test]
@@ -235,7 +243,10 @@ mod tests {
             .zip(&ss)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_err < 0.2, "transient end-state differs from steady state by {max_err} °C");
+        assert!(
+            max_err < 0.2,
+            "transient end-state differs from steady state by {max_err} °C"
+        );
     }
 
     #[test]

@@ -15,9 +15,12 @@ use coolpim::thermal::NORMAL_TEMP_LIMIT_C;
 /// over the sink resistance in °C/W.
 fn required_resistance(bw: f64, pim_rate: f64, limit: f64) -> f64 {
     let peak_at = |r: f64| {
-        let cooling = Cooling::Custom { resistance: (r * 1000.0).round().max(1.0) as u32 };
+        let cooling = Cooling::Custom {
+            resistance: (r * 1000.0).round().max(1.0) as u32,
+        };
         let mut m = HmcThermalModel::hmc20(cooling);
-        m.steady_state(&TrafficSample::with_pim(bw, pim_rate, 1e-3)).peak_dram_c
+        m.steady_state(&TrafficSample::with_pim(bw, pim_rate, 1e-3))
+            .peak_dram_c
     };
     let mut lo = 0.01;
     let mut hi = 4.0;
@@ -41,7 +44,12 @@ fn required_resistance(bw: f64, pim_rate: f64, limit: f64) -> f64 {
 fn main() {
     let mut t = Table::new(
         "Required cooling vs PIM offloading rate (full external bandwidth, ≤85 °C)",
-        &["PIM rate (op/ns)", "Required R (°C/W)", "Fan power (W)", "Comparable sink"],
+        &[
+            "PIM rate (op/ns)",
+            "Required R (°C/W)",
+            "Fan power (W)",
+            "Comparable sink",
+        ],
     );
     for rate in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
         let r = required_resistance(320.0e9, rate, NORMAL_TEMP_LIMIT_C);
@@ -65,7 +73,11 @@ fn main() {
         t.row(&[
             f(rate, 1),
             if r.is_nan() { "—".into() } else { f(r, 3) },
-            if fan.is_nan() { "—".into() } else { f(fan, 1) },
+            if fan.is_nan() {
+                "—".into()
+            } else {
+                f(fan, 1)
+            },
             class.to_string(),
         ]);
     }

@@ -8,7 +8,10 @@ use coolpim::core::report::{f, Table};
 use coolpim::prelude::*;
 
 fn main() {
-    let spec = GraphSpec { scale: 18, ..GraphSpec::ldbc_like() };
+    let spec = GraphSpec {
+        scale: 18,
+        ..GraphSpec::ldbc_like()
+    };
     println!("generating 2^{} vertex LDBC-like graph...", spec.scale);
     let graph = spec.build();
 
@@ -23,7 +26,14 @@ fn main() {
 
     let mut t = Table::new(
         "Speedup over non-offloading (medium graph)",
-        &["Workload", "Naive", "CoolPIM(SW)", "CoolPIM(HW)", "Naive peak °C", "CoolPIM(SW) peak °C"],
+        &[
+            "Workload",
+            "Naive",
+            "CoolPIM(SW)",
+            "CoolPIM(HW)",
+            "Naive peak °C",
+            "CoolPIM(SW) peak °C",
+        ],
     );
     for r in &results {
         t.row(&[
@@ -31,12 +41,26 @@ fn main() {
             f(r.speedup(Policy::NaiveOffloading).unwrap_or(f64::NAN), 3),
             f(r.speedup(Policy::CoolPimSw).unwrap_or(f64::NAN), 3),
             f(r.speedup(Policy::CoolPimHw).unwrap_or(f64::NAN), 3),
-            f(r.run(Policy::NaiveOffloading).map_or(f64::NAN, |x| x.max_peak_dram_c), 1),
-            f(r.run(Policy::CoolPimSw).map_or(f64::NAN, |x| x.max_peak_dram_c), 1),
+            f(
+                r.run(Policy::NaiveOffloading)
+                    .map_or(f64::NAN, |x| x.max_peak_dram_c),
+                1,
+            ),
+            f(
+                r.run(Policy::CoolPimSw)
+                    .map_or(f64::NAN, |x| x.max_peak_dram_c),
+                1,
+            ),
         ]);
     }
     t.print();
 
-    println!("Average CoolPIM(SW) speedup: {:.3}×", mean_speedup(&results, Policy::CoolPimSw));
-    println!("Average CoolPIM(HW) speedup: {:.3}×", mean_speedup(&results, Policy::CoolPimHw));
+    println!(
+        "Average CoolPIM(SW) speedup: {:.3}×",
+        mean_speedup(&results, Policy::CoolPimSw)
+    );
+    println!(
+        "Average CoolPIM(HW) speedup: {:.3}×",
+        mean_speedup(&results, Policy::CoolPimHw)
+    );
 }

@@ -9,7 +9,11 @@ fn main() {
     // A mid-size LDBC-like graph so the example finishes in seconds yet
     // the atomic working set exceeds the L2, where offloading pays off.
     // (The paper-scale dataset is `GraphSpec::ldbc_like()`.)
-    let spec = GraphSpec { scale: 18, avg_degree: 12, ..GraphSpec::ldbc_like() };
+    let spec = GraphSpec {
+        scale: 18,
+        avg_degree: 12,
+        ..GraphSpec::ldbc_like()
+    };
     let graph = spec.build();
     println!(
         "graph: {} vertices, {} edges (LDBC-like R-MAT)",
@@ -18,7 +22,11 @@ fn main() {
     );
 
     // Degree centrality — the suite's most atomic-dominated kernel.
-    for policy in [Policy::NonOffloading, Policy::NaiveOffloading, Policy::CoolPimSw] {
+    for policy in [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+    ] {
         let mut kernel = make_kernel(Workload::Dc, &graph);
         let result = CoSim::paper(policy).run(kernel.as_mut());
         println!(

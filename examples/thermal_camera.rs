@@ -10,7 +10,9 @@ use coolpim::thermal::hmc11::{prototype_model, PrototypeSink, HMC11_PEAK_BW};
 fn ascii_heatmap(field: &[f64], nx: usize, ny: usize) {
     let (lo, hi) = field
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     let glyphs = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@', b'#'];
     for y in 0..ny {
         let mut line = String::from("    ");

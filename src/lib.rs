@@ -10,7 +10,9 @@
 //! * [`gpu`] — discrete-event GPU timing model,
 //! * [`graph`] — graph substrate and the GraphBIG-style workload suite,
 //! * [`core`] — CoolPIM source throttling (SW-DynT / HW-DynT),
-//!   co-simulation, and the experiment harness.
+//!   co-simulation, and the experiment harness,
+//! * [`telemetry`] — typed event tracing, metrics, and wall-clock
+//!   profiling of the co-simulation loop.
 //!
 //! ## Quick start
 //!
@@ -37,6 +39,7 @@ pub use coolpim_core as core;
 pub use coolpim_gpu as gpu;
 pub use coolpim_graph as graph;
 pub use coolpim_hmc as hmc;
+pub use coolpim_telemetry as telemetry;
 pub use coolpim_thermal as thermal;
 
 /// Commonly used types, one `use` away.
@@ -49,5 +52,6 @@ pub mod prelude {
     pub use coolpim_graph::workloads::{make_kernel, Workload};
     pub use coolpim_graph::Csr;
     pub use coolpim_hmc::{Hmc, HmcConfig, PimOp, Request, TempPhase};
+    pub use coolpim_telemetry::{RecordingSink, Telemetry, TelemetryEvent};
     pub use coolpim_thermal::{Cooling, HmcThermalModel, TrafficSample};
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cf-0961a0130063e2d2.d: crates/bench/src/bin/ablation_cf.rs
+
+/root/repo/target/debug/deps/ablation_cf-0961a0130063e2d2: crates/bench/src/bin/ablation_cf.rs
+
+crates/bench/src/bin/ablation_cf.rs:

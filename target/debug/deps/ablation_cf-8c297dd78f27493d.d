@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cf-8c297dd78f27493d.d: crates/bench/src/bin/ablation_cf.rs
+
+/root/repo/target/debug/deps/ablation_cf-8c297dd78f27493d: crates/bench/src/bin/ablation_cf.rs
+
+crates/bench/src/bin/ablation_cf.rs:

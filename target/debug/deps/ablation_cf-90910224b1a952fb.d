@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cf-90910224b1a952fb.d: crates/bench/src/bin/ablation_cf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cf-90910224b1a952fb.rmeta: crates/bench/src/bin/ablation_cf.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cf-d9a1b2482dec23ae.d: crates/bench/src/bin/ablation_cf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cf-d9a1b2482dec23ae.rmeta: crates/bench/src/bin/ablation_cf.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

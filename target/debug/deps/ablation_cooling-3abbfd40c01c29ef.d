@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cooling-3abbfd40c01c29ef.d: crates/bench/src/bin/ablation_cooling.rs
+
+/root/repo/target/debug/deps/ablation_cooling-3abbfd40c01c29ef: crates/bench/src/bin/ablation_cooling.rs
+
+crates/bench/src/bin/ablation_cooling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cooling-b1c03e80ed83f842.d: crates/bench/src/bin/ablation_cooling.rs
+
+/root/repo/target/debug/deps/ablation_cooling-b1c03e80ed83f842: crates/bench/src/bin/ablation_cooling.rs
+
+crates/bench/src/bin/ablation_cooling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cooling-d247cd3ac2aa1d10.d: crates/bench/src/bin/ablation_cooling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cooling-d247cd3ac2aa1d10.rmeta: crates/bench/src/bin/ablation_cooling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cooling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

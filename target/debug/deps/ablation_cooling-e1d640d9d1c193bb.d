@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cooling-e1d640d9d1c193bb.d: crates/bench/src/bin/ablation_cooling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cooling-e1d640d9d1c193bb.rmeta: crates/bench/src/bin/ablation_cooling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cooling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epoch-196bd218ca6da7bb.d: crates/bench/src/bin/ablation_epoch.rs
+
+/root/repo/target/debug/deps/ablation_epoch-196bd218ca6da7bb: crates/bench/src/bin/ablation_epoch.rs
+
+crates/bench/src/bin/ablation_epoch.rs:

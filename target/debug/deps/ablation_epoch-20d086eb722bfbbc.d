@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epoch-20d086eb722bfbbc.d: crates/bench/src/bin/ablation_epoch.rs
+
+/root/repo/target/debug/deps/ablation_epoch-20d086eb722bfbbc: crates/bench/src/bin/ablation_epoch.rs
+
+crates/bench/src/bin/ablation_epoch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_epoch-3dd6bbf8641ff07d.d: crates/bench/src/bin/ablation_epoch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_epoch-3dd6bbf8641ff07d.rmeta: crates/bench/src/bin/ablation_epoch.rs Cargo.toml
+
+crates/bench/src/bin/ablation_epoch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

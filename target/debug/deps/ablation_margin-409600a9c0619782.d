@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-409600a9c0619782.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/ablation_margin-409600a9c0619782: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

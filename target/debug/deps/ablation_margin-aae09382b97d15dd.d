@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-aae09382b97d15dd.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/ablation_margin-aae09382b97d15dd: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

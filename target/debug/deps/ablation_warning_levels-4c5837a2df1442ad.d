@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_warning_levels-4c5837a2df1442ad.d: crates/bench/src/bin/ablation_warning_levels.rs
+
+/root/repo/target/debug/deps/ablation_warning_levels-4c5837a2df1442ad: crates/bench/src/bin/ablation_warning_levels.rs
+
+crates/bench/src/bin/ablation_warning_levels.rs:

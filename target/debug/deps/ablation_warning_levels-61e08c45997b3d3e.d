@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_warning_levels-61e08c45997b3d3e.d: crates/bench/src/bin/ablation_warning_levels.rs
+
+/root/repo/target/debug/deps/ablation_warning_levels-61e08c45997b3d3e: crates/bench/src/bin/ablation_warning_levels.rs
+
+crates/bench/src/bin/ablation_warning_levels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_warning_levels-72e9900de96a036f.d: crates/bench/src/bin/ablation_warning_levels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_warning_levels-72e9900de96a036f.rmeta: crates/bench/src/bin/ablation_warning_levels.rs Cargo.toml
+
+crates/bench/src/bin/ablation_warning_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coolpim-087a4283cdfe0a5c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoolpim-087a4283cdfe0a5c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcoolpim-087a4283cdfe0a5c.rmeta: src/lib.rs
+
+src/lib.rs:

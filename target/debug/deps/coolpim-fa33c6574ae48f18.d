@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coolpim-fa33c6574ae48f18.d: src/lib.rs
+
+/root/repo/target/debug/deps/coolpim-fa33c6574ae48f18: src/lib.rs
+
+src/lib.rs:

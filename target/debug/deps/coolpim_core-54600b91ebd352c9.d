@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/coolpim_core-54600b91ebd352c9.d: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoolpim_core-54600b91ebd352c9.rmeta: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cosim.rs:
+crates/core/src/estimate.rs:
+crates/core/src/experiment.rs:
+crates/core/src/hw_dynt.rs:
+crates/core/src/multi_level.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/sw_dynt.rs:
+crates/core/src/token_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

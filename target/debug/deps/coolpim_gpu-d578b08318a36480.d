@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coolpim_gpu-d578b08318a36480.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoolpim_gpu-d578b08318a36480.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/controller.rs:
+crates/gpu/src/isa.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/stats.rs:
+crates/gpu/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

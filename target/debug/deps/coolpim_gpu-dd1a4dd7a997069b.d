@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coolpim_gpu-dd1a4dd7a997069b.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+/root/repo/target/debug/deps/libcoolpim_gpu-dd1a4dd7a997069b.rlib: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+/root/repo/target/debug/deps/libcoolpim_gpu-dd1a4dd7a997069b.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/controller.rs:
+crates/gpu/src/isa.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/stats.rs:
+crates/gpu/src/system.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/coolpim_graph-515c5d71347d5e7f.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/layout.rs crates/graph/src/reference.rs crates/graph/src/rng.rs crates/graph/src/trace.rs crates/graph/src/workloads/mod.rs crates/graph/src/workloads/bfs.rs crates/graph/src/workloads/cc.rs crates/graph/src/workloads/common.rs crates/graph/src/workloads/dc.rs crates/graph/src/workloads/kcore.rs crates/graph/src/workloads/pagerank.rs crates/graph/src/workloads/sssp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoolpim_graph-515c5d71347d5e7f.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/layout.rs crates/graph/src/reference.rs crates/graph/src/rng.rs crates/graph/src/trace.rs crates/graph/src/workloads/mod.rs crates/graph/src/workloads/bfs.rs crates/graph/src/workloads/cc.rs crates/graph/src/workloads/common.rs crates/graph/src/workloads/dc.rs crates/graph/src/workloads/kcore.rs crates/graph/src/workloads/pagerank.rs crates/graph/src/workloads/sssp.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/layout.rs:
+crates/graph/src/reference.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/trace.rs:
+crates/graph/src/workloads/mod.rs:
+crates/graph/src/workloads/bfs.rs:
+crates/graph/src/workloads/cc.rs:
+crates/graph/src/workloads/common.rs:
+crates/graph/src/workloads/dc.rs:
+crates/graph/src/workloads/kcore.rs:
+crates/graph/src/workloads/pagerank.rs:
+crates/graph/src/workloads/sssp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

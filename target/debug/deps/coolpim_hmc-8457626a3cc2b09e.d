@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/coolpim_hmc-8457626a3cc2b09e.d: crates/hmc/src/lib.rs crates/hmc/src/bank.rs crates/hmc/src/command.rs crates/hmc/src/cube.rs crates/hmc/src/flit.rs crates/hmc/src/link.rs crates/hmc/src/packet.rs crates/hmc/src/stats.rs crates/hmc/src/thermal_state.rs crates/hmc/src/timing.rs crates/hmc/src/vault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoolpim_hmc-8457626a3cc2b09e.rmeta: crates/hmc/src/lib.rs crates/hmc/src/bank.rs crates/hmc/src/command.rs crates/hmc/src/cube.rs crates/hmc/src/flit.rs crates/hmc/src/link.rs crates/hmc/src/packet.rs crates/hmc/src/stats.rs crates/hmc/src/thermal_state.rs crates/hmc/src/timing.rs crates/hmc/src/vault.rs Cargo.toml
+
+crates/hmc/src/lib.rs:
+crates/hmc/src/bank.rs:
+crates/hmc/src/command.rs:
+crates/hmc/src/cube.rs:
+crates/hmc/src/flit.rs:
+crates/hmc/src/link.rs:
+crates/hmc/src/packet.rs:
+crates/hmc/src/stats.rs:
+crates/hmc/src/thermal_state.rs:
+crates/hmc/src/timing.rs:
+crates/hmc/src/vault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/coolpim_thermal-5038f1cea562880f.d: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoolpim_thermal-5038f1cea562880f.rmeta: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs Cargo.toml
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/cooling.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/grid.rs:
+crates/thermal/src/hmc11.rs:
+crates/thermal/src/layers.rs:
+crates/thermal/src/materials.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosim_end_to_end-3d08715227b05cc2.d: crates/bench/benches/cosim_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosim_end_to_end-3d08715227b05cc2.rmeta: crates/bench/benches/cosim_end_to_end.rs Cargo.toml
+
+crates/bench/benches/cosim_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

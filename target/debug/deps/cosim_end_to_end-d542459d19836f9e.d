@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosim_end_to_end-d542459d19836f9e.d: crates/bench/benches/cosim_end_to_end.rs
+
+/root/repo/target/debug/deps/cosim_end_to_end-d542459d19836f9e: crates/bench/benches/cosim_end_to_end.rs
+
+crates/bench/benches/cosim_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_all-38656e6c2d995ad0.d: crates/bench/src/bin/eval_all.rs
+
+/root/repo/target/debug/deps/eval_all-38656e6c2d995ad0: crates/bench/src/bin/eval_all.rs
+
+crates/bench/src/bin/eval_all.rs:

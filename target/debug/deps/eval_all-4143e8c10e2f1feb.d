@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval_all-4143e8c10e2f1feb.d: crates/bench/src/bin/eval_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_all-4143e8c10e2f1feb.rmeta: crates/bench/src/bin/eval_all.rs Cargo.toml
+
+crates/bench/src/bin/eval_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_all-ab96c3da26ffb299.d: crates/bench/src/bin/eval_all.rs
+
+/root/repo/target/debug/deps/eval_all-ab96c3da26ffb299: crates/bench/src/bin/eval_all.rs
+
+crates/bench/src/bin/eval_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval_all-ddf75edcb7ea85cf.d: crates/bench/src/bin/eval_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_all-ddf75edcb7ea85cf.rmeta: crates/bench/src/bin/eval_all.rs Cargo.toml
+
+crates/bench/src/bin/eval_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

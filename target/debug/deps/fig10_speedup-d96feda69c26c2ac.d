@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-d96feda69c26c2ac.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/fig10_speedup-d96feda69c26c2ac: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-e9e2c6f4a565ac63.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/fig10_speedup-e9e2c6f4a565ac63: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-9bd0f6decc0d8734.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_bandwidth-9bd0f6decc0d8734: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-dd2340df96d3213c.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/fig11_bandwidth-dd2340df96d3213c: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

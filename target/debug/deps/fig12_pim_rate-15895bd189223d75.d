@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_pim_rate-15895bd189223d75.d: crates/bench/src/bin/fig12_pim_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_pim_rate-15895bd189223d75.rmeta: crates/bench/src/bin/fig12_pim_rate.rs Cargo.toml
+
+crates/bench/src/bin/fig12_pim_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

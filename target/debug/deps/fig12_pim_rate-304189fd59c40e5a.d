@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_pim_rate-304189fd59c40e5a.d: crates/bench/src/bin/fig12_pim_rate.rs
+
+/root/repo/target/debug/deps/fig12_pim_rate-304189fd59c40e5a: crates/bench/src/bin/fig12_pim_rate.rs
+
+crates/bench/src/bin/fig12_pim_rate.rs:

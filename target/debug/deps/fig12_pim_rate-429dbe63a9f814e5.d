@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_pim_rate-429dbe63a9f814e5.d: crates/bench/src/bin/fig12_pim_rate.rs
+
+/root/repo/target/debug/deps/fig12_pim_rate-429dbe63a9f814e5: crates/bench/src/bin/fig12_pim_rate.rs
+
+crates/bench/src/bin/fig12_pim_rate.rs:

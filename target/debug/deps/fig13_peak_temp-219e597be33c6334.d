@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_peak_temp-219e597be33c6334.d: crates/bench/src/bin/fig13_peak_temp.rs
+
+/root/repo/target/debug/deps/fig13_peak_temp-219e597be33c6334: crates/bench/src/bin/fig13_peak_temp.rs
+
+crates/bench/src/bin/fig13_peak_temp.rs:

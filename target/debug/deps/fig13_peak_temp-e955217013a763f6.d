@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_peak_temp-e955217013a763f6.d: crates/bench/src/bin/fig13_peak_temp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_peak_temp-e955217013a763f6.rmeta: crates/bench/src/bin/fig13_peak_temp.rs Cargo.toml
+
+crates/bench/src/bin/fig13_peak_temp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_peak_temp-fdc57adec64d6412.d: crates/bench/src/bin/fig13_peak_temp.rs
+
+/root/repo/target/debug/deps/fig13_peak_temp-fdc57adec64d6412: crates/bench/src/bin/fig13_peak_temp.rs
+
+crates/bench/src/bin/fig13_peak_temp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_timeline-11b2d7354cdf8f43.d: crates/bench/src/bin/fig14_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_timeline-11b2d7354cdf8f43.rmeta: crates/bench/src/bin/fig14_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig14_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_timeline-4a20307a8afaeb2a.d: crates/bench/src/bin/fig14_timeline.rs
+
+/root/repo/target/debug/deps/fig14_timeline-4a20307a8afaeb2a: crates/bench/src/bin/fig14_timeline.rs
+
+crates/bench/src/bin/fig14_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_timeline-de73098a69991d3f.d: crates/bench/src/bin/fig14_timeline.rs
+
+/root/repo/target/debug/deps/fig14_timeline-de73098a69991d3f: crates/bench/src/bin/fig14_timeline.rs
+
+crates/bench/src/bin/fig14_timeline.rs:

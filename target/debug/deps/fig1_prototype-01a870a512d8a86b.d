@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_prototype-01a870a512d8a86b.d: crates/bench/src/bin/fig1_prototype.rs
+
+/root/repo/target/debug/deps/fig1_prototype-01a870a512d8a86b: crates/bench/src/bin/fig1_prototype.rs
+
+crates/bench/src/bin/fig1_prototype.rs:

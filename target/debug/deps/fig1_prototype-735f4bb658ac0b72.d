@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_prototype-735f4bb658ac0b72.d: crates/bench/src/bin/fig1_prototype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_prototype-735f4bb658ac0b72.rmeta: crates/bench/src/bin/fig1_prototype.rs Cargo.toml
+
+crates/bench/src/bin/fig1_prototype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

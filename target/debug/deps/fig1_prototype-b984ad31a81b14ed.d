@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_prototype-b984ad31a81b14ed.d: crates/bench/src/bin/fig1_prototype.rs
+
+/root/repo/target/debug/deps/fig1_prototype-b984ad31a81b14ed: crates/bench/src/bin/fig1_prototype.rs
+
+crates/bench/src/bin/fig1_prototype.rs:

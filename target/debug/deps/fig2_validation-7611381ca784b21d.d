@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_validation-7611381ca784b21d.d: crates/bench/src/bin/fig2_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_validation-7611381ca784b21d.rmeta: crates/bench/src/bin/fig2_validation.rs Cargo.toml
+
+crates/bench/src/bin/fig2_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_validation-84961fe5c1ce3ce0.d: crates/bench/src/bin/fig2_validation.rs
+
+/root/repo/target/debug/deps/fig2_validation-84961fe5c1ce3ce0: crates/bench/src/bin/fig2_validation.rs
+
+crates/bench/src/bin/fig2_validation.rs:

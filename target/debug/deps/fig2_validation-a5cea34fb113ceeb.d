@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_validation-a5cea34fb113ceeb.d: crates/bench/src/bin/fig2_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_validation-a5cea34fb113ceeb.rmeta: crates/bench/src/bin/fig2_validation.rs Cargo.toml
+
+crates/bench/src/bin/fig2_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

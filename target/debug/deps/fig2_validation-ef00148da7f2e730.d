@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_validation-ef00148da7f2e730.d: crates/bench/src/bin/fig2_validation.rs
+
+/root/repo/target/debug/deps/fig2_validation-ef00148da7f2e730: crates/bench/src/bin/fig2_validation.rs
+
+crates/bench/src/bin/fig2_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_heatmap-cfdac52de5d4adaf.d: crates/bench/src/bin/fig3_heatmap.rs
+
+/root/repo/target/debug/deps/fig3_heatmap-cfdac52de5d4adaf: crates/bench/src/bin/fig3_heatmap.rs
+
+crates/bench/src/bin/fig3_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_heatmap-f35f9829c3697371.d: crates/bench/src/bin/fig3_heatmap.rs
+
+/root/repo/target/debug/deps/fig3_heatmap-f35f9829c3697371: crates/bench/src/bin/fig3_heatmap.rs
+
+crates/bench/src/bin/fig3_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_bw_sweep-088bce7aeaf445d1.d: crates/bench/src/bin/fig4_bw_sweep.rs
+
+/root/repo/target/debug/deps/fig4_bw_sweep-088bce7aeaf445d1: crates/bench/src/bin/fig4_bw_sweep.rs
+
+crates/bench/src/bin/fig4_bw_sweep.rs:

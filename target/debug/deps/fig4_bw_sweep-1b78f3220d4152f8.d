@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_bw_sweep-1b78f3220d4152f8.d: crates/bench/src/bin/fig4_bw_sweep.rs
+
+/root/repo/target/debug/deps/fig4_bw_sweep-1b78f3220d4152f8: crates/bench/src/bin/fig4_bw_sweep.rs
+
+crates/bench/src/bin/fig4_bw_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_bw_sweep-87f3d998100fc927.d: crates/bench/src/bin/fig4_bw_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_bw_sweep-87f3d998100fc927.rmeta: crates/bench/src/bin/fig4_bw_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig4_bw_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

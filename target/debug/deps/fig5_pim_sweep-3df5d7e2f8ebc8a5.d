@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pim_sweep-3df5d7e2f8ebc8a5.d: crates/bench/src/bin/fig5_pim_sweep.rs
+
+/root/repo/target/debug/deps/fig5_pim_sweep-3df5d7e2f8ebc8a5: crates/bench/src/bin/fig5_pim_sweep.rs
+
+crates/bench/src/bin/fig5_pim_sweep.rs:

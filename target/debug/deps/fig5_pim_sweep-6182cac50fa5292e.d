@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_pim_sweep-6182cac50fa5292e.d: crates/bench/src/bin/fig5_pim_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_pim_sweep-6182cac50fa5292e.rmeta: crates/bench/src/bin/fig5_pim_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig5_pim_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

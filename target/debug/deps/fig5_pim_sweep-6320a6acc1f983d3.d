@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pim_sweep-6320a6acc1f983d3.d: crates/bench/src/bin/fig5_pim_sweep.rs
+
+/root/repo/target/debug/deps/fig5_pim_sweep-6320a6acc1f983d3: crates/bench/src/bin/fig5_pim_sweep.rs
+
+crates/bench/src/bin/fig5_pim_sweep.rs:

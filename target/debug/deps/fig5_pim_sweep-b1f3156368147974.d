@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_pim_sweep-b1f3156368147974.d: crates/bench/src/bin/fig5_pim_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_pim_sweep-b1f3156368147974.rmeta: crates/bench/src/bin/fig5_pim_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig5_pim_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

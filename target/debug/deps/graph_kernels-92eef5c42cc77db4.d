@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_kernels-92eef5c42cc77db4.d: crates/bench/benches/graph_kernels.rs
+
+/root/repo/target/debug/deps/graph_kernels-92eef5c42cc77db4: crates/bench/benches/graph_kernels.rs
+
+crates/bench/benches/graph_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_kernels-a2eb68e9c0d837e3.d: crates/bench/benches/graph_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_kernels-a2eb68e9c0d837e3.rmeta: crates/bench/benches/graph_kernels.rs Cargo.toml
+
+crates/bench/benches/graph_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmc_throughput-c1200b05dff6290a.d: crates/bench/benches/hmc_throughput.rs
+
+/root/repo/target/debug/deps/hmc_throughput-c1200b05dff6290a: crates/bench/benches/hmc_throughput.rs
+
+crates/bench/benches/hmc_throughput.rs:

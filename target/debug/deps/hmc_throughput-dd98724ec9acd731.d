@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmc_throughput-dd98724ec9acd731.d: crates/bench/benches/hmc_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmc_throughput-dd98724ec9acd731.rmeta: crates/bench/benches/hmc_throughput.rs Cargo.toml
+
+crates/bench/benches/hmc_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

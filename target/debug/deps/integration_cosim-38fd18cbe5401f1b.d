@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_cosim-38fd18cbe5401f1b.d: tests/integration_cosim.rs
+
+/root/repo/target/debug/deps/integration_cosim-38fd18cbe5401f1b: tests/integration_cosim.rs
+
+tests/integration_cosim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_cosim-6c51dba390e88233.d: tests/integration_cosim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_cosim-6c51dba390e88233.rmeta: tests/integration_cosim.rs Cargo.toml
+
+tests/integration_cosim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

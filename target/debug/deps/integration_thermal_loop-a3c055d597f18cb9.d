@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_thermal_loop-a3c055d597f18cb9.d: tests/integration_thermal_loop.rs
+
+/root/repo/target/debug/deps/integration_thermal_loop-a3c055d597f18cb9: tests/integration_thermal_loop.rs
+
+tests/integration_thermal_loop.rs:

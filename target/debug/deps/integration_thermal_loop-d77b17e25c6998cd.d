@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_thermal_loop-d77b17e25c6998cd.d: tests/integration_thermal_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_thermal_loop-d77b17e25c6998cd.rmeta: tests/integration_thermal_loop.rs Cargo.toml
+
+tests/integration_thermal_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-9dbd2c8b948369fc.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-9dbd2c8b948369fc: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-27b07d4b090b397c.d: crates/bench/src/bin/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-27b07d4b090b397c.rmeta: crates/bench/src/bin/sim.rs Cargo.toml
+
+crates/bench/src/bin/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-2d60b25ee0c6dd7b.d: crates/bench/src/bin/sim.rs
+
+/root/repo/target/debug/deps/sim-2d60b25ee0c6dd7b: crates/bench/src/bin/sim.rs
+
+crates/bench/src/bin/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-49bf6063d6ed80a8.d: crates/bench/src/bin/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-49bf6063d6ed80a8.rmeta: crates/bench/src/bin/sim.rs Cargo.toml
+
+crates/bench/src/bin/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

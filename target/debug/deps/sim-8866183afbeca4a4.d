@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-8866183afbeca4a4.d: crates/bench/src/bin/sim.rs
+
+/root/repo/target/debug/deps/sim-8866183afbeca4a4: crates/bench/src/bin/sim.rs
+
+crates/bench/src/bin/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_flits-5ecad64bdb658055.d: crates/bench/src/bin/table1_flits.rs
+
+/root/repo/target/debug/deps/table1_flits-5ecad64bdb658055: crates/bench/src/bin/table1_flits.rs
+
+crates/bench/src/bin/table1_flits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_flits-79c671c276a5fb06.d: crates/bench/src/bin/table1_flits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_flits-79c671c276a5fb06.rmeta: crates/bench/src/bin/table1_flits.rs Cargo.toml
+
+crates/bench/src/bin/table1_flits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_flits-8b681fc9d6c13fe9.d: crates/bench/src/bin/table1_flits.rs
+
+/root/repo/target/debug/deps/table1_flits-8b681fc9d6c13fe9: crates/bench/src/bin/table1_flits.rs
+
+crates/bench/src/bin/table1_flits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_cooling-4e4fee6d8662a6b3.d: crates/bench/src/bin/table2_cooling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_cooling-4e4fee6d8662a6b3.rmeta: crates/bench/src/bin/table2_cooling.rs Cargo.toml
+
+crates/bench/src/bin/table2_cooling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

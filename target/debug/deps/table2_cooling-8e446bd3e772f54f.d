@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_cooling-8e446bd3e772f54f.d: crates/bench/src/bin/table2_cooling.rs
+
+/root/repo/target/debug/deps/table2_cooling-8e446bd3e772f54f: crates/bench/src/bin/table2_cooling.rs
+
+crates/bench/src/bin/table2_cooling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_cooling-9ae32391c8318247.d: crates/bench/src/bin/table2_cooling.rs
+
+/root/repo/target/debug/deps/table2_cooling-9ae32391c8318247: crates/bench/src/bin/table2_cooling.rs
+
+crates/bench/src/bin/table2_cooling.rs:

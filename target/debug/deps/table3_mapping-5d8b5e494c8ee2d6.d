@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_mapping-5d8b5e494c8ee2d6.d: crates/bench/src/bin/table3_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_mapping-5d8b5e494c8ee2d6.rmeta: crates/bench/src/bin/table3_mapping.rs Cargo.toml
+
+crates/bench/src/bin/table3_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mapping-66c5d8c83c58ea88.d: crates/bench/src/bin/table3_mapping.rs
+
+/root/repo/target/debug/deps/table3_mapping-66c5d8c83c58ea88: crates/bench/src/bin/table3_mapping.rs
+
+crates/bench/src/bin/table3_mapping.rs:

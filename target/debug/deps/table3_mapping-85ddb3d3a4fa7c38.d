@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mapping-85ddb3d3a4fa7c38.d: crates/bench/src/bin/table3_mapping.rs
+
+/root/repo/target/debug/deps/table3_mapping-85ddb3d3a4fa7c38: crates/bench/src/bin/table3_mapping.rs
+
+crates/bench/src/bin/table3_mapping.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_config-b0462a185ae19e0c.d: crates/bench/src/bin/table4_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_config-b0462a185ae19e0c.rmeta: crates/bench/src/bin/table4_config.rs Cargo.toml
+
+crates/bench/src/bin/table4_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_config-c361dbffe1609fd0.d: crates/bench/src/bin/table4_config.rs
+
+/root/repo/target/debug/deps/table4_config-c361dbffe1609fd0: crates/bench/src/bin/table4_config.rs
+
+crates/bench/src/bin/table4_config.rs:

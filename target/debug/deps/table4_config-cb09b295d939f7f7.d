@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_config-cb09b295d939f7f7.d: crates/bench/src/bin/table4_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_config-cb09b295d939f7f7.rmeta: crates/bench/src/bin/table4_config.rs Cargo.toml
+
+crates/bench/src/bin/table4_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

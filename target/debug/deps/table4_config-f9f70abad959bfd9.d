@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_config-f9f70abad959bfd9.d: crates/bench/src/bin/table4_config.rs
+
+/root/repo/target/debug/deps/table4_config-f9f70abad959bfd9: crates/bench/src/bin/table4_config.rs
+
+crates/bench/src/bin/table4_config.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_tracing-54054aa6373ee757.d: tests/telemetry_tracing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_tracing-54054aa6373ee757.rmeta: tests/telemetry_tracing.rs Cargo.toml
+
+tests/telemetry_tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_tracing-9368d0cae55c75ad.d: tests/telemetry_tracing.rs
+
+/root/repo/target/debug/deps/telemetry_tracing-9368d0cae55c75ad: tests/telemetry_tracing.rs
+
+tests/telemetry_tracing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thermal_solver-09ff41fafbf8c5e3.d: crates/bench/benches/thermal_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthermal_solver-09ff41fafbf8c5e3.rmeta: crates/bench/benches/thermal_solver.rs Cargo.toml
+
+crates/bench/benches/thermal_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thermal_solver-aba085bdc87c3f9f.d: crates/bench/benches/thermal_solver.rs
+
+/root/repo/target/debug/deps/thermal_solver-aba085bdc87c3f9f: crates/bench/benches/thermal_solver.rs
+
+crates/bench/benches/thermal_solver.rs:

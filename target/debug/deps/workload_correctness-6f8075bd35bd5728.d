@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_correctness-6f8075bd35bd5728.d: crates/graph/tests/workload_correctness.rs
+
+/root/repo/target/debug/deps/workload_correctness-6f8075bd35bd5728: crates/graph/tests/workload_correctness.rs
+
+crates/graph/tests/workload_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_correctness-933fe1d53b7972c0.d: crates/graph/tests/workload_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_correctness-933fe1d53b7972c0.rmeta: crates/graph/tests/workload_correctness.rs Cargo.toml
+
+crates/graph/tests/workload_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

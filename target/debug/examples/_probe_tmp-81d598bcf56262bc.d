@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_probe_tmp-81d598bcf56262bc.d: examples/_probe_tmp.rs
+
+/root/repo/target/debug/examples/_probe_tmp-81d598bcf56262bc: examples/_probe_tmp.rs
+
+examples/_probe_tmp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-643f9ce963b6195d.d: crates/thermal/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-643f9ce963b6195d.rmeta: crates/thermal/examples/calibrate.rs Cargo.toml
+
+crates/thermal/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-d509d15ec8243b89.d: crates/thermal/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-d509d15ec8243b89: crates/thermal/examples/calibrate.rs
+
+crates/thermal/examples/calibrate.rs:

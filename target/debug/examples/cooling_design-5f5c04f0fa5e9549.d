@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cooling_design-5f5c04f0fa5e9549.d: examples/cooling_design.rs
+
+/root/repo/target/debug/examples/cooling_design-5f5c04f0fa5e9549: examples/cooling_design.rs
+
+examples/cooling_design.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cooling_design-8db0d91165b7f533.d: examples/cooling_design.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcooling_design-8db0d91165b7f533.rmeta: examples/cooling_design.rs Cargo.toml
+
+examples/cooling_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

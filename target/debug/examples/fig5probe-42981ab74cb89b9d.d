@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fig5probe-42981ab74cb89b9d.d: crates/thermal/examples/fig5probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfig5probe-42981ab74cb89b9d.rmeta: crates/thermal/examples/fig5probe.rs Cargo.toml
+
+crates/thermal/examples/fig5probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

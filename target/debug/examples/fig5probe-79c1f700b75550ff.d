@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig5probe-79c1f700b75550ff.d: crates/thermal/examples/fig5probe.rs
+
+/root/repo/target/debug/examples/fig5probe-79c1f700b75550ff: crates/thermal/examples/fig5probe.rs
+
+crates/thermal/examples/fig5probe.rs:

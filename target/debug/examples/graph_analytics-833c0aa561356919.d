@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-833c0aa561356919.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-833c0aa561356919: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

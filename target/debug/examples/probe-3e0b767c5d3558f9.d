@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe-3e0b767c5d3558f9.d: crates/core/examples/probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe-3e0b767c5d3558f9.rmeta: crates/core/examples/probe.rs Cargo.toml
+
+crates/core/examples/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

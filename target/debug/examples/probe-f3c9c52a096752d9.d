@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-f3c9c52a096752d9.d: crates/core/examples/probe.rs
+
+/root/repo/target/debug/examples/probe-f3c9c52a096752d9: crates/core/examples/probe.rs
+
+crates/core/examples/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4902d911093fc751.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4902d911093fc751: examples/quickstart.rs
+
+examples/quickstart.rs:

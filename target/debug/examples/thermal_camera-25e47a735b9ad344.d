@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/thermal_camera-25e47a735b9ad344.d: examples/thermal_camera.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthermal_camera-25e47a735b9ad344.rmeta: examples/thermal_camera.rs Cargo.toml
+
+examples/thermal_camera.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_camera-a5fd6599bf0b54e9.d: examples/thermal_camera.rs
+
+/root/repo/target/debug/examples/thermal_camera-a5fd6599bf0b54e9: examples/thermal_camera.rs
+
+examples/thermal_camera.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cf-afab365a994e5672.d: crates/bench/src/bin/ablation_cf.rs
+
+/root/repo/target/release/deps/ablation_cf-afab365a994e5672: crates/bench/src/bin/ablation_cf.rs
+
+crates/bench/src/bin/ablation_cf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cf-fe846ad1f66b230b.d: crates/bench/src/bin/ablation_cf.rs
+
+/root/repo/target/release/deps/ablation_cf-fe846ad1f66b230b: crates/bench/src/bin/ablation_cf.rs
+
+crates/bench/src/bin/ablation_cf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cooling-8c2cbc1748fe1aac.d: crates/bench/src/bin/ablation_cooling.rs
+
+/root/repo/target/release/deps/ablation_cooling-8c2cbc1748fe1aac: crates/bench/src/bin/ablation_cooling.rs
+
+crates/bench/src/bin/ablation_cooling.rs:

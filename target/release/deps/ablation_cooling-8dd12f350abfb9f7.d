@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cooling-8dd12f350abfb9f7.d: crates/bench/src/bin/ablation_cooling.rs
+
+/root/repo/target/release/deps/ablation_cooling-8dd12f350abfb9f7: crates/bench/src/bin/ablation_cooling.rs
+
+crates/bench/src/bin/ablation_cooling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_epoch-13139aad9b955956.d: crates/bench/src/bin/ablation_epoch.rs
+
+/root/repo/target/release/deps/ablation_epoch-13139aad9b955956: crates/bench/src/bin/ablation_epoch.rs
+
+crates/bench/src/bin/ablation_epoch.rs:

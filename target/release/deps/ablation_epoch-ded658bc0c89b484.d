@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_epoch-ded658bc0c89b484.d: crates/bench/src/bin/ablation_epoch.rs
+
+/root/repo/target/release/deps/ablation_epoch-ded658bc0c89b484: crates/bench/src/bin/ablation_epoch.rs
+
+crates/bench/src/bin/ablation_epoch.rs:

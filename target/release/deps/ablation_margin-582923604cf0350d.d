@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_margin-582923604cf0350d.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/release/deps/ablation_margin-582923604cf0350d: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_margin-ed1645738ac26c6b.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/release/deps/ablation_margin-ed1645738ac26c6b: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

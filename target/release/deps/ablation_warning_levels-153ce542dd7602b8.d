@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_warning_levels-153ce542dd7602b8.d: crates/bench/src/bin/ablation_warning_levels.rs
+
+/root/repo/target/release/deps/ablation_warning_levels-153ce542dd7602b8: crates/bench/src/bin/ablation_warning_levels.rs
+
+crates/bench/src/bin/ablation_warning_levels.rs:

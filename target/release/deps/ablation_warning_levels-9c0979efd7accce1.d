@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_warning_levels-9c0979efd7accce1.d: crates/bench/src/bin/ablation_warning_levels.rs
+
+/root/repo/target/release/deps/ablation_warning_levels-9c0979efd7accce1: crates/bench/src/bin/ablation_warning_levels.rs
+
+crates/bench/src/bin/ablation_warning_levels.rs:

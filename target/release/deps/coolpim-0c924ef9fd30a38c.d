@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coolpim-0c924ef9fd30a38c.d: src/lib.rs
+
+/root/repo/target/release/deps/libcoolpim-0c924ef9fd30a38c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcoolpim-0c924ef9fd30a38c.rmeta: src/lib.rs
+
+src/lib.rs:

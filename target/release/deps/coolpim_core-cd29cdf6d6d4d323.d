@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/coolpim_core-cd29cdf6d6d4d323.d: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs
+
+/root/repo/target/release/deps/libcoolpim_core-cd29cdf6d6d4d323.rlib: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs
+
+/root/repo/target/release/deps/libcoolpim_core-cd29cdf6d6d4d323.rmeta: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cosim.rs:
+crates/core/src/estimate.rs:
+crates/core/src/experiment.rs:
+crates/core/src/hw_dynt.rs:
+crates/core/src/multi_level.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/sw_dynt.rs:
+crates/core/src/token_pool.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/coolpim_gpu-6f18845003702cb1.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+/root/repo/target/release/deps/libcoolpim_gpu-6f18845003702cb1.rlib: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+/root/repo/target/release/deps/libcoolpim_gpu-6f18845003702cb1.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/controller.rs:
+crates/gpu/src/isa.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/stats.rs:
+crates/gpu/src/system.rs:

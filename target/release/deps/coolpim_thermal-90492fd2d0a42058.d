@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/coolpim_thermal-90492fd2d0a42058.d: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs
+
+/root/repo/target/release/deps/libcoolpim_thermal-90492fd2d0a42058.rlib: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs
+
+/root/repo/target/release/deps/libcoolpim_thermal-90492fd2d0a42058.rmeta: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/cooling.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/grid.rs:
+crates/thermal/src/hmc11.rs:
+crates/thermal/src/layers.rs:
+crates/thermal/src/materials.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/solver.rs:

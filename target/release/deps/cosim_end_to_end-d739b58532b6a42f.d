@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosim_end_to_end-d739b58532b6a42f.d: crates/bench/benches/cosim_end_to_end.rs
+
+/root/repo/target/release/deps/cosim_end_to_end-d739b58532b6a42f: crates/bench/benches/cosim_end_to_end.rs
+
+crates/bench/benches/cosim_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eval_all-389346b308cfa1ff.d: crates/bench/src/bin/eval_all.rs
+
+/root/repo/target/release/deps/eval_all-389346b308cfa1ff: crates/bench/src/bin/eval_all.rs
+
+crates/bench/src/bin/eval_all.rs:

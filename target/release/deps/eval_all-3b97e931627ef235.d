@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eval_all-3b97e931627ef235.d: crates/bench/src/bin/eval_all.rs
+
+/root/repo/target/release/deps/eval_all-3b97e931627ef235: crates/bench/src/bin/eval_all.rs
+
+crates/bench/src/bin/eval_all.rs:

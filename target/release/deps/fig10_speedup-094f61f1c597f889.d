@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_speedup-094f61f1c597f889.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/release/deps/fig10_speedup-094f61f1c597f889: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

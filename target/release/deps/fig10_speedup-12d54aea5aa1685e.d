@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_speedup-12d54aea5aa1685e.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/release/deps/fig10_speedup-12d54aea5aa1685e: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

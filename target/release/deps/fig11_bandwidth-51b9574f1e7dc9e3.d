@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bandwidth-51b9574f1e7dc9e3.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/release/deps/fig11_bandwidth-51b9574f1e7dc9e3: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bandwidth-bd6503007cd22fba.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/release/deps/fig11_bandwidth-bd6503007cd22fba: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_pim_rate-20ac514092e6a1b6.d: crates/bench/src/bin/fig12_pim_rate.rs
+
+/root/repo/target/release/deps/fig12_pim_rate-20ac514092e6a1b6: crates/bench/src/bin/fig12_pim_rate.rs
+
+crates/bench/src/bin/fig12_pim_rate.rs:

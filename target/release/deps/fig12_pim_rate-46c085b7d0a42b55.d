@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_pim_rate-46c085b7d0a42b55.d: crates/bench/src/bin/fig12_pim_rate.rs
+
+/root/repo/target/release/deps/fig12_pim_rate-46c085b7d0a42b55: crates/bench/src/bin/fig12_pim_rate.rs
+
+crates/bench/src/bin/fig12_pim_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_peak_temp-4767ffff923d6dc7.d: crates/bench/src/bin/fig13_peak_temp.rs
+
+/root/repo/target/release/deps/fig13_peak_temp-4767ffff923d6dc7: crates/bench/src/bin/fig13_peak_temp.rs
+
+crates/bench/src/bin/fig13_peak_temp.rs:

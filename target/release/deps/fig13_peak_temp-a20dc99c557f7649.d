@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_peak_temp-a20dc99c557f7649.d: crates/bench/src/bin/fig13_peak_temp.rs
+
+/root/repo/target/release/deps/fig13_peak_temp-a20dc99c557f7649: crates/bench/src/bin/fig13_peak_temp.rs
+
+crates/bench/src/bin/fig13_peak_temp.rs:

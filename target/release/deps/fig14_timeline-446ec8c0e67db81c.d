@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_timeline-446ec8c0e67db81c.d: crates/bench/src/bin/fig14_timeline.rs
+
+/root/repo/target/release/deps/fig14_timeline-446ec8c0e67db81c: crates/bench/src/bin/fig14_timeline.rs
+
+crates/bench/src/bin/fig14_timeline.rs:

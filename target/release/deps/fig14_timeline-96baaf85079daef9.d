@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_timeline-96baaf85079daef9.d: crates/bench/src/bin/fig14_timeline.rs
+
+/root/repo/target/release/deps/fig14_timeline-96baaf85079daef9: crates/bench/src/bin/fig14_timeline.rs
+
+crates/bench/src/bin/fig14_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_prototype-433a36c7ffd3e5f2.d: crates/bench/src/bin/fig1_prototype.rs
+
+/root/repo/target/release/deps/fig1_prototype-433a36c7ffd3e5f2: crates/bench/src/bin/fig1_prototype.rs
+
+crates/bench/src/bin/fig1_prototype.rs:

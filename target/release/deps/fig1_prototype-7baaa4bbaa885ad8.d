@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_prototype-7baaa4bbaa885ad8.d: crates/bench/src/bin/fig1_prototype.rs
+
+/root/repo/target/release/deps/fig1_prototype-7baaa4bbaa885ad8: crates/bench/src/bin/fig1_prototype.rs
+
+crates/bench/src/bin/fig1_prototype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_validation-94de3eac39a1b44a.d: crates/bench/src/bin/fig2_validation.rs
+
+/root/repo/target/release/deps/fig2_validation-94de3eac39a1b44a: crates/bench/src/bin/fig2_validation.rs
+
+crates/bench/src/bin/fig2_validation.rs:

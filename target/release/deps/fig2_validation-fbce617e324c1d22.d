@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_validation-fbce617e324c1d22.d: crates/bench/src/bin/fig2_validation.rs
+
+/root/repo/target/release/deps/fig2_validation-fbce617e324c1d22: crates/bench/src/bin/fig2_validation.rs
+
+crates/bench/src/bin/fig2_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_heatmap-326502d01fd785af.d: crates/bench/src/bin/fig3_heatmap.rs
+
+/root/repo/target/release/deps/fig3_heatmap-326502d01fd785af: crates/bench/src/bin/fig3_heatmap.rs
+
+crates/bench/src/bin/fig3_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_heatmap-cfd8ef5f2771aff7.d: crates/bench/src/bin/fig3_heatmap.rs
+
+/root/repo/target/release/deps/fig3_heatmap-cfd8ef5f2771aff7: crates/bench/src/bin/fig3_heatmap.rs
+
+crates/bench/src/bin/fig3_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_bw_sweep-5ebdf7b5e7182ecf.d: crates/bench/src/bin/fig4_bw_sweep.rs
+
+/root/repo/target/release/deps/fig4_bw_sweep-5ebdf7b5e7182ecf: crates/bench/src/bin/fig4_bw_sweep.rs
+
+crates/bench/src/bin/fig4_bw_sweep.rs:

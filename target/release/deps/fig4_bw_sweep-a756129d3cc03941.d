@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_bw_sweep-a756129d3cc03941.d: crates/bench/src/bin/fig4_bw_sweep.rs
+
+/root/repo/target/release/deps/fig4_bw_sweep-a756129d3cc03941: crates/bench/src/bin/fig4_bw_sweep.rs
+
+crates/bench/src/bin/fig4_bw_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pim_sweep-52dff1582f36dc1a.d: crates/bench/src/bin/fig5_pim_sweep.rs
+
+/root/repo/target/release/deps/fig5_pim_sweep-52dff1582f36dc1a: crates/bench/src/bin/fig5_pim_sweep.rs
+
+crates/bench/src/bin/fig5_pim_sweep.rs:

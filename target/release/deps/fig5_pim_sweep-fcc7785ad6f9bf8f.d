@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pim_sweep-fcc7785ad6f9bf8f.d: crates/bench/src/bin/fig5_pim_sweep.rs
+
+/root/repo/target/release/deps/fig5_pim_sweep-fcc7785ad6f9bf8f: crates/bench/src/bin/fig5_pim_sweep.rs
+
+crates/bench/src/bin/fig5_pim_sweep.rs:

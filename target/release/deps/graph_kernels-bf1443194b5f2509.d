@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_kernels-bf1443194b5f2509.d: crates/bench/benches/graph_kernels.rs
+
+/root/repo/target/release/deps/graph_kernels-bf1443194b5f2509: crates/bench/benches/graph_kernels.rs
+
+crates/bench/benches/graph_kernels.rs:

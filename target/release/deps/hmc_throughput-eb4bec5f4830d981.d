@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hmc_throughput-eb4bec5f4830d981.d: crates/bench/benches/hmc_throughput.rs
+
+/root/repo/target/release/deps/hmc_throughput-eb4bec5f4830d981: crates/bench/benches/hmc_throughput.rs
+
+crates/bench/benches/hmc_throughput.rs:

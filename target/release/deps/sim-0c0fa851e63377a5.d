@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim-0c0fa851e63377a5.d: crates/bench/src/bin/sim.rs
+
+/root/repo/target/release/deps/sim-0c0fa851e63377a5: crates/bench/src/bin/sim.rs
+
+crates/bench/src/bin/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim-f7c168607b285495.d: crates/bench/src/bin/sim.rs
+
+/root/repo/target/release/deps/sim-f7c168607b285495: crates/bench/src/bin/sim.rs
+
+crates/bench/src/bin/sim.rs:

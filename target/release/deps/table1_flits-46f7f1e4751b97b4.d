@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_flits-46f7f1e4751b97b4.d: crates/bench/src/bin/table1_flits.rs
+
+/root/repo/target/release/deps/table1_flits-46f7f1e4751b97b4: crates/bench/src/bin/table1_flits.rs
+
+crates/bench/src/bin/table1_flits.rs:

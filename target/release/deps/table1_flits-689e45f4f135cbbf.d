@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_flits-689e45f4f135cbbf.d: crates/bench/src/bin/table1_flits.rs
+
+/root/repo/target/release/deps/table1_flits-689e45f4f135cbbf: crates/bench/src/bin/table1_flits.rs
+
+crates/bench/src/bin/table1_flits.rs:

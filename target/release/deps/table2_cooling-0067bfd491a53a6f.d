@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_cooling-0067bfd491a53a6f.d: crates/bench/src/bin/table2_cooling.rs
+
+/root/repo/target/release/deps/table2_cooling-0067bfd491a53a6f: crates/bench/src/bin/table2_cooling.rs
+
+crates/bench/src/bin/table2_cooling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_cooling-90a9b16e12c90ed2.d: crates/bench/src/bin/table2_cooling.rs
+
+/root/repo/target/release/deps/table2_cooling-90a9b16e12c90ed2: crates/bench/src/bin/table2_cooling.rs
+
+crates/bench/src/bin/table2_cooling.rs:

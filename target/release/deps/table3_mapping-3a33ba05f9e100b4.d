@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mapping-3a33ba05f9e100b4.d: crates/bench/src/bin/table3_mapping.rs
+
+/root/repo/target/release/deps/table3_mapping-3a33ba05f9e100b4: crates/bench/src/bin/table3_mapping.rs
+
+crates/bench/src/bin/table3_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_mapping-5fbc7c7b9c2a3071.d: crates/bench/src/bin/table3_mapping.rs
+
+/root/repo/target/release/deps/table3_mapping-5fbc7c7b9c2a3071: crates/bench/src/bin/table3_mapping.rs
+
+crates/bench/src/bin/table3_mapping.rs:

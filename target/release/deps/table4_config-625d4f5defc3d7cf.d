@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_config-625d4f5defc3d7cf.d: crates/bench/src/bin/table4_config.rs
+
+/root/repo/target/release/deps/table4_config-625d4f5defc3d7cf: crates/bench/src/bin/table4_config.rs
+
+crates/bench/src/bin/table4_config.rs:

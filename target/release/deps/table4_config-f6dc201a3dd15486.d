@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_config-f6dc201a3dd15486.d: crates/bench/src/bin/table4_config.rs
+
+/root/repo/target/release/deps/table4_config-f6dc201a3dd15486: crates/bench/src/bin/table4_config.rs
+
+crates/bench/src/bin/table4_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thermal_solver-03ffc3fb2a839905.d: crates/bench/benches/thermal_solver.rs
+
+/root/repo/target/release/deps/thermal_solver-03ffc3fb2a839905: crates/bench/benches/thermal_solver.rs
+
+crates/bench/benches/thermal_solver.rs:

@@ -7,7 +7,10 @@ use coolpim::core::cosim::{CoSim, CoSimConfig};
 use coolpim::prelude::*;
 
 fn tiny_cfg() -> CoSimConfig {
-    CoSimConfig { gpu: GpuConfig::tiny(), ..CoSimConfig::default() }
+    CoSimConfig {
+        gpu: GpuConfig::tiny(),
+        ..CoSimConfig::default()
+    }
 }
 
 fn medium_graph() -> Csr {
@@ -91,7 +94,12 @@ fn ideal_thermal_is_at_least_as_fast_as_naive() {
     let rn = CoSim::new(Policy::NaiveOffloading, tiny_cfg()).run(naive.as_mut());
     let mut ideal = make_kernel(Workload::Dc, &g);
     let ri = CoSim::new(Policy::IdealThermal, tiny_cfg()).run(ideal.as_mut());
-    assert!(ri.exec_s <= rn.exec_s * 1.01, "ideal {} slower than naive {}", ri.exec_s, rn.exec_s);
+    assert!(
+        ri.exec_s <= rn.exec_s * 1.01,
+        "ideal {} slower than naive {}",
+        ri.exec_s,
+        rn.exec_s
+    );
 }
 
 #[test]
@@ -104,7 +112,11 @@ fn timeline_is_monotone_in_time_and_covers_the_run() {
         assert!(s.t_s >= last);
         last = s.t_s;
     }
-    assert!((last - r.exec_s).abs() < 1e-3, "timeline end {last} vs exec {}", r.exec_s);
+    assert!(
+        (last - r.exec_s).abs() < 1e-3,
+        "timeline end {last} vs exec {}",
+        r.exec_s
+    );
 }
 
 #[test]
@@ -114,7 +126,11 @@ fn functional_results_are_policy_invariant() {
     let g = medium_graph();
     let src = coolpim::graph::workloads::default_source(&g);
     let mut levels: Vec<Vec<u32>> = Vec::new();
-    for p in [Policy::NonOffloading, Policy::NaiveOffloading, Policy::CoolPimSw] {
+    for p in [
+        Policy::NonOffloading,
+        Policy::NaiveOffloading,
+        Policy::CoolPimSw,
+    ] {
         let mut k = BfsKernel::new(g.clone(), BfsVariant::Dwc, src);
         let _ = CoSim::new(p, tiny_cfg()).run(&mut k);
         levels.push(k.levels().to_vec());

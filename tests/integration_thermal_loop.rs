@@ -23,7 +23,10 @@ fn phases_follow_temperature() {
     settle(&mut hmc, &mut thermal, 100.0e9, 0.0);
     assert_eq!(hmc.phase(), TempPhase::Normal);
     settle(&mut hmc, &mut thermal, 320.0e9, 1.5);
-    assert!(hmc.phase() >= TempPhase::Extended, "1.5 op/ns at full BW must leave the normal range");
+    assert!(
+        hmc.phase() >= TempPhase::Extended,
+        "1.5 op/ns at full BW must leave the normal range"
+    );
     settle(&mut hmc, &mut thermal, 320.0e9, 3.5);
     assert!(hmc.phase() >= TempPhase::Critical);
 }
@@ -35,7 +38,10 @@ fn warnings_are_emitted_in_response_tails_when_hot() {
     settle(&mut hmc, &mut thermal, 320.0e9, 2.0);
     let c = hmc.submit(0, &Request::read(0x40));
     assert!(c.thermal_warning);
-    assert_eq!(c.tail.errstat, coolpim::hmc::thermal_state::ERRSTAT_THERMAL_WARNING);
+    assert_eq!(
+        c.tail.errstat,
+        coolpim::hmc::thermal_state::ERRSTAT_THERMAL_WARNING
+    );
 }
 
 #[test]
