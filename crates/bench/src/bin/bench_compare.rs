@@ -1,0 +1,60 @@
+//! `bench_compare` — the cross-run regression gate.
+//!
+//! ```text
+//! bench_compare --baseline BASELINE.json CURRENT.json
+//! ```
+//!
+//! Loads two run records (see `coolpim_bench::runrec`), diffs the gated
+//! metrics with their tolerance bands, prints the comparison table, and
+//! exits non-zero when any gate regressed — CI runs this against the
+//! committed baseline after every fixed-seed simulation.
+
+use std::path::Path;
+
+use coolpim_bench::runrec::{compare, RunRecord, DEFAULT_GATES};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_compare --baseline BASELINE.json CURRENT.json");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> RunRecord {
+    RunRecord::load(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" | "-b" => {
+                i += 1;
+                baseline = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown argument {flag:?}");
+                usage();
+            }
+            path if current.is_none() => current = Some(path.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        usage()
+    };
+
+    let base = load(&baseline);
+    let cur = load(&current);
+    let report = compare(&base, &cur, DEFAULT_GATES);
+    print!("{}", report.render(&baseline, &current));
+    if report.regressions() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,8 @@
 //! the figures it prints the aggregated metrics block (warnings,
 //! throttle steps, HMC latency histograms); set `COOLPIM_PROFILE=1` for
 //! a per-policy wall-clock self-time breakdown too.
-use coolpim_bench::{profiling_requested, run_eval_matrix};
+use coolpim_bench::runrec::{run_record_dir, RunRecord};
+use coolpim_bench::{eval_graph_spec, profiling_requested, run_eval_matrix};
 use coolpim_core::experiment::{
     aggregate_metrics, aggregate_profiles, mean_speedup, WorkloadResults,
 };
@@ -119,8 +120,39 @@ fn metrics_summary(results: &[WorkloadResults]) {
     }
 }
 
+/// With `COOLPIM_RUN_RECORD=<dir>` set, appends one run record per
+/// (workload, policy) cell of the matrix for later `bench_compare`s.
+fn save_run_records(results: &[WorkloadResults]) {
+    let Some(dir) = run_record_dir() else { return };
+    let spec = eval_graph_spec();
+    let mut written = 0usize;
+    for wr in results {
+        for run in &wr.runs {
+            let config = format!(
+                "workload={} policy={} scale={} degree={} seed={}",
+                wr.workload.name(),
+                run.policy.name(),
+                spec.scale,
+                spec.avg_degree,
+                spec.seed
+            );
+            let name = format!("{}-{}", wr.workload.name(), run.policy.name());
+            match RunRecord::from_cosim(&name, &config, run).save_to_dir(&dir) {
+                Ok(_) => written += 1,
+                Err(e) => eprintln!("# run record {name}: {e}"),
+            }
+        }
+    }
+    eprintln!(
+        "# {} run record(s) appended under {}",
+        written,
+        dir.display()
+    );
+}
+
 fn main() {
     let results = run_eval_matrix();
+    save_run_records(&results);
     fig10(&results);
     fig11(&results);
     fig12(&results);

@@ -4,6 +4,7 @@
 //! sim [--workload NAME] [--policy NAME] [--scale N] [--degree N]
 //!     [--cooling NAME] [--seed N] [--graph FILE] [--timeline]
 //!     [--trace FILE] [--timeline-out FILE] [--profile]
+//!     [--warning-threshold C] [--metrics-out FILE] [--run-record DIR]
 //! ```
 //!
 //! Runs one workload under one policy and prints the full metric set
@@ -14,7 +15,15 @@
 //! streams the full event log (warnings, phase moves, pool resizes,
 //! kernel lifecycle, epoch samples) as JSONL, and `--profile` prints a
 //! wall-clock self-time breakdown of the co-sim hot phases.
+//!
+//! `--warning-threshold` overrides the ERRSTAT trigger temperature
+//! (small-scale CI runs lower it so the feedback loop engages).
+//! `--metrics-out FILE` dumps the final run record (headline metrics +
+//! telemetry snapshot) as one flat JSON object; `--run-record DIR`
+//! appends the same record to a run store (also triggered by the
+//! `COOLPIM_RUN_RECORD` environment variable) for `bench_compare`.
 
+use coolpim_bench::runrec::{run_record_dir, RunRecord};
 use coolpim_core::cosim::{CoSim, CoSimConfig};
 use coolpim_core::policy::Policy;
 use coolpim_graph::generate::GraphSpec;
@@ -35,6 +44,9 @@ struct Args {
     trace: Option<String>,
     timeline_out: Option<String>,
     profile: bool,
+    warning_threshold_c: Option<f64>,
+    metrics_out: Option<String>,
+    run_record: Option<String>,
 }
 
 fn usage() -> ! {
@@ -44,7 +56,9 @@ fn usage() -> ! {
          \x20          [--scale N] [--degree N] [--seed N]\n\
          \x20          [--cooling passive|low-end|commodity|high-end]\n\
          \x20          [--graph edge-list-file] [--timeline]\n\
-         \x20          [--trace jsonl-file] [--timeline-out csv-file] [--profile]"
+         \x20          [--trace jsonl-file] [--timeline-out csv-file] [--profile]\n\
+         \x20          [--warning-threshold C] [--metrics-out json-file]\n\
+         \x20          [--run-record dir]"
     );
     std::process::exit(2);
 }
@@ -85,6 +99,9 @@ fn parse_args() -> Args {
         trace: None,
         timeline_out: None,
         profile: false,
+        warning_threshold_c: None,
+        metrics_out: None,
+        run_record: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -114,6 +131,11 @@ fn parse_args() -> Args {
             "--trace" => args.trace = Some(take(&mut i)),
             "--timeline-out" => args.timeline_out = Some(take(&mut i)),
             "--profile" => args.profile = true,
+            "--warning-threshold" => {
+                args.warning_threshold_c = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--metrics-out" => args.metrics_out = Some(take(&mut i)),
+            "--run-record" => args.run_record = Some(take(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -153,10 +175,13 @@ fn main() {
         args.cooling.name()
     );
     let mut kernel = make_kernel(args.workload, &graph);
-    let cfg = CoSimConfig {
+    let mut cfg = CoSimConfig {
         cooling: args.cooling,
         ..CoSimConfig::default()
     };
+    if let Some(t) = args.warning_threshold_c {
+        cfg.warning_threshold_c = t;
+    }
 
     let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
     if let Some(path) = &args.trace {
@@ -186,9 +211,46 @@ fn main() {
         telemetry = telemetry.profiled();
     }
 
+    let threshold_c = cfg.warning_threshold_c;
     let r = CoSim::new(args.policy, cfg)
         .with_telemetry(telemetry)
         .run(kernel.as_mut());
+
+    // One record serves both outlets: the explicit snapshot dump and the
+    // append-only run store the regression gate reads.
+    let config_desc = format!(
+        "workload={} policy={} scale={} degree={} seed={} cooling={} threshold={} graph={}",
+        args.workload.name(),
+        args.policy.name(),
+        args.scale,
+        args.degree,
+        args.seed,
+        args.cooling.name(),
+        threshold_c,
+        args.graph_file.as_deref().unwrap_or("-"),
+    );
+    let record_name = format!("{}-{}", args.workload.name(), args.policy.name());
+    let record = RunRecord::from_cosim(&record_name, &config_desc, &r);
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = record.write_to(std::path::Path::new(path)) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let record_dir = args
+        .run_record
+        .clone()
+        .map(Into::into)
+        .or_else(run_record_dir);
+    if let Some(dir) = record_dir {
+        match record.save_to_dir(&dir) {
+            Ok(path) => eprintln!("# run record: {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to append run record under {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     println!("workload           {}", r.workload);
     println!("policy             {}", r.policy.name());

@@ -112,6 +112,19 @@ impl Runner {
             mean_s: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
         };
         println!("{}", stats.report());
+        // Opt-in run record (COOLPIM_RUN_RECORD=<dir>) so wall-clock
+        // benches feed the same store `bench_compare` reads.
+        if let Some(dir) = crate::runrec::run_record_dir() {
+            let config = format!("bench={} samples={}", stats.name, self.samples);
+            let mut rec = crate::runrec::RunRecord::new(&stats.name, &config);
+            rec.push("iters_per_sample", stats.iters_per_sample as f64);
+            rec.push("min_s", stats.min_s);
+            rec.push("median_s", stats.median_s);
+            rec.push("mean_s", stats.mean_s);
+            if let Err(e) = rec.save_to_dir(&dir) {
+                eprintln!("# run record {}: {e}", stats.name);
+            }
+        }
         stats
     }
 

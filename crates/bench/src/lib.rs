@@ -19,6 +19,8 @@
 
 pub mod eval;
 pub mod harness;
+pub mod runrec;
 
 pub use eval::{eval_graph_spec, profiling_requested, run_eval_matrix};
 pub use harness::{Runner, Stats};
+pub use runrec::{compare, Gate, RunRecord, DEFAULT_GATES, RUN_RECORD_SCHEMA_VERSION};

@@ -196,6 +196,16 @@ impl CoSim {
             .hmc_mut()
             .set_warning_threshold(self.cfg.warning_threshold_c);
 
+        // Make the trace self-describing: downstream tooling (`analyze`)
+        // reads the policy/workload/threshold from this header event.
+        self.telemetry.emit(TelemetryEvent::RunInfo {
+            t_ps: 0,
+            policy: self.policy.name(),
+            workload: coolpim_telemetry::event::intern(kernel.name()),
+            threshold_c: self.cfg.warning_threshold_c,
+            epoch_ps: self.cfg.epoch,
+        });
+
         let mut timeline = Vec::new();
         let mut max_peak = f64::NEG_INFINITY;
         let mut shutdown = false;
@@ -203,6 +213,9 @@ impl CoSim {
         let mut cube_energy_j = 0.0;
         let mut throttle_steps = 0u64;
         let mut batch: Vec<TelemetryEvent> = Vec::new();
+        // Raise time of every warning episode, for the warning→action
+        // latency histogram (ids are small and monotone; linear scan).
+        let mut raised_at: Vec<(u64, Ps)> = Vec::new();
         let fan_power_w = self.cfg.cooling.fan_power_w();
 
         self.sys.start(kernel, ctrl, 0);
@@ -265,25 +278,58 @@ impl CoSim {
             ctrl.drain_control_events(&mut batch);
             for ev in &batch {
                 match ev {
-                    TelemetryEvent::ThermalWarningRaised { .. } => {
+                    TelemetryEvent::ThermalWarningRaised {
+                        t_ps, warning_id, ..
+                    } => {
                         self.telemetry.metrics.count("thermal_warnings_raised", 1);
+                        raised_at.push((*warning_id, *t_ps));
+                    }
+                    TelemetryEvent::ThermalWarningCleared { .. } => {
+                        self.telemetry.metrics.count("thermal_warnings_cleared", 1);
                     }
                     TelemetryEvent::ThermalWarningDelivered { .. } => {
                         self.telemetry.metrics.count("thermal_warnings_accepted", 1);
                     }
-                    TelemetryEvent::TokenPoolResize { new, trigger, .. } => {
+                    TelemetryEvent::TokenPoolResize {
+                        t_ps,
+                        new,
+                        trigger,
+                        warning_id,
+                        ..
+                    } => {
                         self.telemetry.metrics.gauge("token_pool_size", *new as f64);
                         if *trigger == "thermal_warning" {
                             throttle_steps += 1;
                             self.telemetry.metrics.count("token_pool_shrinks", 1);
+                            if let Some(t0) = warning_id
+                                .and_then(|id| raised_at.iter().find(|(i, _)| *i == id))
+                                .map(|(_, t)| *t)
+                            {
+                                self.telemetry
+                                    .metrics
+                                    .observe("warning_to_action_ps", t_ps.saturating_sub(t0));
+                            }
                         }
                     }
-                    TelemetryEvent::WarpCapUpdate { new_slots, .. } => {
+                    TelemetryEvent::WarpCapUpdate {
+                        t_ps,
+                        new_slots,
+                        warning_id,
+                        ..
+                    } => {
                         throttle_steps += 1;
                         self.telemetry.metrics.count("warp_cap_updates", 1);
                         self.telemetry
                             .metrics
                             .gauge("warp_cap_slots", *new_slots as f64);
+                        if let Some(t0) = warning_id
+                            .and_then(|id| raised_at.iter().find(|(i, _)| *i == id))
+                            .map(|(_, t)| *t)
+                        {
+                            self.telemetry
+                                .metrics
+                                .observe("warning_to_action_ps", t_ps.saturating_sub(t0));
+                        }
                     }
                     TelemetryEvent::Shutdown { .. } => {
                         self.telemetry.metrics.count("shutdowns", 1);

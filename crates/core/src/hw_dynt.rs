@@ -51,6 +51,9 @@ pub struct HwDynT {
     /// feedback is cube-global).
     enabled_slots: Vec<usize>,
     pending_update_at: Option<Ps>,
+    /// Warning episode the scheduled update responds to — stamped onto
+    /// the resulting warp-cap event for causal correlation.
+    pending_warning_id: Option<u64>,
     quiet_until: Ps,
     updates: u64,
     first_warning_at: Option<Ps>,
@@ -71,6 +74,7 @@ impl HwDynT {
             enabled_slots: vec![cfg.warps_per_block; cfg.sms],
             cfg,
             pending_update_at: None,
+            pending_warning_id: None,
             quiet_until: 0,
             updates: 0,
             first_warning_at: None,
@@ -100,6 +104,7 @@ impl HwDynT {
                 if at.saturating_sub(self.last_warning_at) > STALE_WARNING_WINDOW {
                     // Temperature recovered before the update fired.
                     self.pending_update_at = None;
+                    self.pending_warning_id = None;
                     self.quiet_until = at;
                     return;
                 }
@@ -121,6 +126,7 @@ impl HwDynT {
                     t_ps: now,
                     old_slots,
                     new_slots: self.enabled_slots[0] as u64,
+                    warning_id: self.pending_warning_id.take(),
                 });
             }
         }
@@ -140,14 +146,17 @@ impl OffloadController for HwDynT {
         warp_slot < self.enabled_slots[sm % self.enabled_slots.len()]
     }
 
-    fn on_thermal_warning(&mut self, now: Ps) {
+    fn on_thermal_warning(&mut self, now: Ps, warning_id: u64) {
         self.first_warning_at.get_or_insert(now);
         self.last_warning_at = self.last_warning_at.max(now);
         if now >= self.quiet_until && self.pending_update_at.is_none() {
             self.pending_update_at = Some(now + self.cfg.t_throttle);
+            self.pending_warning_id = Some(warning_id);
             self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
-            self.events
-                .push(TelemetryEvent::ThermalWarningDelivered { t_ps: now });
+            self.events.push(TelemetryEvent::ThermalWarningDelivered {
+                t_ps: now,
+                warning_id,
+            });
         }
     }
 
@@ -170,7 +179,7 @@ mod tests {
     #[test]
     fn warning_disables_warps_quickly() {
         let mut c = HwDynT::new(HwDynTConfig::default());
-        c.on_thermal_warning(1_000);
+        c.on_thermal_warning(1_000, 1);
         // 0.1 µs later the PCU update lands (CF = 2 slots).
         assert!(!c.warp_may_offload(0, 7, 1_000 + ns_to_ps(100.0) + 1));
         assert!(!c.warp_may_offload(0, 6, 1_000 + ns_to_ps(100.0) + 2));
@@ -182,7 +191,7 @@ mod tests {
     fn delayed_updates_suppress_warning_floods() {
         let mut c = HwDynT::new(HwDynTConfig::default());
         for t in 0..1000 {
-            c.on_thermal_warning(t * 10_000); // 10 ns apart
+            c.on_thermal_warning(t * 10_000, 1); // 10 ns apart
         }
         c.warp_may_offload(0, 0, ns_to_ps(500_000.0)); // 0.5 ms later
         assert_eq!(c.update_steps(), 1, "updates must wait out T_thermal");
@@ -192,10 +201,10 @@ mod tests {
     fn updates_resume_after_settle() {
         let mut c = HwDynT::new(HwDynTConfig::default());
         let settle = HwDynTConfig::default().t_settle;
-        c.on_thermal_warning(0);
+        c.on_thermal_warning(0, 1);
         c.warp_may_offload(0, 0, settle);
         assert_eq!(c.update_steps(), 1);
-        c.on_thermal_warning(settle + ns_to_ps(200.0));
+        c.on_thermal_warning(settle + ns_to_ps(200.0), 2);
         c.warp_may_offload(0, 0, settle + ns_to_ps(200.0) + ns_to_ps(150.0));
         assert_eq!(c.update_steps(), 2);
         assert_eq!(c.enabled_slots(), 8 - 2 * 2);
@@ -207,7 +216,7 @@ mod tests {
         let settle = HwDynTConfig::default().t_settle;
         let mut t = 0;
         for _ in 0..10 {
-            c.on_thermal_warning(t);
+            c.on_thermal_warning(t, 1);
             // Apply just after T_throttle so the warning is fresh.
             c.warp_may_offload(0, 0, t + ns_to_ps(200.0));
             t += settle + ns_to_ps(1000.0);
@@ -220,9 +229,9 @@ mod tests {
     fn control_events_mirror_pcu_updates() {
         let mut c = HwDynT::new(HwDynTConfig::default());
         let settle = HwDynTConfig::default().t_settle;
-        c.on_thermal_warning(0);
+        c.on_thermal_warning(0, 1);
         c.warp_may_offload(0, 0, settle);
-        c.on_thermal_warning(settle + ns_to_ps(200.0));
+        c.on_thermal_warning(settle + ns_to_ps(200.0), 2);
         c.warp_may_offload(0, 0, settle + ns_to_ps(400.0));
         assert_eq!(c.update_steps(), 2);
 
@@ -234,12 +243,13 @@ mod tests {
                 TelemetryEvent::WarpCapUpdate {
                     old_slots,
                     new_slots,
+                    warning_id,
                     ..
-                } => Some((old_slots, new_slots)),
+                } => Some((old_slots, new_slots, warning_id)),
                 _ => None,
             })
             .collect();
-        assert_eq!(caps, vec![(8, 6), (6, 4)]);
+        assert_eq!(caps, vec![(8, 6, Some(1)), (6, 4, Some(2))]);
         let delivered = events
             .iter()
             .filter(|e| e.kind() == "ThermalWarningDelivered")

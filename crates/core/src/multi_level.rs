@@ -86,6 +86,8 @@ pub struct GraduatedHwDynT {
     enabled_slots: Vec<usize>,
     level: WarningLevel,
     pending_update_at: Option<Ps>,
+    /// Warning episode the scheduled update responds to.
+    pending_warning_id: Option<u64>,
     quiet_until: Ps,
     updates: u64,
     /// Buffered control-action telemetry, drained by the co-sim driver.
@@ -100,6 +102,7 @@ impl GraduatedHwDynT {
             cfg,
             level: WarningLevel::None,
             pending_update_at: None,
+            pending_warning_id: None,
             quiet_until: 0,
             updates: 0,
             events: Vec::new(),
@@ -137,6 +140,7 @@ impl GraduatedHwDynT {
                     t_ps: now,
                     old_slots,
                     new_slots: self.enabled_slots[0] as u64,
+                    warning_id: self.pending_warning_id.take(),
                 });
             }
         }
@@ -154,13 +158,16 @@ impl OffloadController for GraduatedHwDynT {
         warp_slot < self.enabled_slots[sm % self.enabled_slots.len()]
     }
 
-    fn on_thermal_warning(&mut self, now: Ps) {
+    fn on_thermal_warning(&mut self, now: Ps, warning_id: u64) {
         self.level = self.level.max(WarningLevel::Mild);
         if now >= self.quiet_until && self.pending_update_at.is_none() {
             self.pending_update_at = Some(now + self.cfg.t_throttle);
+            self.pending_warning_id = Some(warning_id);
             self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
-            self.events
-                .push(TelemetryEvent::ThermalWarningDelivered { t_ps: now });
+            self.events.push(TelemetryEvent::ThermalWarningDelivered {
+                t_ps: now,
+                warning_id,
+            });
         }
     }
 
@@ -209,12 +216,12 @@ mod tests {
         let step = ns_to_ps(100.0) + 1;
 
         let mut mild = mk();
-        mild.on_thermal_warning(0);
+        mild.on_thermal_warning(0, 1);
         mild.warp_may_offload(0, 0, step);
         assert_eq!(mild.enabled_slots(), 7);
 
         let mut severe = mk();
-        severe.on_thermal_warning(0);
+        severe.on_thermal_warning(0, 1);
         severe.observe_level(WarningLevel::Severe);
         severe.warp_may_offload(0, 0, step);
         assert_eq!(severe.enabled_slots(), 5);
@@ -223,13 +230,13 @@ mod tests {
     #[test]
     fn level_resets_after_an_update() {
         let mut c = GraduatedHwDynT::new(HwDynTConfig::default());
-        c.on_thermal_warning(0);
+        c.on_thermal_warning(0, 1);
         c.observe_level(WarningLevel::Severe);
         let settle = HwDynTConfig::default().t_settle;
         c.warp_may_offload(0, 0, settle);
         let after_first = c.enabled_slots();
         // Next update without fresh observations is milder.
-        c.on_thermal_warning(settle + ns_to_ps(200.0));
+        c.on_thermal_warning(settle + ns_to_ps(200.0), 2);
         c.warp_may_offload(0, 0, 2 * settle + ns_to_ps(400.0));
         assert!(c.enabled_slots() >= after_first.saturating_sub(3));
         assert_eq!(c.update_steps(), 2);

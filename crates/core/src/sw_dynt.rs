@@ -51,6 +51,9 @@ pub struct SwDynT {
     pool: TokenPool,
     /// Scheduled shrink (interrupt handler completion time).
     pending_shrink_at: Option<Ps>,
+    /// Warning episode the scheduled shrink responds to — stamped onto
+    /// the resulting resize event for causal correlation.
+    pending_warning_id: Option<u64>,
     /// No new shrink may be *scheduled* before this time.
     quiet_until: Ps,
     /// Shrink steps taken (diagnostics).
@@ -77,6 +80,7 @@ impl SwDynT {
             cfg,
             pool: TokenPool::new(size),
             pending_shrink_at: None,
+            pending_warning_id: None,
             quiet_until: 0,
             shrinks: 0,
             first_warning_at: None,
@@ -86,6 +90,7 @@ impl SwDynT {
                 old: size as u64,
                 new: size as u64,
                 trigger: "init",
+                warning_id: None,
             }],
         }
     }
@@ -118,6 +123,7 @@ impl SwDynT {
                         old: size,
                         new: size,
                         trigger: "stale_cancelled",
+                        warning_id: self.pending_warning_id.take(),
                     });
                     return;
                 }
@@ -131,6 +137,7 @@ impl SwDynT {
                     old,
                     new: self.pool.size() as u64,
                     trigger: "thermal_warning",
+                    warning_id: self.pending_warning_id.take(),
                 });
             }
         }
@@ -150,15 +157,18 @@ impl OffloadController for SwDynT {
         }
     }
 
-    fn on_thermal_warning(&mut self, now: Ps) {
+    fn on_thermal_warning(&mut self, now: Ps, warning_id: u64) {
         self.first_warning_at.get_or_insert(now);
         self.last_warning_at = self.last_warning_at.max(now);
         if now >= self.quiet_until && self.pending_shrink_at.is_none() {
             // Interrupt raised; the handler takes effect after T_throttle.
             self.pending_shrink_at = Some(now + self.cfg.t_throttle);
+            self.pending_warning_id = Some(warning_id);
             self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
-            self.events
-                .push(TelemetryEvent::ThermalWarningDelivered { t_ps: now });
+            self.events.push(TelemetryEvent::ThermalWarningDelivered {
+                t_ps: now,
+                warning_id,
+            });
         }
     }
 
@@ -198,8 +208,8 @@ mod tests {
         for b in 0..96 {
             c.on_block_launch(b, 0);
         }
-        c.on_thermal_warning(1_000_000); // t = 1 µs
-                                         // Still pending: too early.
+        c.on_thermal_warning(1_000_000, 1); // t = 1 µs
+                                            // Still pending: too early.
         c.on_block_launch(100, 1_500_000);
         assert_eq!(c.shrink_steps(), 0);
         // After T_throttle (0.1 ms) the next launch applies it.
@@ -214,9 +224,9 @@ mod tests {
         for b in 0..96 {
             c.on_block_launch(b, 0);
         }
-        c.on_thermal_warning(0);
+        c.on_thermal_warning(0, 1);
         for t in 1..100 {
-            c.on_thermal_warning(t * 1000);
+            c.on_thermal_warning(t * 1000, 1);
         }
         c.on_block_launch(200, ns_to_ps(200_000.0));
         assert_eq!(
@@ -233,10 +243,10 @@ mod tests {
             c.on_block_launch(b, 0);
         }
         let step = ns_to_ps(100_000.0) + ns_to_ps(1_000_000.0);
-        c.on_thermal_warning(0);
+        c.on_thermal_warning(0, 1);
         c.on_block_launch(200, step + 1);
         assert_eq!(c.shrink_steps(), 1);
-        c.on_thermal_warning(step + 2);
+        c.on_thermal_warning(step + 2, 2);
         c.on_block_launch(201, 2 * step + 3);
         assert_eq!(c.shrink_steps(), 2);
     }
@@ -248,9 +258,9 @@ mod tests {
             c.on_block_launch(b, 0);
         }
         let step = ns_to_ps(100_000.0) + ns_to_ps(1_000_000.0);
-        c.on_thermal_warning(0);
+        c.on_thermal_warning(0, 1);
         c.on_block_launch(200, step + 1);
-        c.on_thermal_warning(step + 2);
+        c.on_thermal_warning(step + 2, 2);
         c.on_block_launch(201, 2 * step + 3);
         assert_eq!(c.shrink_steps(), 2);
 
@@ -269,6 +279,9 @@ mod tests {
             })
             .collect();
         assert_eq!(resizes.len() as u64, c.shrink_steps());
+        // Each shrink cites the warning that scheduled it.
+        let resize_ids: Vec<_> = resizes.iter().filter_map(|e| e.warning_id()).collect();
+        assert_eq!(resize_ids, vec![1, 2]);
         let delivered = events
             .iter()
             .filter(|e| e.kind() == "ThermalWarningDelivered")

@@ -33,8 +33,11 @@ pub trait OffloadController {
 
     /// A response carrying the thermal-warning ERRSTAT arrived at `now`.
     /// Called for every flagged response; implementations debounce.
-    fn on_thermal_warning(&mut self, now: Ps) {
-        let _ = now;
+    /// `warning_id` identifies the cube's warning episode (0 when the
+    /// transport carried none) so the action the controller eventually
+    /// takes can be causally tied back to the raise in the event stream.
+    fn on_thermal_warning(&mut self, now: Ps, warning_id: u64) {
+        let _ = (now, warning_id);
     }
 
     /// Periodic thermal telemetry from the co-simulation driver: the peak
@@ -87,6 +90,6 @@ mod tests {
         assert!(a.warp_may_offload(0, 0, 0));
         // Default hooks are no-ops.
         a.on_block_complete(0, true, 10);
-        a.on_thermal_warning(10);
+        a.on_thermal_warning(10, 1);
     }
 }

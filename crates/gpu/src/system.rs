@@ -561,7 +561,7 @@ impl GpuSystem {
         }
         if c.thermal_warning {
             self.stats.warnings_seen += 1;
-            controller.on_thermal_warning(c.finish_ps);
+            controller.on_thermal_warning(c.finish_ps, c.warning_id.unwrap_or(0));
         }
     }
 }
@@ -741,22 +741,29 @@ mod tests {
     fn warnings_propagate_to_controller() {
         struct CountingCtrl {
             warnings: u64,
+            ids: Vec<u64>,
         }
         impl OffloadController for CountingCtrl {
             fn on_block_launch(&mut self, _b: usize, _t: Ps) -> bool {
                 true
             }
-            fn on_thermal_warning(&mut self, _t: Ps) {
+            fn on_thermal_warning(&mut self, _t: Ps, warning_id: u64) {
                 self.warnings += 1;
+                self.ids.push(warning_id);
             }
         }
         let mut sys = GpuSystem::new(GpuConfig::tiny(), Hmc::hmc20());
         sys.hmc_mut().set_peak_dram_temp(90.0);
         let mut k = SyntheticKernel::new(1, 4, 2, 2, 2);
-        let mut ctrl = CountingCtrl { warnings: 0 };
+        let mut ctrl = CountingCtrl {
+            warnings: 0,
+            ids: Vec::new(),
+        };
         sys.run_to_completion(&mut k, &mut ctrl);
         assert!(ctrl.warnings > 0);
         assert!(sys.stats().warnings_seen > 0);
+        // Every delivered warning cites the cube's (single) episode.
+        assert!(ctrl.ids.iter().all(|&id| id == 1), "ids: {:?}", ctrl.ids);
     }
 
     #[test]

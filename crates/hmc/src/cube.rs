@@ -102,6 +102,10 @@ pub struct Completion {
     pub req_accepted_ps: Ps,
     /// Thermal warning flag decoded from the response tail.
     pub thermal_warning: bool,
+    /// Id of the warning episode active when the response was formed
+    /// (present iff `thermal_warning`). This is the causal thread the
+    /// telemetry stream follows from raise to throttle action.
+    pub warning_id: Option<u64>,
     /// Response tail as transmitted.
     pub tail: ResponseTail,
     /// Whether the cube was in thermal shutdown (request not serviced
@@ -128,6 +132,10 @@ pub struct Hmc {
     /// raised, phase moves, derates, shutdown) — the co-simulator drains
     /// these each epoch into its telemetry sink.
     events: Vec<TelemetryEvent>,
+    /// Warnings raised over the run (monotonic; ids are 1-based).
+    warnings_raised: u64,
+    /// Id of the warning episode currently in progress, if any.
+    active_warning_id: Option<u64>,
     /// End-to-end service time of every transaction (ps).
     service_hist: Histogram,
     /// Bank queue wait of every transaction (ps).
@@ -163,6 +171,8 @@ impl Hmc {
             refresh_permille: 0,
             freq_stretch: (1, 1),
             events: Vec::new(),
+            warnings_raised: 0,
+            active_warning_id: None,
             service_hist: Histogram::new(),
             queue_hist: Histogram::new(),
         };
@@ -205,10 +215,22 @@ impl Hmc {
         self.thermal.peak_dram_c = peak_dram_c;
         self.recompute_derating();
         if !was_warning && self.thermal.warning_active() {
+            // A new warning episode begins: assign the next causal id.
+            self.warnings_raised += 1;
+            self.active_warning_id = Some(self.warnings_raised);
             self.events.push(TelemetryEvent::ThermalWarningRaised {
                 t_ps: now,
                 peak_dram_c,
+                warning_id: self.warnings_raised,
             });
+        } else if was_warning && !self.thermal.warning_active() {
+            if let Some(id) = self.active_warning_id.take() {
+                self.events.push(TelemetryEvent::ThermalWarningCleared {
+                    t_ps: now,
+                    peak_dram_c,
+                    warning_id: id,
+                });
+            }
         }
         let phase = self.thermal.phase();
         if phase != old_phase {
@@ -222,6 +244,7 @@ impl Hmc {
                 t_ps: now,
                 stretch_num,
                 stretch_den,
+                warning_id: self.active_warning_id,
             });
             if phase == TempPhase::Shutdown {
                 self.events.push(TelemetryEvent::Shutdown {
@@ -270,6 +293,11 @@ impl Hmc {
         self.thermal.warning_active()
     }
 
+    /// Id of the warning episode currently in progress, if any.
+    pub fn active_warning_id(&self) -> Option<u64> {
+        self.active_warning_id
+    }
+
     fn recompute_derating(&mut self) {
         let phase = self.thermal.phase();
         let (num, den) = phase.timing_stretch();
@@ -307,6 +335,7 @@ impl Hmc {
                 finish_ps: now + self.cfg.shutdown_recovery,
                 req_accepted_ps: now + self.cfg.shutdown_recovery,
                 thermal_warning: true,
+                warning_id: self.active_warning_id,
                 tail: ResponseTail {
                     errstat: crate::thermal_state::ERRSTAT_THERMAL_WARNING,
                     atomic_flag: false,
@@ -367,10 +396,16 @@ impl Hmc {
             errstat: self.thermal.errstat(),
             atomic_flag: is_pim,
         };
+        let thermal_warning = tail.thermal_warning();
         Completion {
             finish_ps: finish,
             req_accepted_ps: req_done,
-            thermal_warning: tail.thermal_warning(),
+            thermal_warning,
+            warning_id: if thermal_warning {
+                self.active_warning_id
+            } else {
+                None
+            },
             tail,
             shutdown: false,
         }
@@ -624,6 +659,53 @@ mod more_tests {
         let mut again = Vec::new();
         hmc.drain_events(&mut again);
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn warning_ids_are_monotonic_and_stamp_completions() {
+        let mut hmc = Hmc::hmc20();
+        assert_eq!(hmc.active_warning_id(), None);
+        hmc.set_peak_dram_temp_at(85.0, 1_000);
+        assert_eq!(hmc.active_warning_id(), Some(1));
+        let c = hmc.submit(2_000, &Request::read(0));
+        assert!(c.thermal_warning);
+        assert_eq!(c.warning_id, Some(1));
+        // Recovery clears the episode and emits the Cleared event.
+        hmc.set_peak_dram_temp_at(70.0, 3_000);
+        assert_eq!(hmc.active_warning_id(), None);
+        let c = hmc.submit(4_000, &Request::read(0));
+        assert_eq!(c.warning_id, None);
+        // A second episode gets the next id.
+        hmc.set_peak_dram_temp_at(86.0, 5_000);
+        assert_eq!(hmc.active_warning_id(), Some(2));
+        let mut evs = Vec::new();
+        hmc.drain_events(&mut evs);
+        let ids: Vec<_> = evs
+            .iter()
+            .filter(|e| matches!(e.kind(), "ThermalWarningRaised" | "ThermalWarningCleared"))
+            .map(|e| (e.kind(), e.warning_id().unwrap()))
+            .collect();
+        assert_eq!(
+            ids,
+            [
+                ("ThermalWarningRaised", 1),
+                ("ThermalWarningCleared", 1),
+                ("ThermalWarningRaised", 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn derate_events_carry_the_active_warning() {
+        let mut hmc = Hmc::hmc20();
+        hmc.set_peak_dram_temp_at(86.0, 1_000); // warning + Extended
+        let mut evs = Vec::new();
+        hmc.drain_events(&mut evs);
+        let derate = evs
+            .iter()
+            .find(|e| e.kind() == "FrequencyDerate")
+            .expect("phase move derates");
+        assert_eq!(derate.warning_id(), Some(1));
     }
 
     #[test]

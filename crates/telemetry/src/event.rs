@@ -5,16 +5,43 @@
 //! models. Events are produced by the cube (warnings, phase moves,
 //! derating, shutdown), the GPU engine (kernel launch/retire), the
 //! throttling controllers (pool resizes, PCU warp-cap updates), and the
-//! co-simulation driver (epoch samples), and flow to a [`crate::Sink`].
+//! co-simulation driver (run info, epoch samples), and flow to a
+//! [`crate::Sink`].
+//!
+//! ## Causal correlation
+//!
+//! Every [`TelemetryEvent::ThermalWarningRaised`] carries a
+//! monotonically assigned `warning_id` (per cube, starting at 1), and
+//! the downstream events that warning triggers — delivery, token-pool
+//! resize, PCU warp-cap update, frequency derate, recovery
+//! ([`TelemetryEvent::ThermalWarningCleared`]) — carry the same id, so
+//! the whole warning → action → effect chain is reconstructible from a
+//! JSONL timeline alone (see [`crate::analysis`]).
 //!
 //! The JSONL encoding is a flat object per line —
-//! `{"kind":"TokenPoolResize","t_ps":1200,...}` — hand-rolled so the
-//! crate stays dependency-free; [`TelemetryEvent::from_jsonl`] parses it
-//! back for round-trip tooling.
+//! `{"kind":"TokenPoolResize","t_ps":1200,...}` — via [`crate::json`] so
+//! the crate stays dependency-free; [`TelemetryEvent::from_jsonl`]
+//! parses it back for round-trip tooling.
+
+use crate::json::{parse_flat_object, JsonBuilder};
 
 /// One structured, simulation-time-stamped event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryEvent {
+    /// Identifies the run a timeline belongs to; emitted once at `t_ps`
+    /// 0 by the co-simulation driver so a trace is self-describing.
+    RunInfo {
+        /// Simulation time (ps) — always 0.
+        t_ps: u64,
+        /// Offloading policy label (e.g. `"CoolPIM(SW)"`).
+        policy: &'static str,
+        /// Workload name (e.g. `"pagerank"`).
+        workload: &'static str,
+        /// ERRSTAT warning threshold (°C).
+        threshold_c: f64,
+        /// Thermal epoch length (ps).
+        epoch_ps: u64,
+    },
     /// The cube's peak DRAM temperature crossed the warning threshold
     /// upward: response tails start carrying ERRSTAT = 0x01.
     ThermalWarningRaised {
@@ -22,12 +49,27 @@ pub enum TelemetryEvent {
         t_ps: u64,
         /// Peak DRAM temperature at the crossing (°C).
         peak_dram_c: f64,
+        /// Monotonic warning ordinal (1-based within the run).
+        warning_id: u64,
+    },
+    /// The cube's peak DRAM temperature dropped back below the warning
+    /// threshold: the warning episode `warning_id` recovered.
+    ThermalWarningCleared {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// Peak DRAM temperature at the downward crossing (°C).
+        peak_dram_c: f64,
+        /// Id of the warning episode that just ended.
+        warning_id: u64,
     },
     /// A throttling controller accepted a delivered warning for action
     /// (debounced duplicates within a control window are not recorded).
     ThermalWarningDelivered {
         /// Simulation time (ps).
         t_ps: u64,
+        /// Id of the accepted warning (0 when the transport carried no
+        /// id, e.g. hand-driven controller tests).
+        warning_id: u64,
     },
     /// The cube moved between operating phases (normal / extended /
     /// critical / shutdown).
@@ -48,6 +90,8 @@ pub enum TelemetryEvent {
         stretch_num: u64,
         /// Timing stretch denominator.
         stretch_den: u64,
+        /// Warning episode active when the derate landed, if any.
+        warning_id: Option<u64>,
     },
     /// The cube exceeded 105 °C and stopped serving requests.
     Shutdown {
@@ -66,6 +110,9 @@ pub enum TelemetryEvent {
         new: u64,
         /// What caused the resize (e.g. `"thermal_warning"`).
         trigger: &'static str,
+        /// The warning this resize responds to (None for the Eq. 1 init
+        /// sizing).
+        warning_id: Option<u64>,
     },
     /// HW-DynT's PCU changed the per-SM PIM-enabled warp cap.
     WarpCapUpdate {
@@ -75,6 +122,8 @@ pub enum TelemetryEvent {
         old_slots: u64,
         /// Enabled warp slots after.
         new_slots: u64,
+        /// The warning this update responds to, if known.
+        warning_id: Option<u64>,
     },
     /// One thermal epoch's aggregate sample (the `TimelineSample` data).
     EpochSample {
@@ -109,8 +158,10 @@ impl TelemetryEvent {
     /// The event's simulation timestamp (ps).
     pub fn t_ps(&self) -> u64 {
         match *self {
-            TelemetryEvent::ThermalWarningRaised { t_ps, .. }
-            | TelemetryEvent::ThermalWarningDelivered { t_ps }
+            TelemetryEvent::RunInfo { t_ps, .. }
+            | TelemetryEvent::ThermalWarningRaised { t_ps, .. }
+            | TelemetryEvent::ThermalWarningCleared { t_ps, .. }
+            | TelemetryEvent::ThermalWarningDelivered { t_ps, .. }
             | TelemetryEvent::PhaseTransition { t_ps, .. }
             | TelemetryEvent::FrequencyDerate { t_ps, .. }
             | TelemetryEvent::Shutdown { t_ps, .. }
@@ -122,10 +173,26 @@ impl TelemetryEvent {
         }
     }
 
+    /// The warning episode this event belongs to, if any — the causal
+    /// thread the analysis layer follows.
+    pub fn warning_id(&self) -> Option<u64> {
+        match *self {
+            TelemetryEvent::ThermalWarningRaised { warning_id, .. }
+            | TelemetryEvent::ThermalWarningCleared { warning_id, .. }
+            | TelemetryEvent::ThermalWarningDelivered { warning_id, .. } => Some(warning_id),
+            TelemetryEvent::FrequencyDerate { warning_id, .. }
+            | TelemetryEvent::TokenPoolResize { warning_id, .. }
+            | TelemetryEvent::WarpCapUpdate { warning_id, .. } => warning_id,
+            _ => None,
+        }
+    }
+
     /// The event kind as it appears in the JSONL `kind` field.
     pub fn kind(&self) -> &'static str {
         match self {
+            TelemetryEvent::RunInfo { .. } => "RunInfo",
             TelemetryEvent::ThermalWarningRaised { .. } => "ThermalWarningRaised",
+            TelemetryEvent::ThermalWarningCleared { .. } => "ThermalWarningCleared",
             TelemetryEvent::ThermalWarningDelivered { .. } => "ThermalWarningDelivered",
             TelemetryEvent::PhaseTransition { .. } => "PhaseTransition",
             TelemetryEvent::FrequencyDerate { .. } => "FrequencyDerate",
@@ -140,39 +207,74 @@ impl TelemetryEvent {
 
     /// Encodes the event as one JSON line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
-        let mut s = format!("{{\"kind\":\"{}\",\"t_ps\":{}", self.kind(), self.t_ps());
+        let mut b = JsonBuilder::new();
+        b.str("kind", self.kind()).u64("t_ps", self.t_ps());
         match self {
-            TelemetryEvent::ThermalWarningRaised { peak_dram_c, .. }
-            | TelemetryEvent::Shutdown { peak_dram_c, .. } => {
-                push_f64(&mut s, "peak_dram_c", *peak_dram_c);
+            TelemetryEvent::RunInfo {
+                policy,
+                workload,
+                threshold_c,
+                epoch_ps,
+                ..
+            } => {
+                b.str("policy", policy)
+                    .str("workload", workload)
+                    .f64("threshold_c", *threshold_c)
+                    .u64("epoch_ps", *epoch_ps);
             }
-            TelemetryEvent::ThermalWarningDelivered { .. } => {}
+            TelemetryEvent::ThermalWarningRaised {
+                peak_dram_c,
+                warning_id,
+                ..
+            }
+            | TelemetryEvent::ThermalWarningCleared {
+                peak_dram_c,
+                warning_id,
+                ..
+            } => {
+                b.f64("peak_dram_c", *peak_dram_c)
+                    .u64("warning_id", *warning_id);
+            }
+            TelemetryEvent::Shutdown { peak_dram_c, .. } => {
+                b.f64("peak_dram_c", *peak_dram_c);
+            }
+            TelemetryEvent::ThermalWarningDelivered { warning_id, .. } => {
+                b.u64("warning_id", *warning_id);
+            }
             TelemetryEvent::PhaseTransition { from, to, .. } => {
-                push_str(&mut s, "from", from);
-                push_str(&mut s, "to", to);
+                b.str("from", from).str("to", to);
             }
             TelemetryEvent::FrequencyDerate {
                 stretch_num,
                 stretch_den,
+                warning_id,
                 ..
             } => {
-                push_u64(&mut s, "stretch_num", *stretch_num);
-                push_u64(&mut s, "stretch_den", *stretch_den);
+                b.u64("stretch_num", *stretch_num)
+                    .u64("stretch_den", *stretch_den)
+                    .opt_u64("warning_id", *warning_id);
             }
             TelemetryEvent::TokenPoolResize {
-                old, new, trigger, ..
+                old,
+                new,
+                trigger,
+                warning_id,
+                ..
             } => {
-                push_u64(&mut s, "old", *old);
-                push_u64(&mut s, "new", *new);
-                push_str(&mut s, "trigger", trigger);
+                b.u64("old", *old)
+                    .u64("new", *new)
+                    .str("trigger", trigger)
+                    .opt_u64("warning_id", *warning_id);
             }
             TelemetryEvent::WarpCapUpdate {
                 old_slots,
                 new_slots,
+                warning_id,
                 ..
             } => {
-                push_u64(&mut s, "old_slots", *old_slots);
-                push_u64(&mut s, "new_slots", *new_slots);
+                b.u64("old_slots", *old_slots)
+                    .u64("new_slots", *new_slots)
+                    .opt_u64("warning_id", *warning_id);
             }
             TelemetryEvent::EpochSample {
                 pim_rate_op_ns,
@@ -181,36 +283,51 @@ impl TelemetryEvent {
                 phase,
                 ..
             } => {
-                push_f64(&mut s, "pim_rate_op_ns", *pim_rate_op_ns);
-                push_f64(&mut s, "data_bw", *data_bw);
-                push_f64(&mut s, "peak_dram_c", *peak_dram_c);
-                push_str(&mut s, "phase", phase);
+                b.f64("pim_rate_op_ns", *pim_rate_op_ns)
+                    .f64("data_bw", *data_bw)
+                    .f64("peak_dram_c", *peak_dram_c)
+                    .str("phase", phase);
             }
             TelemetryEvent::KernelLaunch { launch, .. }
             | TelemetryEvent::KernelRetire { launch, .. } => {
-                push_u64(&mut s, "launch", *launch);
+                b.u64("launch", *launch);
             }
         }
-        s.push('}');
-        s
+        b.finish()
     }
 
     /// Parses one JSONL line produced by [`Self::to_jsonl`].
     ///
     /// Returns `None` for malformed lines, unknown kinds, or missing
     /// fields. String payloads are interned against the vocabulary this
-    /// simulator emits (phase names, resize triggers); unrecognised
-    /// strings map to `"?"`.
+    /// simulator emits (phase names, resize triggers, policy and
+    /// workload labels); unrecognised strings map to `"?"`.
     pub fn from_jsonl(line: &str) -> Option<TelemetryEvent> {
         let fields = parse_flat_object(line)?;
         let kind = fields.str_field("kind")?;
         let t_ps = fields.u64_field("t_ps")?;
         Some(match kind {
+            "RunInfo" => TelemetryEvent::RunInfo {
+                t_ps,
+                policy: intern(fields.str_field("policy")?),
+                workload: intern(fields.str_field("workload")?),
+                threshold_c: fields.f64_field("threshold_c")?,
+                epoch_ps: fields.u64_field("epoch_ps")?,
+            },
             "ThermalWarningRaised" => TelemetryEvent::ThermalWarningRaised {
                 t_ps,
                 peak_dram_c: fields.f64_field("peak_dram_c")?,
+                warning_id: fields.u64_field("warning_id").unwrap_or(0),
             },
-            "ThermalWarningDelivered" => TelemetryEvent::ThermalWarningDelivered { t_ps },
+            "ThermalWarningCleared" => TelemetryEvent::ThermalWarningCleared {
+                t_ps,
+                peak_dram_c: fields.f64_field("peak_dram_c")?,
+                warning_id: fields.u64_field("warning_id").unwrap_or(0),
+            },
+            "ThermalWarningDelivered" => TelemetryEvent::ThermalWarningDelivered {
+                t_ps,
+                warning_id: fields.u64_field("warning_id").unwrap_or(0),
+            },
             "PhaseTransition" => TelemetryEvent::PhaseTransition {
                 t_ps,
                 from: intern(fields.str_field("from")?),
@@ -220,6 +337,7 @@ impl TelemetryEvent {
                 t_ps,
                 stretch_num: fields.u64_field("stretch_num")?,
                 stretch_den: fields.u64_field("stretch_den")?,
+                warning_id: fields.u64_field("warning_id"),
             },
             "Shutdown" => TelemetryEvent::Shutdown {
                 t_ps,
@@ -230,11 +348,13 @@ impl TelemetryEvent {
                 old: fields.u64_field("old")?,
                 new: fields.u64_field("new")?,
                 trigger: intern(fields.str_field("trigger")?),
+                warning_id: fields.u64_field("warning_id"),
             },
             "WarpCapUpdate" => TelemetryEvent::WarpCapUpdate {
                 t_ps,
                 old_slots: fields.u64_field("old_slots")?,
                 new_slots: fields.u64_field("new_slots")?,
+                warning_id: fields.u64_field("warning_id"),
             },
             "EpochSample" => TelemetryEvent::EpochSample {
                 t_ps,
@@ -256,115 +376,41 @@ impl TelemetryEvent {
     }
 }
 
-fn push_u64(s: &mut String, key: &str, v: u64) {
-    s.push_str(&format!(",\"{key}\":{v}"));
-}
-
-fn push_f64(s: &mut String, key: &str, v: f64) {
-    // `{}` on f64 is Rust's shortest round-trippable decimal form.
-    if v.is_finite() {
-        s.push_str(&format!(",\"{key}\":{v}"));
-    } else {
-        s.push_str(&format!(",\"{key}\":null"));
-    }
-}
-
-fn push_str(s: &mut String, key: &str, v: &str) {
-    s.push_str(&format!(",\"{key}\":\"{v}\""));
-}
-
 /// Maps a parsed string back to the static vocabulary the simulator
-/// emits. Unknown strings become `"?"` (the crate never leaks).
-fn intern(s: &str) -> &'static str {
+/// emits. Unknown strings become `"?"` (the crate never leaks). Public
+/// so event producers can stamp run-scoped labels (policy, workload)
+/// without carrying lifetimes.
+pub fn intern(s: &str) -> &'static str {
     const VOCAB: &[&str] = &[
+        // Phases.
         "Normal",
         "Extended",
         "Critical",
         "Shutdown",
+        // Resize triggers.
         "thermal_warning",
         "init",
         "stale_cancelled",
+        // Policy labels (paper figure names).
+        "Non-Offloading",
+        "Naive-Offloading",
+        "CoolPIM(SW)",
+        "CoolPIM(HW)",
+        "IdealThermal",
+        // Workload names.
+        "dc",
+        "bfs-ta",
+        "bfs-dwc",
+        "bfs-twc",
+        "bfs-ttc",
+        "kcore",
+        "pagerank",
+        "sssp-dtc",
+        "sssp-dwc",
+        "sssp-twc",
         "?",
     ];
     VOCAB.iter().find(|&&v| v == s).copied().unwrap_or("?")
-}
-
-/// Parsed fields of one flat JSON object.
-struct FlatObject {
-    fields: Vec<(String, FlatValue)>,
-}
-
-enum FlatValue {
-    Num(f64),
-    Str(String),
-    Null,
-}
-
-impl FlatObject {
-    fn get(&self, key: &str) -> Option<&FlatValue> {
-        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-    }
-
-    fn str_field(&self, key: &str) -> Option<&str> {
-        match self.get(key)? {
-            FlatValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn f64_field(&self, key: &str) -> Option<f64> {
-        match self.get(key)? {
-            FlatValue::Num(n) => Some(*n),
-            FlatValue::Null => Some(f64::NAN),
-            _ => None,
-        }
-    }
-
-    fn u64_field(&self, key: &str) -> Option<u64> {
-        match self.get(key)? {
-            FlatValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-}
-
-/// Minimal parser for the flat (non-nested) objects this crate writes:
-/// `{"key":value,...}` with string, number, and null values. Not a
-/// general JSON parser — escapes inside strings are not interpreted
-/// (the emitted vocabulary contains none).
-fn parse_flat_object(line: &str) -> Option<FlatObject> {
-    let s = line.trim();
-    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
-    let mut fields = Vec::new();
-    let mut rest = inner.trim();
-    while !rest.is_empty() {
-        rest = rest.strip_prefix('"')?;
-        let kq = rest.find('"')?;
-        let key = rest[..kq].to_string();
-        rest = rest[kq + 1..].trim_start().strip_prefix(':')?.trim_start();
-        let value;
-        if let Some(r) = rest.strip_prefix('"') {
-            let vq = r.find('"')?;
-            value = FlatValue::Str(r[..vq].to_string());
-            rest = r[vq + 1..].trim_start();
-        } else {
-            let end = rest.find(',').unwrap_or(rest.len());
-            let tok = rest[..end].trim();
-            value = if tok == "null" {
-                FlatValue::Null
-            } else {
-                FlatValue::Num(tok.parse::<f64>().ok()?)
-            };
-            rest = rest[end..].trim_start();
-        }
-        fields.push((key, value));
-        if let Some(r) = rest.strip_prefix(',') {
-            rest = r.trim_start();
-        } else if !rest.is_empty() {
-            return None;
-        }
-    }
-    Some(FlatObject { fields })
 }
 
 #[cfg(test)]
@@ -380,11 +426,27 @@ mod tests {
 
     #[test]
     fn every_variant_round_trips() {
+        roundtrip(TelemetryEvent::RunInfo {
+            t_ps: 0,
+            policy: "CoolPIM(SW)",
+            workload: "pagerank",
+            threshold_c: 84.0,
+            epoch_ps: 100_000_000,
+        });
         roundtrip(TelemetryEvent::ThermalWarningRaised {
             t_ps: 12,
             peak_dram_c: 84.25,
+            warning_id: 1,
         });
-        roundtrip(TelemetryEvent::ThermalWarningDelivered { t_ps: 99 });
+        roundtrip(TelemetryEvent::ThermalWarningCleared {
+            t_ps: 80,
+            peak_dram_c: 83.5,
+            warning_id: 1,
+        });
+        roundtrip(TelemetryEvent::ThermalWarningDelivered {
+            t_ps: 99,
+            warning_id: 2,
+        });
         roundtrip(TelemetryEvent::PhaseTransition {
             t_ps: 1,
             from: "Normal",
@@ -394,6 +456,13 @@ mod tests {
             t_ps: 2,
             stretch_num: 5,
             stretch_den: 4,
+            warning_id: Some(3),
+        });
+        roundtrip(TelemetryEvent::FrequencyDerate {
+            t_ps: 2,
+            stretch_num: 1,
+            stretch_den: 1,
+            warning_id: None,
         });
         roundtrip(TelemetryEvent::Shutdown {
             t_ps: 3,
@@ -404,11 +473,20 @@ mod tests {
             old: 96,
             new: 92,
             trigger: "thermal_warning",
+            warning_id: Some(1),
+        });
+        roundtrip(TelemetryEvent::TokenPoolResize {
+            t_ps: 0,
+            old: 96,
+            new: 96,
+            trigger: "init",
+            warning_id: None,
         });
         roundtrip(TelemetryEvent::WarpCapUpdate {
             t_ps: 5,
             old_slots: 8,
             new_slots: 6,
+            warning_id: Some(7),
         });
         roundtrip(TelemetryEvent::EpochSample {
             t_ps: 6,
@@ -447,14 +525,48 @@ mod tests {
     }
 
     #[test]
-    fn kind_and_time_accessors() {
+    fn pre_correlation_lines_still_parse() {
+        // PR 1 traces carried no warning_id: the field defaults.
+        let ev = TelemetryEvent::from_jsonl(
+            "{\"kind\":\"ThermalWarningRaised\",\"t_ps\":5,\"peak_dram_c\":85.0}",
+        )
+        .unwrap();
+        assert_eq!(ev.warning_id(), Some(0));
+        let ev = TelemetryEvent::from_jsonl(
+            "{\"kind\":\"TokenPoolResize\",\"t_ps\":9,\"old\":8,\"new\":4,\"trigger\":\"thermal_warning\"}",
+        )
+        .unwrap();
+        assert_eq!(ev.warning_id(), None);
+    }
+
+    #[test]
+    fn kind_time_and_warning_accessors() {
         let ev = TelemetryEvent::TokenPoolResize {
             t_ps: 42,
             old: 8,
             new: 4,
             trigger: "init",
+            warning_id: None,
         };
         assert_eq!(ev.kind(), "TokenPoolResize");
         assert_eq!(ev.t_ps(), 42);
+        assert_eq!(ev.warning_id(), None);
+        let ev = TelemetryEvent::ThermalWarningRaised {
+            t_ps: 1,
+            peak_dram_c: 85.0,
+            warning_id: 3,
+        };
+        assert_eq!(ev.warning_id(), Some(3));
+        assert_eq!(
+            TelemetryEvent::KernelLaunch { t_ps: 7, launch: 1 }.warning_id(),
+            None
+        );
+    }
+
+    #[test]
+    fn intern_covers_policies_and_workloads() {
+        assert_eq!(intern("CoolPIM(HW)"), "CoolPIM(HW)");
+        assert_eq!(intern("pagerank"), "pagerank");
+        assert_eq!(intern("nope"), "?");
     }
 }

@@ -1,0 +1,232 @@
+//! Minimal flat-JSON encoding shared by the event stream, the metrics
+//! serializer, and the run-record store.
+//!
+//! Everything this crate persists is a **flat** (non-nested) JSON object
+//! per line/file: string, finite-number, and null values only. The
+//! writer and parser here are deliberately tiny so the workspace stays
+//! dependency-free; escapes inside strings are not interpreted (the
+//! emitted vocabulary — event kinds, metric names, policy/workload
+//! labels — contains none).
+
+/// Incrementally builds one flat JSON object.
+///
+/// ```
+/// use coolpim_telemetry::json::JsonBuilder;
+/// let mut b = JsonBuilder::new();
+/// b.u64("t_ps", 12).str("phase", "Normal").f64("temp_c", 83.5);
+/// assert_eq!(b.finish(), r#"{"t_ps":12,"phase":"Normal","temp_c":83.5}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonBuilder {
+    buf: String,
+}
+
+impl JsonBuilder {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{key}\":{v}"));
+        self
+    }
+
+    /// Appends a float field (`null` for non-finite values — JSON has no
+    /// NaN/Inf). `{}` on f64 is Rust's shortest round-trippable decimal.
+    pub fn f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.sep();
+        if v.is_finite() {
+            self.buf.push_str(&format!("\"{key}\":{v}"));
+        } else {
+            self.buf.push_str(&format!("\"{key}\":null"));
+        }
+        self
+    }
+
+    /// Appends a string field (the value must not contain `"`).
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        debug_assert!(!v.contains('"'), "flat JSON strings cannot embed quotes");
+        self.sep();
+        self.buf.push_str(&format!("\"{key}\":\"{v}\""));
+        self
+    }
+
+    /// Appends an integer field only when present.
+    pub fn opt_u64(&mut self, key: &str, v: Option<u64>) -> &mut Self {
+        if let Some(v) = v {
+            self.u64(key, v);
+        }
+        self
+    }
+
+    /// Closes the object and returns it (an empty builder yields `{}`).
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Parsed fields of one flat JSON object, in document order.
+#[derive(Debug, Clone)]
+pub struct FlatObject {
+    fields: Vec<(String, FlatValue)>,
+}
+
+/// One parsed field value.
+#[derive(Debug, Clone)]
+pub enum FlatValue {
+    /// A JSON number (parsed as f64).
+    Num(f64),
+    /// A JSON string (escapes not interpreted).
+    Str(String),
+    /// JSON `null` (how the writer encodes non-finite floats).
+    Null,
+}
+
+impl FlatObject {
+    /// The raw value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&FlatValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates `(key, value)` pairs in document order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FlatValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// String value of `key` (None if absent or not a string).
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            FlatValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Float value of `key` (`null` reads back as NaN).
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            FlatValue::Num(n) => Some(*n),
+            FlatValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value of `key`.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            FlatValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat object: `{"key":value,...}` with string, number, and
+/// null values. Returns `None` on anything else (nested objects, arrays,
+/// booleans, trailing garbage).
+pub fn parse_flat_object(line: &str) -> Option<FlatObject> {
+    let s = line.trim();
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let kq = rest.find('"')?;
+        let key = rest[..kq].to_string();
+        rest = rest[kq + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let value;
+        if let Some(r) = rest.strip_prefix('"') {
+            let vq = r.find('"')?;
+            value = FlatValue::Str(r[..vq].to_string());
+            rest = r[vq + 1..].trim_start();
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            let tok = rest[..end].trim();
+            value = if tok == "null" {
+                FlatValue::Null
+            } else {
+                FlatValue::Num(tok.parse::<f64>().ok()?)
+            };
+            rest = rest[end..].trim_start();
+        }
+        fields.push((key, value));
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(FlatObject { fields })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_writes_all_value_kinds() {
+        let mut b = JsonBuilder::new();
+        b.u64("a", 7)
+            .f64("b", 1.5)
+            .f64("c", f64::NAN)
+            .str("d", "x")
+            .opt_u64("e", None)
+            .opt_u64("f", Some(9));
+        assert_eq!(b.finish(), r#"{"a":7,"b":1.5,"c":null,"d":"x","f":9}"#);
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_object() {
+        assert_eq!(JsonBuilder::new().finish(), "{}");
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let mut b = JsonBuilder::new();
+        b.u64("n", 42).str("s", "hello").f64("x", -2.25);
+        let o = parse_flat_object(&b.finish()).unwrap();
+        assert_eq!(o.u64_field("n"), Some(42));
+        assert_eq!(o.str_field("s"), Some("hello"));
+        assert_eq!(o.f64_field("x"), Some(-2.25));
+        assert!(o.get("missing").is_none());
+        assert_eq!(o.iter().count(), 3);
+    }
+
+    #[test]
+    fn null_reads_back_as_nan() {
+        let o = parse_flat_object(r#"{"x":null}"#).unwrap();
+        assert!(o.f64_field("x").unwrap().is_nan());
+        assert_eq!(o.u64_field("x"), None);
+    }
+
+    #[test]
+    fn malformed_objects_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"a":}"#,
+            r#"{"a":1 "b":2}"#,
+            r#"{"a":[1]}"#,
+        ] {
+            assert!(parse_flat_object(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn fractional_numbers_are_not_u64() {
+        let o = parse_flat_object(r#"{"x":1.5,"y":-3}"#).unwrap();
+        assert_eq!(o.u64_field("x"), None);
+        assert_eq!(o.u64_field("y"), None);
+        assert_eq!(o.f64_field("y"), Some(-3.0));
+    }
+}

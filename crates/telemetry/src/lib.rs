@@ -18,7 +18,12 @@
 //! * [`metrics`] — named counters/gauges and log2-bucketed latency
 //!   [`Histogram`]s, drained per run into a [`MetricsSnapshot`];
 //! * [`span`] — wall-clock [`Profiler`] spans over the co-sim hot
-//!   phases, reported as a per-run self-time breakdown.
+//!   phases, reported as a per-run self-time breakdown;
+//! * [`json`] — the shared flat-JSON writer/parser behind the JSONL
+//!   stream, the metrics serializer, and the run-record store;
+//! * [`analysis`] — control-loop KPIs derived from an event stream:
+//!   warning→action latency, overshoot °C·s, derated time, token-pool
+//!   oscillation, thermal-headroom utilization.
 //!
 //! ## Example
 //!
@@ -35,11 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod event;
+pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use analysis::{ControlLoopReport, LatencyStats};
 pub use event::TelemetryEvent;
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use sink::{
@@ -118,6 +126,11 @@ impl Telemetry {
             sink.flush();
         }
     }
+
+    /// Events lost to sink write/flush failures (0 without a sink).
+    pub fn dropped_writes(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.dropped_writes())
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +160,10 @@ mod tests {
                 t_ps: 10,
                 launch: 1,
             },
-            TelemetryEvent::ThermalWarningDelivered { t_ps: 20 },
+            TelemetryEvent::ThermalWarningDelivered {
+                t_ps: 20,
+                warning_id: 1,
+            },
         ];
         t.emit_epoch_batch(&mut batch);
         let times: Vec<u64> = log.snapshot().iter().map(|e| e.t_ps()).collect();

@@ -97,6 +97,21 @@ impl Histogram {
         self.max
     }
 
+    /// Median (bucket upper bound) — `quantile(0.50)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Folds `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -120,8 +135,9 @@ impl Histogram {
             mean: self.mean(),
             min: self.min(),
             max: self.max(),
-            p50: self.quantile(0.50),
-            p99: self.quantile(0.99),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
         }
     }
 }
@@ -139,6 +155,8 @@ pub struct HistogramSummary {
     pub max: u64,
     /// Median (bucket upper bound).
     pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
     /// 99th percentile (bucket upper bound).
     pub p99: u64,
 }
@@ -311,6 +329,7 @@ impl MetricsSnapshot {
                     };
                     mine.max = mine.max.max(h.max);
                     mine.p50 = mine.p50.max(h.p50);
+                    mine.p90 = mine.p90.max(h.p90);
                     mine.p99 = mine.p99.max(h.p99);
                 }
                 None => self.hists.push((name.clone(), *h)),
@@ -336,8 +355,8 @@ impl MetricsSnapshot {
         hists.sort_by(|a, b| a.0.cmp(&b.0));
         for (n, h) in &hists {
             out.push_str(&format!(
-                "{:<34} n={} mean={:.0} p50≤{} p99≤{} max={}\n",
-                n, h.count, h.mean, h.p50, h.p99, h.max
+                "{:<34} n={} mean={:.0} p50≤{} p90≤{} p99≤{} max={}\n",
+                n, h.count, h.mean, h.p50, h.p90, h.p99, h.max
             ));
         }
         out
@@ -371,6 +390,54 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_single_bucket() {
+        // All samples land in bucket [64, 128): every percentile reports
+        // that bucket's upper bound.
+        let mut h = Histogram::new();
+        for v in [64u64, 100, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 128);
+        assert_eq!(h.p90(), 128);
+        assert_eq!(h.p99(), 128);
+    }
+
+    #[test]
+    fn percentiles_saturating_bucket() {
+        // u64::MAX has 64 significant bits → bucket index 64, clamped to
+        // the last bucket (63). The shift `1 << 63` must not overflow
+        // and percentiles must stay ordered.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        assert_eq!(h.p50(), 1u64 << 63);
+        assert_eq!(h.p99(), 1u64 << 63);
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_across_spread_samples() {
+        let mut h = Histogram::new();
+        for i in 0..100u64 {
+            h.record(i * i);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        let s = h.summary();
+        assert_eq!(s.p90, h.p90());
     }
 
     #[test]

@@ -20,6 +20,13 @@ pub trait Sink: Send {
 
     /// Flushes buffered output (file sinks); default no-op.
     fn flush(&mut self) {}
+
+    /// Number of events/rows lost to write or flush failures so far.
+    /// File sinks count every failed write instead of silently dropping
+    /// it; in-memory sinks never lose anything and report 0.
+    fn dropped_writes(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards every event — the default, so instrumentation costs one
@@ -102,9 +109,31 @@ impl Sink for RecordingSink {
     }
 }
 
+/// Tracks write/flush failures for a file sink: every lost event is
+/// counted, and the first failure is reported to stderr (once, not per
+/// event — a dead disk would otherwise flood the console).
+#[derive(Debug, Default)]
+struct WriteFailures {
+    dropped: u64,
+    reported: bool,
+}
+
+impl WriteFailures {
+    fn note<T>(&mut self, what: &str, res: std::io::Result<T>) {
+        if let Err(e) = res {
+            self.dropped += 1;
+            if !self.reported {
+                self.reported = true;
+                eprintln!("telemetry: {what} failed, counting dropped writes from here: {e}");
+            }
+        }
+    }
+}
+
 /// Streams every event as one JSON object per line.
 pub struct JsonlSink<W: Write + Send> {
     w: BufWriter<W>,
+    failures: WriteFailures,
 }
 
 impl JsonlSink<File> {
@@ -119,27 +148,30 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn new(w: W) -> Self {
         Self {
             w: BufWriter::new(w),
+            failures: WriteFailures::default(),
         }
     }
 }
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&mut self, ev: &TelemetryEvent) {
-        // Write errors are surfaced on flush; per-event error plumbing
-        // would put a Result on the hot path for no benefit.
-        let _ = writeln!(self.w, "{}", ev.to_jsonl());
+        let res = writeln!(self.w, "{}", ev.to_jsonl());
+        self.failures.note("JSONL write", res);
     }
 
     fn flush(&mut self) {
-        if let Err(e) = self.w.flush() {
-            eprintln!("telemetry: JSONL flush failed: {e}");
-        }
+        let res = self.w.flush();
+        self.failures.note("JSONL flush", res);
+    }
+
+    fn dropped_writes(&self) -> u64 {
+        self.failures.dropped
     }
 }
 
 impl<W: Write + Send> Drop for JsonlSink<W> {
     fn drop(&mut self) {
-        let _ = self.w.flush();
+        self.flush();
     }
 }
 
@@ -184,6 +216,10 @@ impl Sink for MultiSink {
             s.flush();
         }
     }
+
+    fn dropped_writes(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped_writes()).sum()
+    }
 }
 
 /// Column headers of the CSV timeline emitted by [`CsvSink`].
@@ -195,6 +231,7 @@ pub const CSV_TIMELINE_HEADER: &str = "t_ms,pim_rate_op_ns,data_bw_gbps,peak_dra
 pub struct CsvSink<W: Write + Send> {
     w: BufWriter<W>,
     wrote_header: bool,
+    failures: WriteFailures,
 }
 
 impl CsvSink<File> {
@@ -210,6 +247,7 @@ impl<W: Write + Send> CsvSink<W> {
         Self {
             w: BufWriter::new(w),
             wrote_header: false,
+            failures: WriteFailures::default(),
         }
     }
 }
@@ -226,9 +264,10 @@ impl<W: Write + Send> Sink for CsvSink<W> {
         {
             if !self.wrote_header {
                 self.wrote_header = true;
-                let _ = writeln!(self.w, "{CSV_TIMELINE_HEADER}");
+                let res = writeln!(self.w, "{CSV_TIMELINE_HEADER}");
+                self.failures.note("CSV write", res);
             }
-            let _ = writeln!(
+            let res = writeln!(
                 self.w,
                 "{:.3},{:.3},{:.1},{:.2},{}",
                 *t_ps as f64 * 1e-9,
@@ -237,19 +276,23 @@ impl<W: Write + Send> Sink for CsvSink<W> {
                 peak_dram_c,
                 phase
             );
+            self.failures.note("CSV write", res);
         }
     }
 
     fn flush(&mut self) {
-        if let Err(e) = self.w.flush() {
-            eprintln!("telemetry: CSV flush failed: {e}");
-        }
+        let res = self.w.flush();
+        self.failures.note("CSV flush", res);
+    }
+
+    fn dropped_writes(&self) -> u64 {
+        self.failures.dropped
     }
 }
 
 impl<W: Write + Send> Drop for CsvSink<W> {
     fn drop(&mut self) {
-        let _ = self.w.flush();
+        self.flush();
     }
 }
 
@@ -323,6 +366,54 @@ mod tests {
         let mut buf = Vec::new();
         drop(CsvSink::new(&mut buf));
         assert!(buf.is_empty());
+    }
+
+    /// A writer whose every operation fails (disk-full stand-in).
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn failed_writes_are_counted_not_swallowed() {
+        // BufWriter defers failures to flush time: the count surfaces
+        // there rather than per record, but it is never zero after a
+        // flush that lost data.
+        let mut sink = JsonlSink::new(FailingWriter);
+        sink.record(&sample(1));
+        sink.record(&sample(2));
+        sink.flush();
+        assert!(sink.dropped_writes() >= 1, "flush failure must be counted");
+
+        let mut csv = CsvSink::new(FailingWriter);
+        csv.record(&sample(1));
+        csv.flush();
+        assert!(csv.dropped_writes() >= 1);
+
+        // Healthy sinks report zero.
+        let mut ok = JsonlSink::new(Vec::new());
+        ok.record(&sample(1));
+        ok.flush();
+        assert_eq!(ok.dropped_writes(), 0);
+        let (rec, _) = RecordingSink::new();
+        assert_eq!(rec.dropped_writes(), 0);
+    }
+
+    #[test]
+    fn multi_sink_sums_dropped_writes() {
+        let mut multi = MultiSink::new(vec![
+            Box::new(JsonlSink::new(FailingWriter)),
+            Box::new(JsonlSink::new(Vec::new())),
+        ]);
+        multi.record(&sample(1));
+        multi.flush();
+        assert!(multi.dropped_writes() >= 1);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze-18c6cd26c7f3a134.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/debug/deps/analyze-18c6cd26c7f3a134: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

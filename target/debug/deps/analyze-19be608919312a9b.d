@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze-19be608919312a9b.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/debug/deps/analyze-19be608919312a9b: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

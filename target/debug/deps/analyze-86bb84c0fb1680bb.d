@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyze-86bb84c0fb1680bb.d: crates/bench/src/bin/analyze.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyze-86bb84c0fb1680bb.rmeta: crates/bench/src/bin/analyze.rs Cargo.toml
+
+crates/bench/src/bin/analyze.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_compare-40d54702a07a5dcd.d: crates/bench/src/bin/bench_compare.rs
+
+/root/repo/target/debug/deps/bench_compare-40d54702a07a5dcd: crates/bench/src/bin/bench_compare.rs
+
+crates/bench/src/bin/bench_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_compare-a4bc532f819b5b1b.d: crates/bench/src/bin/bench_compare.rs
+
+/root/repo/target/debug/deps/bench_compare-a4bc532f819b5b1b: crates/bench/src/bin/bench_compare.rs
+
+crates/bench/src/bin/bench_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_compare-e69e11b9581d59b6.d: crates/bench/src/bin/bench_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_compare-e69e11b9581d59b6.rmeta: crates/bench/src/bin/bench_compare.rs Cargo.toml
+
+crates/bench/src/bin/bench_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

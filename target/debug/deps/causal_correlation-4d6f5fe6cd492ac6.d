@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causal_correlation-4d6f5fe6cd492ac6.d: tests/causal_correlation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausal_correlation-4d6f5fe6cd492ac6.rmeta: tests/causal_correlation.rs Cargo.toml
+
+tests/causal_correlation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

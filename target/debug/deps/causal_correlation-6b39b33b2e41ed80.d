@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/causal_correlation-6b39b33b2e41ed80.d: tests/causal_correlation.rs
+
+/root/repo/target/debug/deps/causal_correlation-6b39b33b2e41ed80: tests/causal_correlation.rs
+
+tests/causal_correlation.rs:

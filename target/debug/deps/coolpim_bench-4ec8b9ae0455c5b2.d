@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/coolpim_bench-4ec8b9ae0455c5b2.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs Cargo.toml
+/root/repo/target/debug/deps/coolpim_bench-4ec8b9ae0455c5b2.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcoolpim_bench-4ec8b9ae0455c5b2.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs Cargo.toml
+/root/repo/target/debug/deps/libcoolpim_bench-4ec8b9ae0455c5b2.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/eval.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/runrec.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/coolpim_bench-d53adf3dc67036a8.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/coolpim_bench-d53adf3dc67036a8.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
-/root/repo/target/debug/deps/coolpim_bench-d53adf3dc67036a8: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/coolpim_bench-d53adf3dc67036a8: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/eval.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/runrec.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/coolpim_bench-da4598ec9bd2c63f.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/coolpim_bench-da4598ec9bd2c63f.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
-/root/repo/target/debug/deps/libcoolpim_bench-da4598ec9bd2c63f.rlib: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/libcoolpim_bench-da4598ec9bd2c63f.rlib: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
-/root/repo/target/debug/deps/libcoolpim_bench-da4598ec9bd2c63f.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/libcoolpim_bench-da4598ec9bd2c63f.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/eval.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/runrec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosim_end_to_end-dfa905e2f71d547f.d: crates/bench/benches/cosim_end_to_end.rs
+
+/root/repo/target/debug/deps/cosim_end_to_end-dfa905e2f71d547f: crates/bench/benches/cosim_end_to_end.rs
+
+crates/bench/benches/cosim_end_to_end.rs:

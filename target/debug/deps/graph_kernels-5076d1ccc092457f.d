@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_kernels-5076d1ccc092457f.d: crates/bench/benches/graph_kernels.rs
+
+/root/repo/target/debug/deps/graph_kernels-5076d1ccc092457f: crates/bench/benches/graph_kernels.rs
+
+crates/bench/benches/graph_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmc_throughput-b61641b1c2089f9d.d: crates/bench/benches/hmc_throughput.rs
+
+/root/repo/target/debug/deps/hmc_throughput-b61641b1c2089f9d: crates/bench/benches/hmc_throughput.rs
+
+crates/bench/benches/hmc_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thermal_solver-0fac008828119826.d: crates/bench/benches/thermal_solver.rs
+
+/root/repo/target/debug/deps/thermal_solver-0fac008828119826: crates/bench/benches/thermal_solver.rs
+
+crates/bench/benches/thermal_solver.rs:

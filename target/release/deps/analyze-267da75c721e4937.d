@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analyze-267da75c721e4937.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/release/deps/analyze-267da75c721e4937: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analyze-a294965065559fa6.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/release/deps/analyze-a294965065559fa6: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_compare-7e68c35049659c19.d: crates/bench/src/bin/bench_compare.rs
+
+/root/repo/target/release/deps/bench_compare-7e68c35049659c19: crates/bench/src/bin/bench_compare.rs
+
+crates/bench/src/bin/bench_compare.rs:

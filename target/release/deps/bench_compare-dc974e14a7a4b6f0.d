@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_compare-dc974e14a7a4b6f0.d: crates/bench/src/bin/bench_compare.rs
+
+/root/repo/target/release/deps/bench_compare-dc974e14a7a4b6f0: crates/bench/src/bin/bench_compare.rs
+
+crates/bench/src/bin/bench_compare.rs:

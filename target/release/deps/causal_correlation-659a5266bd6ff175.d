@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/causal_correlation-659a5266bd6ff175.d: tests/causal_correlation.rs
+
+/root/repo/target/release/deps/causal_correlation-659a5266bd6ff175: tests/causal_correlation.rs
+
+tests/causal_correlation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coolpim-f826a7abc56dcca0.d: src/lib.rs
+
+/root/repo/target/release/deps/coolpim-f826a7abc56dcca0: src/lib.rs
+
+src/lib.rs:

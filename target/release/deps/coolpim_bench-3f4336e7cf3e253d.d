@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/coolpim_bench-3f4336e7cf3e253d.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/coolpim_bench-3f4336e7cf3e253d.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
-/root/repo/target/release/deps/coolpim_bench-3f4336e7cf3e253d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/coolpim_bench-3f4336e7cf3e253d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/eval.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/runrec.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/coolpim_bench-aa77dd6378adb3e8.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/coolpim_bench-aa77dd6378adb3e8.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
-/root/repo/target/release/deps/libcoolpim_bench-aa77dd6378adb3e8.rlib: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/libcoolpim_bench-aa77dd6378adb3e8.rlib: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
-/root/repo/target/release/deps/libcoolpim_bench-aa77dd6378adb3e8.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/libcoolpim_bench-aa77dd6378adb3e8.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/eval.rs:
 crates/bench/src/harness.rs:
+crates/bench/src/runrec.rs:

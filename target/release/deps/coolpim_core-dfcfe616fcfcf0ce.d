@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/coolpim_core-dfcfe616fcfcf0ce.d: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs
+
+/root/repo/target/release/deps/coolpim_core-dfcfe616fcfcf0ce: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cosim.rs:
+crates/core/src/estimate.rs:
+crates/core/src/experiment.rs:
+crates/core/src/hw_dynt.rs:
+crates/core/src/multi_level.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/sw_dynt.rs:
+crates/core/src/token_pool.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/coolpim_thermal-17ebce355fcc8fa7.d: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs
+
+/root/repo/target/release/deps/coolpim_thermal-17ebce355fcc8fa7: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/cooling.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/grid.rs:
+crates/thermal/src/hmc11.rs:
+crates/thermal/src/layers.rs:
+crates/thermal/src/materials.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosim_end_to_end-db03924f4d1e9b62.d: crates/bench/benches/cosim_end_to_end.rs
+
+/root/repo/target/release/deps/cosim_end_to_end-db03924f4d1e9b62: crates/bench/benches/cosim_end_to_end.rs
+
+crates/bench/benches/cosim_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_kernels-b0148fc50cbed93c.d: crates/bench/benches/graph_kernels.rs
+
+/root/repo/target/release/deps/graph_kernels-b0148fc50cbed93c: crates/bench/benches/graph_kernels.rs
+
+crates/bench/benches/graph_kernels.rs:

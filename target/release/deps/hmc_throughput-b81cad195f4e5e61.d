@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hmc_throughput-b81cad195f4e5e61.d: crates/bench/benches/hmc_throughput.rs
+
+/root/repo/target/release/deps/hmc_throughput-b81cad195f4e5e61: crates/bench/benches/hmc_throughput.rs
+
+crates/bench/benches/hmc_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_cosim-5f062235c00a0bcf.d: tests/integration_cosim.rs
+
+/root/repo/target/release/deps/integration_cosim-5f062235c00a0bcf: tests/integration_cosim.rs
+
+tests/integration_cosim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_thermal_loop-b671726ddb40ba63.d: tests/integration_thermal_loop.rs
+
+/root/repo/target/release/deps/integration_thermal_loop-b671726ddb40ba63: tests/integration_thermal_loop.rs
+
+tests/integration_thermal_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_invariants-c8a73923eecc5670.d: tests/proptest_invariants.rs
+
+/root/repo/target/release/deps/proptest_invariants-c8a73923eecc5670: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_tracing-36866d1dfa4304b2.d: tests/telemetry_tracing.rs
+
+/root/repo/target/release/deps/telemetry_tracing-36866d1dfa4304b2: tests/telemetry_tracing.rs
+
+tests/telemetry_tracing.rs:

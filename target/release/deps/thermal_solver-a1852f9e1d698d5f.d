@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thermal_solver-a1852f9e1d698d5f.d: crates/bench/benches/thermal_solver.rs
+
+/root/repo/target/release/deps/thermal_solver-a1852f9e1d698d5f: crates/bench/benches/thermal_solver.rs
+
+crates/bench/benches/thermal_solver.rs:

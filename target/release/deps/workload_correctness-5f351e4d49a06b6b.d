@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_correctness-5f351e4d49a06b6b.d: crates/graph/tests/workload_correctness.rs
+
+/root/repo/target/release/deps/workload_correctness-5f351e4d49a06b6b: crates/graph/tests/workload_correctness.rs
+
+crates/graph/tests/workload_correctness.rs:

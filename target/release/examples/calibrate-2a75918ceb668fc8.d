@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calibrate-2a75918ceb668fc8.d: crates/thermal/examples/calibrate.rs
+
+/root/repo/target/release/examples/calibrate-2a75918ceb668fc8: crates/thermal/examples/calibrate.rs
+
+crates/thermal/examples/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cooling_design-57a7bd5e02c5c721.d: examples/cooling_design.rs
+
+/root/repo/target/release/examples/cooling_design-57a7bd5e02c5c721: examples/cooling_design.rs
+
+examples/cooling_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fig5probe-810bce9fd1c23ff9.d: crates/thermal/examples/fig5probe.rs
+
+/root/repo/target/release/examples/fig5probe-810bce9fd1c23ff9: crates/thermal/examples/fig5probe.rs
+
+crates/thermal/examples/fig5probe.rs:

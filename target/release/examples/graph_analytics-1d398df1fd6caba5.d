@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graph_analytics-1d398df1fd6caba5.d: examples/graph_analytics.rs
+
+/root/repo/target/release/examples/graph_analytics-1d398df1fd6caba5: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

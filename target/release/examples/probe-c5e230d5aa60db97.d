@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-c5e230d5aa60db97.d: crates/core/examples/probe.rs
+
+/root/repo/target/release/examples/probe-c5e230d5aa60db97: crates/core/examples/probe.rs
+
+crates/core/examples/probe.rs:

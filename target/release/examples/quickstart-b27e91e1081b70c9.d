@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b27e91e1081b70c9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b27e91e1081b70c9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/thermal_camera-8855338dc9475cd4.d: examples/thermal_camera.rs
+
+/root/repo/target/release/examples/thermal_camera-8855338dc9475cd4: examples/thermal_camera.rs
+
+examples/thermal_camera.rs:
