@@ -2,19 +2,28 @@
 //!
 //! ```text
 //! bench_compare --baseline BASELINE.json CURRENT.json
+//! bench_compare --assert-max METRIC=VALUE [...] CURRENT.json
 //! ```
 //!
 //! Loads two run records (see `coolpim_bench::runrec`), diffs the gated
 //! metrics with their tolerance bands, prints the comparison table, and
 //! exits non-zero when any gate regressed — CI runs this against the
 //! committed baseline after every fixed-seed simulation.
+//!
+//! `--assert-max METRIC=VALUE` (repeatable) additionally asserts a hard
+//! ceiling on the *current* record — a missing metric fails the
+//! assertion. With only assertions and no `--baseline`, the diff step is
+//! skipped; CI's overhead-budget job uses this to enforce
+//! `telemetry_overhead_pct <= 3` without needing a baseline record.
 
 use std::path::Path;
 
 use coolpim_bench::runrec::{compare, RunRecord, DEFAULT_GATES};
 
 fn usage() -> ! {
-    eprintln!("usage: bench_compare --baseline BASELINE.json CURRENT.json");
+    eprintln!(
+        "usage: bench_compare [--baseline BASELINE.json] [--assert-max METRIC=VALUE ...] CURRENT.json"
+    );
     std::process::exit(2);
 }
 
@@ -28,6 +37,7 @@ fn load(path: &str) -> RunRecord {
 fn main() {
     let mut baseline: Option<String> = None;
     let mut current: Option<String> = None;
+    let mut assert_max: Vec<(String, f64)> = Vec::new();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -35,6 +45,19 @@ fn main() {
             "--baseline" | "-b" => {
                 i += 1;
                 baseline = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--assert-max" => {
+                i += 1;
+                let spec = argv.get(i).cloned().unwrap_or_else(|| usage());
+                let Some((metric, value)) = spec.split_once('=') else {
+                    eprintln!("--assert-max expects METRIC=VALUE, got {spec:?}");
+                    usage();
+                };
+                let Ok(value) = value.parse::<f64>() else {
+                    eprintln!("--assert-max {metric}: {value:?} is not a number");
+                    usage();
+                };
+                assert_max.push((metric.to_string(), value));
             }
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => {
@@ -46,15 +69,38 @@ fn main() {
         }
         i += 1;
     }
-    let (Some(baseline), Some(current)) = (baseline, current) else {
-        usage()
-    };
+    let Some(current) = current else { usage() };
+    if baseline.is_none() && assert_max.is_empty() {
+        usage();
+    }
 
-    let base = load(&baseline);
     let cur = load(&current);
-    let report = compare(&base, &cur, DEFAULT_GATES);
-    print!("{}", report.render(&baseline, &current));
-    if report.regressions() > 0 {
+    let mut failed = false;
+
+    if let Some(baseline) = baseline {
+        let base = load(&baseline);
+        let report = compare(&base, &cur, DEFAULT_GATES);
+        print!("{}", report.render(&baseline, &current));
+        failed |= report.regressions() > 0;
+    }
+
+    for (metric, max) in &assert_max {
+        match cur.metric(metric) {
+            Some(v) if v <= *max => {
+                println!("assert-max {metric}: {v} <= {max}  OK");
+            }
+            Some(v) => {
+                println!("assert-max {metric}: {v} > {max}  FAIL");
+                failed = true;
+            }
+            None => {
+                println!("assert-max {metric}: missing from {current}  FAIL");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
         std::process::exit(1);
     }
 }

@@ -1,12 +1,78 @@
 //! Figure 3: heat map at full bandwidth under a commodity-server sink —
 //! per-layer peak temperatures plus a 2-D ASCII heat map of the logic
 //! layer showing the vault-centre hot spots.
+//!
+//! `--from-dump BUNDLE.jsonl` renders the per-vault peak-DRAM map from
+//! the newest frame of a flight-recorder bundle instead of running the
+//! steady-state model — the same glyph ramp, but fed by recorded data.
+use coolpim_telemetry::PostmortemBundle;
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::layers::LayerKind;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
 
-fn main() {
+const GLYPHS: [u8; 9] = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@', b'#'];
+
+fn glyph(v: f64, lo: f64, hi: f64) -> char {
+    let g = ((v - lo) / (hi - lo + 1e-9) * (GLYPHS.len() - 1) as f64).round() as usize;
+    GLYPHS[g] as char
+}
+
+/// Lay `vaults` out on a grid: known cube footprints get their real
+/// aspect ratio (32 vaults → 8x4, 16 → 4x4), anything else one row.
+fn vault_grid(vaults: usize) -> (usize, usize) {
+    match vaults {
+        32 => (8, 4),
+        16 => (4, 4),
+        n => (n.max(1), 1),
+    }
+}
+
+fn render_dump(path: &str) {
+    let b = PostmortemBundle::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("fig3_heatmap: {path}: {e}");
+        std::process::exit(1);
+    });
+    let Some(frame) = b.frames.last() else {
+        eprintln!("fig3_heatmap: {path}: bundle holds no frames");
+        std::process::exit(1);
+    };
+    println!(
+        "== Vault heat map from dump (trigger {}, t = {:.3} ms, threshold {:.1} °C) ==",
+        b.trigger,
+        b.t_ps as f64 / 1e9,
+        b.threshold_c
+    );
+    let temps: Vec<f64> = frame.vaults.iter().map(|v| v.peak_dram_c).collect();
+    let (lo, hi) = temps
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let (nx, ny) = vault_grid(temps.len());
+    println!(
+        "Per-vault peak DRAM temp, newest frame ({nx}x{ny} vaults, {lo:.1}–{hi:.1} °C, '.'=cool '#'=hot):"
+    );
+    for y in 0..ny {
+        let mut line = String::new();
+        for x in 0..nx {
+            match temps.get(y * nx + x) {
+                Some(&v) => line.push(glyph(v, lo, hi)),
+                None => line.push(' '),
+            }
+        }
+        println!("  {line}");
+    }
+    if let Some(hot) = b.hottest_vault() {
+        println!(
+            "\nHottest vault at dump time: {hot} ({:.2} °C); run `postmortem {path}`",
+            temps.get(hot).copied().unwrap_or(f64::NAN)
+        );
+        println!("for the °C·s ranking and the SM attribution tables.");
+    }
+}
+
+fn render_model() {
     let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
     m.steady_state(&TrafficSample::external_stream(320.0e9, 1e-3));
     println!("== Fig. 3 — heat map, 320 GB/s, commodity-server active heat sink ==");
@@ -40,16 +106,25 @@ fn main() {
         "\nLogic-layer heat map ({}x{} cells, {lo:.1}–{hi:.1} °C, '.'=cool '#'=hot):",
         fp.nx, fp.ny
     );
-    let glyphs = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@', b'#'];
     for y in 0..fp.ny {
         let mut line = String::new();
         for x in 0..fp.nx {
-            let v = field[fp.cell(x, y)];
-            let g = ((v - lo) / (hi - lo + 1e-9) * (glyphs.len() - 1) as f64).round() as usize;
-            line.push(glyphs[g] as char);
+            line.push(glyph(field[fp.cell(x, y)], lo, hi));
         }
         println!("  {line}");
     }
     println!("\nHot spots sit at the vault centres (controller + FU power); the lowest DRAM");
     println!("die and the logic layer are the hottest layers, as in the paper's Fig. 3.");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.as_slice() {
+        [] => render_model(),
+        [flag, path] if flag == "--from-dump" => render_dump(path),
+        _ => {
+            eprintln!("usage: fig3_heatmap [--from-dump BUNDLE.jsonl]");
+            std::process::exit(2);
+        }
+    }
 }

@@ -22,14 +22,25 @@
 //! telemetry snapshot) as one flat JSON object; `--run-record DIR`
 //! appends the same record to a run store (also triggered by the
 //! `COOLPIM_RUN_RECORD` environment variable) for `bench_compare`.
+//!
+//! `--flight-recorder` keeps a rolling in-memory ring of per-vault
+//! thermal/traffic samples; `--postmortem-dir DIR` (implies
+//! `--flight-recorder`) dumps that ring as a versioned JSONL bundle
+//! whenever a thermal warning, phase change, or overshoot episode
+//! fires — inspect bundles with the `postmortem` bin.
+//! `--flight-capacity N` and `--flight-every N` tune the ring depth and
+//! sampling stride. `--trace-rotate-mb MB` caps the `--trace` file by
+//! rotating it into numbered parts, keeping only the newest few.
 
 use coolpim_bench::runrec::{run_record_dir, RunRecord};
-use coolpim_core::cosim::{CoSim, CoSimConfig};
+use coolpim_core::cosim::{CoSim, CoSimConfig, FlightConfig};
 use coolpim_core::policy::Policy;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
 use coolpim_graph::Csr;
-use coolpim_telemetry::{CsvSink, JsonlSink, MultiSink, Sink, Telemetry, CSV_TIMELINE_HEADER};
+use coolpim_telemetry::{
+    CsvSink, JsonlSink, MultiSink, RotatingJsonlSink, Sink, Telemetry, CSV_TIMELINE_HEADER,
+};
 use coolpim_thermal::cooling::Cooling;
 
 struct Args {
@@ -47,6 +58,11 @@ struct Args {
     warning_threshold_c: Option<f64>,
     metrics_out: Option<String>,
     run_record: Option<String>,
+    flight_recorder: bool,
+    postmortem_dir: Option<String>,
+    flight_capacity: Option<u64>,
+    flight_every: Option<u64>,
+    trace_rotate_mb: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -58,7 +74,10 @@ fn usage() -> ! {
          \x20          [--graph edge-list-file] [--timeline]\n\
          \x20          [--trace jsonl-file] [--timeline-out csv-file] [--profile]\n\
          \x20          [--warning-threshold C] [--metrics-out json-file]\n\
-         \x20          [--run-record dir]"
+         \x20          [--run-record dir]\n\
+         \x20          [--flight-recorder] [--postmortem-dir dir]\n\
+         \x20          [--flight-capacity N] [--flight-every N]\n\
+         \x20          [--trace-rotate-mb MB]"
     );
     std::process::exit(2);
 }
@@ -102,6 +121,11 @@ fn parse_args() -> Args {
         warning_threshold_c: None,
         metrics_out: None,
         run_record: None,
+        flight_recorder: false,
+        postmortem_dir: None,
+        flight_capacity: None,
+        flight_every: None,
+        trace_rotate_mb: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -136,6 +160,17 @@ fn parse_args() -> Args {
             }
             "--metrics-out" => args.metrics_out = Some(take(&mut i)),
             "--run-record" => args.run_record = Some(take(&mut i)),
+            "--flight-recorder" => args.flight_recorder = true,
+            "--postmortem-dir" => args.postmortem_dir = Some(take(&mut i)),
+            "--flight-capacity" => {
+                args.flight_capacity = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--flight-every" => {
+                args.flight_every = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-rotate-mb" => {
+                args.trace_rotate_mb = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -185,8 +220,16 @@ fn main() {
 
     let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
     if let Some(path) = &args.trace {
-        match JsonlSink::create(path) {
-            Ok(s) => sinks.push(Box::new(s)),
+        // With a rotation budget the trace goes through the size-capped
+        // rotating sink (numbered parts, newest kept) instead of one
+        // unbounded file.
+        let sink: Result<Box<dyn Sink>, std::io::Error> = match args.trace_rotate_mb {
+            Some(mb) => RotatingJsonlSink::create(path, mb.max(1) * 1024 * 1024, 4)
+                .map(|s| Box::new(s) as Box<dyn Sink>),
+            None => JsonlSink::create(path).map(|s| Box::new(s) as Box<dyn Sink>),
+        };
+        match sink {
+            Ok(s) => sinks.push(s),
             Err(e) => {
                 eprintln!("failed to create trace file {path}: {e}");
                 std::process::exit(1);
@@ -207,14 +250,39 @@ fn main() {
         1 => Telemetry::with_sink(sinks.pop().expect("one sink")),
         _ => Telemetry::with_sink(Box::new(MultiSink::new(sinks))),
     };
-    if args.profile {
+    let flight_on = args.flight_recorder || args.postmortem_dir.is_some();
+    // The flight recorder's self-overhead metric needs span timings, so
+    // enabling it implies profiling.
+    if args.profile || flight_on {
         telemetry = telemetry.profiled();
     }
 
     let threshold_c = cfg.warning_threshold_c;
-    let r = CoSim::new(args.policy, cfg)
-        .with_telemetry(telemetry)
-        .run(kernel.as_mut());
+    let mut cosim = CoSim::new(args.policy, cfg).with_telemetry(telemetry);
+    if flight_on {
+        let mut fcfg = FlightConfig {
+            postmortem_dir: args.postmortem_dir.clone().map(Into::into),
+            ..FlightConfig::default()
+        };
+        if let Some(cap) = args.flight_capacity {
+            fcfg.capacity = cap.max(1) as usize;
+        }
+        if let Some(every) = args.flight_every {
+            fcfg.every_epochs = every.max(1);
+        }
+        if let Some(dir) = &args.postmortem_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("failed to create postmortem dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+        cosim = cosim.with_flight_recorder(fcfg);
+    }
+    let r = cosim.run(kernel.as_mut());
+
+    for path in &r.postmortem_dumps {
+        eprintln!("# postmortem bundle: {}", path.display());
+    }
 
     // One record serves both outlets: the explicit snapshot dump and the
     // append-only run store the regression gate reads.
@@ -266,6 +334,10 @@ fn main() {
     println!("offload fraction   {:.3}", r.gpu.offload_fraction());
     println!("kernel launches    {}", r.gpu.launches);
     println!("throttle steps     {}", r.throttle_steps);
+    if flight_on {
+        println!("telemetry overhead {:.2} %", r.telemetry_overhead_pct);
+        println!("postmortem dumps   {}", r.postmortem_dumps.len());
+    }
     if r.shutdown {
         println!("!! thermal shutdown occurred");
     }

@@ -105,6 +105,8 @@ impl RunRecord {
         rec.push("throttle_steps", r.throttle_steps as f64);
         rec.push("shutdown", u64::from(r.shutdown) as f64);
         rec.push("timed_out", u64::from(r.timed_out) as f64);
+        rec.push("telemetry_overhead_pct", r.telemetry_overhead_pct);
+        rec.push("postmortem_dumps", r.postmortem_dumps.len() as f64);
         for (n, v) in &r.metrics.counters {
             rec.push(&format!("counter.{n}"), *v as f64);
         }
@@ -270,6 +272,24 @@ pub const DEFAULT_GATES: &[Gate] = &[
         metric: "hist.warning_to_action_ps.p50",
         rel_tol: 1.0,
         abs_tol: 0.0,
+        higher_is_worse: true,
+    },
+    Gate {
+        // Wall-clock share, so inherently noisy across machines: the
+        // band matches the absolute CI budget (< 3 %) rather than the
+        // baseline value. The hard ceiling is asserted separately via
+        // `bench_compare --assert-max`.
+        metric: "telemetry_overhead_pct",
+        rel_tol: 0.0,
+        abs_tol: 3.0,
+        higher_is_worse: true,
+    },
+    Gate {
+        // Dump count is deterministic for a fixed seed; a small slack
+        // absorbs trigger-ordering changes near the threshold.
+        metric: "postmortem_dumps",
+        rel_tol: 0.0,
+        abs_tol: 2.0,
         higher_is_worse: true,
     },
 ];

@@ -9,11 +9,14 @@
 //! refresh, shutdown) and the ERRSTAT thermal-warning bit that CoolPIM's
 //! source throttling consumes.
 
+use std::path::PathBuf;
+
 use coolpim_gpu::kernel::Kernel;
 use coolpim_gpu::stats::GpuStats;
 use coolpim_gpu::system::{GpuSystem, RunOutcome};
 use coolpim_hmc::stats::StatsTotals;
 use coolpim_hmc::{ns_to_ps, Hmc, Ps, TempPhase};
+use coolpim_telemetry::flight::{FlightRecorder, PostmortemBundle};
 use coolpim_telemetry::{MetricsSnapshot, ProfileReport, Telemetry, TelemetryEvent};
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::model::HmcThermalModel;
@@ -52,6 +55,54 @@ impl Default for CoSimConfig {
             warm_start: true,
         }
     }
+}
+
+/// Flight-recorder configuration (see
+/// [`coolpim_telemetry::flight`]): sampling cadence, ring depth, and
+/// where anomaly dumps go.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Frames retained in the ring (default 64 — 6.4 ms of history at
+    /// the default 100 µs epoch and cadence 1).
+    pub capacity: usize,
+    /// Sample every N co-sim epochs (default 1; floored at 1).
+    pub every_epochs: u64,
+    /// Directory for post-mortem bundles (None keeps dumps in-memory
+    /// only: the `FlightDump` event and `flight_dumps` counter still
+    /// fire).
+    pub postmortem_dir: Option<PathBuf>,
+    /// Maximum bundles per run (default 8).
+    pub max_dumps: usize,
+    /// Minimum epochs between dumps, so one hot episode cannot spam
+    /// near-identical bundles (default 16).
+    pub min_gap_epochs: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            every_epochs: 1,
+            postmortem_dir: None,
+            max_dumps: 8,
+            min_gap_epochs: 16,
+        }
+    }
+}
+
+/// Per-run flight-recorder state (built at run start so the ring sizes
+/// itself to the cube actually attached).
+struct FlightState {
+    cfg: FlightConfig,
+    rec: FlightRecorder,
+    /// Scratch for the per-vault temperature reduction (no per-epoch
+    /// allocation).
+    temps: Vec<f64>,
+    /// Whether the previous epoch's peak was above the warning
+    /// threshold (overshoot-episode edge detection).
+    over: bool,
+    last_dump_epoch: Option<u64>,
+    dumps: Vec<PathBuf>,
 }
 
 /// One epoch's telemetry (the per-millisecond samples of Fig. 14 are
@@ -111,6 +162,12 @@ pub struct CoSimResult {
     /// Source-throttling control actions applied: SW-DynT token-pool
     /// shrinks plus HW-DynT PCU warp-cap updates.
     pub throttle_steps: u64,
+    /// Telemetry self-overhead (flight sampling + dumps + sink emits) as
+    /// a percentage of profiled wall time. 0 when profiling is off.
+    pub telemetry_overhead_pct: f64,
+    /// Post-mortem bundles written by the flight recorder, in dump
+    /// order.
+    pub postmortem_dumps: Vec<PathBuf>,
 }
 
 impl CoSimResult {
@@ -136,6 +193,7 @@ pub struct CoSim {
     policy: Policy,
     cfg: CoSimConfig,
     telemetry: Telemetry,
+    flight_cfg: Option<FlightConfig>,
 }
 
 impl CoSim {
@@ -157,6 +215,7 @@ impl CoSim {
             policy,
             cfg,
             telemetry: Telemetry::disabled(),
+            flight_cfg: None,
         }
     }
 
@@ -171,6 +230,15 @@ impl CoSim {
     /// epoch.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables the spatial flight recorder: per-vault frames sampled
+    /// every `cfg.every_epochs` epochs into a fixed ring, snapshotted to
+    /// post-mortem bundles on thermal anomalies (warning raised, phase
+    /// change out of Normal, overshoot-episode start).
+    pub fn with_flight_recorder(mut self, cfg: FlightConfig) -> Self {
+        self.flight_cfg = Some(cfg);
         self
     }
 
@@ -217,12 +285,26 @@ impl CoSim {
         // latency histogram (ids are small and monotone; linear scan).
         let mut raised_at: Vec<(u64, Ps)> = Vec::new();
         let fan_power_w = self.cfg.cooling.fan_power_w();
+        let mut flight = self.flight_cfg.take().map(|mut cfg| {
+            cfg.every_epochs = cfg.every_epochs.max(1);
+            let vaults = self.sys.hmc().config().vaults;
+            FlightState {
+                rec: FlightRecorder::new(cfg.capacity.max(1), vaults),
+                cfg,
+                temps: Vec::new(),
+                over: false,
+                last_dump_epoch: None,
+                dumps: Vec::new(),
+            }
+        });
 
         self.sys.start(kernel, ctrl, 0);
         let mut horizon = 0;
         let mut first_epoch = true;
+        let mut epoch_idx = 0u64;
         let end_ps = loop {
             horizon += self.cfg.epoch;
+            epoch_idx += 1;
             let span = self.telemetry.profiler.start();
             let outcome = self.sys.run_until(kernel, ctrl, horizon);
             self.telemetry.profiler.stop("gpu_advance", span);
@@ -337,6 +419,100 @@ impl CoSim {
                     _ => {}
                 }
             }
+            // Flight recorder: sample the spatial state after the
+            // metrics fold (so pool/cap gauges reflect this epoch's
+            // control actions), then scan the batch for anomaly
+            // triggers. Both paths time themselves so the run record can
+            // report the recorder's own overhead.
+            if let Some(fl) = flight.as_mut() {
+                if epoch_idx.is_multiple_of(fl.cfg.every_epochs) {
+                    let span = self.telemetry.profiler.start();
+                    self.thermal.vault_peak_dram_temps_into(&mut fl.temps);
+                    let pool = self.telemetry.metrics.gauge_value("token_pool_size");
+                    let cap = self.telemetry.metrics.gauge_value("warp_cap_slots");
+                    let frame = fl.rec.record();
+                    frame.t_ps = now;
+                    frame.epoch = epoch_idx;
+                    frame.peak_dram_c = readout.peak_dram_c;
+                    frame.logic_c = readout.peak_logic_c;
+                    frame.phase = phase.name();
+                    frame.pool_size = pool.map(|v| v.max(0.0) as u64);
+                    frame.warp_cap = cap.map(|v| v.max(0.0) as u64);
+                    for (v, s) in frame.vaults.iter_mut().enumerate() {
+                        s.peak_dram_c = fl.temps.get(v).copied().unwrap_or(f64::NAN);
+                        s.ops = window.vault_ops[v];
+                        s.pim_ops = window.vault_pim_ops[v];
+                        s.flits = window.vault_flits[v];
+                        s.queue_wait_ps = window.vault_queue_wait_ps[v];
+                    }
+                    self.telemetry.profiler.stop("flight_sample", span);
+                }
+                let mut trigger: Option<(&'static str, Option<u64>)> = None;
+                for ev in &batch {
+                    match ev {
+                        TelemetryEvent::ThermalWarningRaised { warning_id, .. } => {
+                            trigger = Some(("warning", Some(*warning_id)));
+                            break;
+                        }
+                        TelemetryEvent::PhaseTransition { to, .. }
+                            if *to != "Normal" && trigger.is_none() =>
+                        {
+                            trigger = Some(("phase", None));
+                        }
+                        _ => {}
+                    }
+                }
+                let over = readout.peak_dram_c > self.cfg.warning_threshold_c;
+                if trigger.is_none() && over && !fl.over {
+                    trigger = Some(("overshoot", None));
+                }
+                fl.over = over;
+                if let Some((trig, warning_id)) = trigger {
+                    let gap_ok = fl
+                        .last_dump_epoch
+                        .is_none_or(|e| epoch_idx - e >= fl.cfg.min_gap_epochs);
+                    if gap_ok && fl.dumps.len() < fl.cfg.max_dumps && !fl.rec.is_empty() {
+                        fl.last_dump_epoch = Some(epoch_idx);
+                        let span = self.telemetry.profiler.start();
+                        let mut bundle = PostmortemBundle::from_recorder(
+                            trig,
+                            now,
+                            warning_id,
+                            self.cfg.warning_threshold_c,
+                            self.cfg.epoch,
+                            &fl.rec,
+                        );
+                        let attr = self.sys.hmc().pim_attribution();
+                        for (sm, row) in attr.sm_rows() {
+                            bundle.push_attribution_row(Some(sm as u64), row.to_vec());
+                        }
+                        if attr.unattributed().iter().any(|&c| c > 0) {
+                            bundle.push_attribution_row(None, attr.unattributed().to_vec());
+                        }
+                        batch.push(TelemetryEvent::FlightDump {
+                            t_ps: now,
+                            trigger: trig,
+                            frames: bundle.frames.len() as u64,
+                            hottest_vault: bundle.hottest_vault().unwrap_or(0) as u64,
+                        });
+                        self.telemetry.metrics.count("flight_dumps", 1);
+                        if let Some(dir) = &fl.cfg.postmortem_dir {
+                            let path = dir
+                                .join(format!("postmortem-{:03}-{trig}.jsonl", fl.dumps.len() + 1));
+                            match std::fs::write(&path, bundle.encode()) {
+                                Ok(()) => fl.dumps.push(path),
+                                Err(e) => eprintln!(
+                                    "flight recorder: failed to write {}: {e}",
+                                    path.display()
+                                ),
+                            }
+                        }
+                        self.telemetry.profiler.stop("flight_dump", span);
+                    }
+                }
+            }
+
+            let span = self.telemetry.profiler.start();
             self.telemetry.emit_epoch_batch(&mut batch);
             self.telemetry.emit(TelemetryEvent::EpochSample {
                 t_ps: now,
@@ -345,6 +521,7 @@ impl CoSim {
                 peak_dram_c: readout.peak_dram_c,
                 phase: phase.name(),
             });
+            self.telemetry.profiler.stop("telemetry_emit", span);
             self.telemetry.metrics.count("epochs", 1);
             self.telemetry
                 .metrics
@@ -377,7 +554,26 @@ impl CoSim {
             .metrics
             .gauge("hmc_row_hit_rate", self.sys.hmc().row_hit_rate());
         self.telemetry.metrics.count("pim_ops", totals.pim_ops);
+        let span = self.telemetry.profiler.start();
         self.telemetry.flush();
+        self.telemetry.profiler.stop("telemetry_emit", span);
+
+        // Self-overhead: the observability machinery's own spans as a
+        // share of profiled wall time. Folded into the metrics before
+        // the snapshot so run records carry it.
+        let profile = self.telemetry.profiler.finish();
+        let self_time_s = profile.span_s("flight_sample")
+            + profile.span_s("flight_dump")
+            + profile.span_s("telemetry_emit");
+        let telemetry_overhead_pct = if profile.enabled && profile.wall_s > 0.0 {
+            100.0 * self_time_s / profile.wall_s
+        } else {
+            0.0
+        };
+        self.telemetry
+            .metrics
+            .gauge("telemetry_overhead_pct", telemetry_overhead_pct);
+        let postmortem_dumps = flight.map(|f| f.dumps).unwrap_or_default();
 
         CoSimResult {
             policy: self.policy,
@@ -399,8 +595,10 @@ impl CoSim {
             cube_energy_j,
             fan_energy_j: fan_power_w * exec_s,
             metrics: self.telemetry.metrics.take_snapshot(),
-            profile: self.telemetry.profiler.finish(),
+            profile,
             throttle_steps,
+            telemetry_overhead_pct,
+            postmortem_dumps,
         }
     }
 }

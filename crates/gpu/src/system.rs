@@ -418,10 +418,13 @@ impl GpuSystem {
                     self.stats.pim_lane_ops += lanes;
                     let mut done = issue_start + self.cfg.cycles_ps(self.cfg.store_issue_cycles);
                     let wait_for_data = op.returns_data();
-                    // Each active lane is one PIM instruction.
+                    // Each active lane is one PIM instruction, tagged
+                    // with the issuing SM for hot-spot attribution.
                     for li in 0..addrs.len() {
                         let addr = addrs[li];
-                        let c = self.hmc.submit(issue_start, &Request::pim(op, addr));
+                        let c =
+                            self.hmc
+                                .submit_from(issue_start, &Request::pim(op, addr), Some(sm));
                         self.note_completion(&c, controller);
                         done = done.max(if wait_for_data {
                             c.finish_ps

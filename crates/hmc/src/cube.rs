@@ -6,7 +6,7 @@ use coolpim_telemetry::{Histogram, TelemetryEvent};
 use crate::link::Link;
 use crate::ns_to_ps;
 use crate::packet::{Request, ResponseTail};
-use crate::stats::{StatsTotals, StatsWindow};
+use crate::stats::{PimAttribution, StatsTotals, StatsWindow};
 use crate::thermal_state::{TempPhase, ThermalStatus};
 use crate::timing::DramTiming;
 use crate::vault::{Vault, VaultAccess};
@@ -140,6 +140,11 @@ pub struct Hmc {
     service_hist: Histogram,
     /// Bank queue wait of every transaction (ps).
     queue_hist: Histogram,
+    /// Cumulative SM → vault PIM-op attribution (whole run).
+    pim_attr: PimAttribution,
+    /// Cumulative per-vault PIM-op counts, maintained alongside the
+    /// window accounting as an independent cross-check of `pim_attr`.
+    vault_pim_totals: Vec<u64>,
 }
 
 impl Hmc {
@@ -160,6 +165,8 @@ impl Hmc {
             .collect();
         let window = StatsWindow::new(cfg.vaults, 0);
         let derated_timing = cfg.timing;
+        let pim_attr = PimAttribution::new(cfg.vaults);
+        let vault_pim_totals = vec![0; cfg.vaults];
         let mut hmc = Self {
             cfg,
             links,
@@ -175,6 +182,8 @@ impl Hmc {
             active_warning_id: None,
             service_hist: Histogram::new(),
             queue_hist: Histogram::new(),
+            pim_attr,
+            vault_pim_totals,
         };
         hmc.recompute_derating();
         hmc
@@ -327,6 +336,14 @@ impl Hmc {
     /// PIM requests on a non-PIM-capable cube panic — the offloading
     /// layers must not emit them (guarded by `pim_capable`).
     pub fn submit(&mut self, now: Ps, req: &Request) -> Completion {
+        self.submit_from(now, req, None)
+    }
+
+    /// Like [`Self::submit`], with the issuing SM's id for hot-spot
+    /// attribution: PIM ops are credited to `(src_sm, vault)` in the
+    /// cumulative [`Self::pim_attribution`] matrix (`None` traffic lands
+    /// in the untagged row).
+    pub fn submit_from(&mut self, now: Ps, req: &Request, src_sm: Option<usize>) -> Completion {
         if !self.phase().operational() {
             // Conservative policy: the cube is dark until recovery; data
             // is lost. The co-simulator treats this as a catastrophic
@@ -380,10 +397,17 @@ impl Hmc {
         // Accounting.
         self.window.flits += cost.total();
         self.window.vault_ops[vault] += 1;
+        self.window.vault_flits[vault] += cost.total();
+        self.window.vault_queue_wait_ps[vault] += vc.queue_delay;
         match access {
             VaultAccess::Read => self.window.reads += 1,
             VaultAccess::Write => self.window.writes += 1,
-            VaultAccess::PimRmw => self.window.pim_ops += 1,
+            VaultAccess::PimRmw => {
+                self.window.pim_ops += 1;
+                self.window.vault_pim_ops[vault] += 1;
+                self.vault_pim_totals[vault] += 1;
+                self.pim_attr.record(src_sm, vault);
+            }
         }
         let _ = is_pim;
 
@@ -425,6 +449,17 @@ impl Hmc {
         let mut t = self.totals;
         t.absorb(&self.window);
         t
+    }
+
+    /// Cumulative SM → vault PIM-op attribution for the whole run.
+    pub fn pim_attribution(&self) -> &PimAttribution {
+        &self.pim_attr
+    }
+
+    /// Cumulative per-vault PIM-op counts (independent of the
+    /// attribution matrix; the two must agree).
+    pub fn vault_pim_totals(&self) -> &[u64] {
+        &self.vault_pim_totals
     }
 }
 
@@ -749,6 +784,37 @@ mod more_tests {
         );
         let idle = Hmc::hmc20();
         assert_eq!(idle.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn attribution_matches_per_vault_pim_counters() {
+        let mut hmc = Hmc::hmc20();
+        for i in 0..200u64 {
+            let addr = i * 64;
+            // Even ops tagged with an SM, odd ones untagged; reads never
+            // touch the attribution matrix.
+            if i % 3 == 0 {
+                hmc.submit_from(0, &Request::read(addr), Some(1));
+            } else if i % 2 == 0 {
+                hmc.submit_from(
+                    0,
+                    &Request::pim(PimOp::SignedAdd, addr),
+                    Some((i % 5) as usize),
+                );
+            } else {
+                hmc.submit(0, &Request::pim(PimOp::SignedAdd, addr));
+            }
+        }
+        let attr = hmc.pim_attribution();
+        assert_eq!(attr.vault_totals(), hmc.vault_pim_totals().to_vec());
+        assert_eq!(attr.total(), hmc.totals().pim_ops);
+        assert!(attr.unattributed().iter().sum::<u64>() > 0);
+        assert!(attr.sm_rows().count() > 1);
+        // Windowed per-vault PIM counts drain to the same totals.
+        let w = hmc.take_window(1_000);
+        assert_eq!(w.vault_pim_ops.iter().sum::<u64>(), w.pim_ops);
+        assert_eq!(w.vault_pim_ops, hmc.vault_pim_totals().to_vec());
+        assert!(w.vault_flits.iter().sum::<u64>() == w.flits);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod vault;
 pub use command::PimOp;
 pub use cube::{Completion, Hmc, HmcConfig};
 pub use packet::Request;
+pub use stats::PimAttribution;
 pub use thermal_state::TempPhase;
 
 /// Simulation time in integer picoseconds.

@@ -20,6 +20,13 @@ pub struct StatsWindow {
     pub flits: u64,
     /// Per-vault transaction counts (reads+writes+PIM).
     pub vault_ops: Vec<u64>,
+    /// Per-vault PIM-operation counts.
+    pub vault_pim_ops: Vec<u64>,
+    /// Per-vault raw FLITs moved.
+    pub vault_flits: Vec<u64>,
+    /// Per-vault summed bank-queue wait (ps) — a queue-depth proxy the
+    /// flight recorder samples spatially.
+    pub vault_queue_wait_ps: Vec<u64>,
     /// Window start (ps).
     pub start_ps: Ps,
 }
@@ -29,6 +36,9 @@ impl StatsWindow {
     pub fn new(vaults: usize, start_ps: Ps) -> Self {
         Self {
             vault_ops: vec![0; vaults],
+            vault_pim_ops: vec![0; vaults],
+            vault_flits: vec![0; vaults],
+            vault_queue_wait_ps: vec![0; vaults],
             start_ps,
             ..Default::default()
         }
@@ -99,6 +109,86 @@ impl StatsTotals {
     }
 }
 
+/// Cumulative SM → vault PIM-op attribution.
+///
+/// The cube records, for every PIM operation it services, which vault
+/// it landed on and which SM issued it (when the request carried a
+/// source tag). Post-mortem tooling uses the matrix to rank SMs by the
+/// PIM traffic they routed to hot vaults; traffic without a tag (e.g.
+/// hand-driven cube tests) accumulates in a separate row so column
+/// sums always equal the per-vault PIM totals.
+#[derive(Debug, Clone, Default)]
+pub struct PimAttribution {
+    vaults: usize,
+    /// Row per SM id, grown on first use (empty rows stay empty Vecs).
+    sms: Vec<Vec<u64>>,
+    unattributed: Vec<u64>,
+}
+
+impl PimAttribution {
+    /// An empty matrix for `vaults` vaults.
+    pub fn new(vaults: usize) -> Self {
+        Self {
+            vaults,
+            sms: Vec::new(),
+            unattributed: vec![0; vaults],
+        }
+    }
+
+    /// Records one PIM op on `vault`, issued by `src_sm` (None for
+    /// untagged traffic).
+    pub fn record(&mut self, src_sm: Option<usize>, vault: usize) {
+        match src_sm {
+            Some(sm) => {
+                if sm >= self.sms.len() {
+                    self.sms.resize(sm + 1, Vec::new());
+                }
+                let row = &mut self.sms[sm];
+                if row.is_empty() {
+                    row.resize(self.vaults, 0);
+                }
+                row[vault] += 1;
+            }
+            None => self.unattributed[vault] += 1,
+        }
+    }
+
+    /// Iterates `(sm, per-vault counts)` for SMs that issued any PIM op.
+    pub fn sm_rows(&self) -> impl Iterator<Item = (usize, &[u64])> {
+        self.sms
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| !row.is_empty())
+            .map(|(sm, row)| (sm, row.as_slice()))
+    }
+
+    /// Per-vault counts of PIM ops that carried no source tag.
+    pub fn unattributed(&self) -> &[u64] {
+        &self.unattributed
+    }
+
+    /// Per-vault PIM-op totals summed over every row (tagged and not).
+    pub fn vault_totals(&self) -> Vec<u64> {
+        let mut totals = self.unattributed.clone();
+        for (_, row) in self.sm_rows() {
+            for (v, &c) in row.iter().enumerate() {
+                totals[v] += c;
+            }
+        }
+        totals
+    }
+
+    /// Total PIM ops recorded.
+    pub fn total(&self) -> u64 {
+        self.vault_totals().iter().sum()
+    }
+
+    /// Whether no PIM op has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +213,29 @@ mod tests {
         assert_eq!(t.reads, 20);
         assert_eq!(t.raw_bytes(), 120 * FLIT_BYTES);
         assert!((t.data_bytes() - t.raw_bytes() as f64 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_window_sizes_every_per_vault_vector() {
+        let w = StatsWindow::new(8, 0);
+        assert_eq!(w.vault_ops.len(), 8);
+        assert_eq!(w.vault_pim_ops.len(), 8);
+        assert_eq!(w.vault_flits.len(), 8);
+        assert_eq!(w.vault_queue_wait_ps.len(), 8);
+    }
+
+    #[test]
+    fn attribution_column_sums_cover_tagged_and_untagged() {
+        let mut a = PimAttribution::new(4);
+        assert!(a.is_empty());
+        a.record(Some(0), 1);
+        a.record(Some(0), 1);
+        a.record(Some(5), 3); // sparse SM ids grow the matrix
+        a.record(None, 1);
+        assert_eq!(a.vault_totals(), vec![0, 3, 0, 1]);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.unattributed(), &[0, 1, 0, 0]);
+        let rows: Vec<(usize, Vec<u64>)> = a.sm_rows().map(|(sm, r)| (sm, r.to_vec())).collect();
+        assert_eq!(rows, vec![(0, vec![0, 2, 0, 0]), (5, vec![0, 0, 0, 1])]);
     }
 }

@@ -152,6 +152,19 @@ pub enum TelemetryEvent {
         /// 1-based ordinal of the retiring launch.
         launch: u64,
     },
+    /// The flight recorder snapshotted its ring into a post-mortem
+    /// bundle (see [`crate::flight`]).
+    FlightDump {
+        /// Simulation time of the triggering anomaly (ps).
+        t_ps: u64,
+        /// What triggered the dump (`"warning"`, `"phase"`,
+        /// `"overshoot"`).
+        trigger: &'static str,
+        /// Frames captured in the bundle.
+        frames: u64,
+        /// Hottest vault in the newest frame at dump time.
+        hottest_vault: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -169,7 +182,8 @@ impl TelemetryEvent {
             | TelemetryEvent::WarpCapUpdate { t_ps, .. }
             | TelemetryEvent::EpochSample { t_ps, .. }
             | TelemetryEvent::KernelLaunch { t_ps, .. }
-            | TelemetryEvent::KernelRetire { t_ps, .. } => t_ps,
+            | TelemetryEvent::KernelRetire { t_ps, .. }
+            | TelemetryEvent::FlightDump { t_ps, .. } => t_ps,
         }
     }
 
@@ -202,6 +216,7 @@ impl TelemetryEvent {
             TelemetryEvent::EpochSample { .. } => "EpochSample",
             TelemetryEvent::KernelLaunch { .. } => "KernelLaunch",
             TelemetryEvent::KernelRetire { .. } => "KernelRetire",
+            TelemetryEvent::FlightDump { .. } => "FlightDump",
         }
     }
 
@@ -292,6 +307,16 @@ impl TelemetryEvent {
             | TelemetryEvent::KernelRetire { launch, .. } => {
                 b.u64("launch", *launch);
             }
+            TelemetryEvent::FlightDump {
+                trigger,
+                frames,
+                hottest_vault,
+                ..
+            } => {
+                b.str("trigger", trigger)
+                    .u64("frames", *frames)
+                    .u64("hottest_vault", *hottest_vault);
+            }
         }
         b.finish()
     }
@@ -371,6 +396,12 @@ impl TelemetryEvent {
                 t_ps,
                 launch: fields.u64_field("launch")?,
             },
+            "FlightDump" => TelemetryEvent::FlightDump {
+                t_ps,
+                trigger: intern(fields.str_field("trigger")?),
+                frames: fields.u64_field("frames")?,
+                hottest_vault: fields.u64_field("hottest_vault")?,
+            },
             _ => return None,
         })
     }
@@ -391,6 +422,10 @@ pub fn intern(s: &str) -> &'static str {
         "thermal_warning",
         "init",
         "stale_cancelled",
+        // Flight-recorder dump triggers.
+        "warning",
+        "phase",
+        "overshoot",
         // Policy labels (paper figure names).
         "Non-Offloading",
         "Naive-Offloading",
@@ -497,6 +532,12 @@ mod tests {
         });
         roundtrip(TelemetryEvent::KernelLaunch { t_ps: 7, launch: 1 });
         roundtrip(TelemetryEvent::KernelRetire { t_ps: 8, launch: 3 });
+        roundtrip(TelemetryEvent::FlightDump {
+            t_ps: 9,
+            trigger: "warning",
+            frames: 64,
+            hottest_vault: 13,
+        });
     }
 
     #[test]

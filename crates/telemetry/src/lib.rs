@@ -23,7 +23,11 @@
 //!   stream, the metrics serializer, and the run-record store;
 //! * [`analysis`] — control-loop KPIs derived from an event stream:
 //!   warning→action latency, overshoot °C·s, derated time, token-pool
-//!   oscillation, thermal-headroom utilization.
+//!   oscillation, thermal-headroom utilization;
+//! * [`flight`] — the spatial flight recorder: a no-alloc ring of
+//!   per-vault samples ([`FlightRecorder`]) dumped on thermal anomalies
+//!   as versioned post-mortem bundles ([`PostmortemBundle`]) with
+//!   SM → vault PIM attribution.
 //!
 //! ## Example
 //!
@@ -42,6 +46,7 @@
 
 pub mod analysis;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod sink;
@@ -49,9 +54,11 @@ pub mod span;
 
 pub use analysis::{ControlLoopReport, LatencyStats};
 pub use event::TelemetryEvent;
+pub use flight::{FlightFrame, FlightRecorder, PostmortemBundle, VaultSample};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use sink::{
-    CsvSink, EventLog, JsonlSink, MultiSink, NullSink, RecordingSink, Sink, CSV_TIMELINE_HEADER,
+    CsvSink, EventLog, JsonlSink, MultiSink, NullSink, RecordingSink, RotatingJsonlSink, Sink,
+    CSV_TIMELINE_HEADER,
 };
 pub use span::{ProfileReport, Profiler, SpanTimer};
 

@@ -175,6 +175,115 @@ impl<W: Write + Send> Drop for JsonlSink<W> {
     }
 }
 
+/// Streams events as JSONL into size-capped part files so long
+/// simulations cannot fill the disk.
+///
+/// Output goes to numbered parts `<path>.0`, `<path>.1`, …; once the
+/// current part exceeds the byte cap the sink rotates to the next
+/// number and deletes the oldest parts so at most `keep` files remain.
+/// The newest history is always on disk; the truncated prefix is the
+/// price of the bound (the flight recorder's post-mortem bundles cover
+/// the anomaly windows).
+pub struct RotatingJsonlSink {
+    base: std::path::PathBuf,
+    max_bytes: u64,
+    keep: usize,
+    w: Option<BufWriter<File>>,
+    cur_bytes: u64,
+    next_part: u64,
+    parts: std::collections::VecDeque<u64>,
+    failures: WriteFailures,
+}
+
+impl RotatingJsonlSink {
+    /// Starts writing `<path>.0`, rotating past `max_bytes` and keeping
+    /// at most `keep` part files (both floored at 1).
+    pub fn create(path: impl AsRef<Path>, max_bytes: u64, keep: usize) -> std::io::Result<Self> {
+        let base = path.as_ref().to_path_buf();
+        let mut sink = Self {
+            base,
+            max_bytes: max_bytes.max(1),
+            keep: keep.max(1),
+            w: None,
+            cur_bytes: 0,
+            next_part: 0,
+            parts: std::collections::VecDeque::new(),
+            failures: WriteFailures::default(),
+        };
+        sink.w = Some(BufWriter::new(File::create(sink.part_path(0))?));
+        sink.parts.push_back(0);
+        Ok(sink)
+    }
+
+    fn part_path(&self, part: u64) -> std::path::PathBuf {
+        std::path::PathBuf::from(format!("{}.{part}", self.base.display()))
+    }
+
+    /// Paths of the part files currently on disk, oldest first.
+    pub fn part_paths(&self) -> Vec<std::path::PathBuf> {
+        self.parts.iter().map(|&p| self.part_path(p)).collect()
+    }
+
+    fn rotate(&mut self) {
+        if let Some(mut w) = self.w.take() {
+            self.failures.note("rotating JSONL flush", w.flush());
+        }
+        self.next_part += 1;
+        match File::create(self.part_path(self.next_part)) {
+            Ok(f) => {
+                self.w = Some(BufWriter::new(f));
+                self.cur_bytes = 0;
+                self.parts.push_back(self.next_part);
+            }
+            Err(e) => self.failures.note::<()>("rotating JSONL rotate", Err(e)),
+        }
+        while self.parts.len() > self.keep {
+            if let Some(old) = self.parts.pop_front() {
+                // Best effort: a part that refuses to die only wastes
+                // disk, it cannot corrupt the stream.
+                let _ = std::fs::remove_file(self.part_path(old));
+            }
+        }
+    }
+}
+
+impl Sink for RotatingJsonlSink {
+    fn record(&mut self, ev: &TelemetryEvent) {
+        let line = ev.to_jsonl();
+        match &mut self.w {
+            Some(w) => {
+                let res = writeln!(w, "{line}");
+                self.failures.note("rotating JSONL write", res);
+                self.cur_bytes += line.len() as u64 + 1;
+                if self.cur_bytes >= self.max_bytes {
+                    self.rotate();
+                }
+            }
+            None => self.failures.note::<()>(
+                "rotating JSONL write",
+                Err(std::io::Error::other("no active part file")),
+            ),
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(w) = &mut self.w {
+            let res = w.flush();
+            self.failures.note("rotating JSONL flush", res);
+        }
+    }
+
+    fn dropped_writes(&self) -> u64 {
+        self.failures.dropped
+    }
+}
+
+impl Drop for RotatingJsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// Fans one event stream out to several sinks — e.g. a JSONL trace and
 /// a CSV timeline written by the same run.
 #[derive(Default)]
@@ -403,6 +512,40 @@ mod tests {
         assert_eq!(ok.dropped_writes(), 0);
         let (rec, _) = RecordingSink::new();
         assert_eq!(rec.dropped_writes(), 0);
+    }
+
+    #[test]
+    fn rotating_sink_caps_disk_and_keeps_newest_parts() {
+        let dir = std::env::temp_dir().join(format!("coolpim_rotate_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("trace.jsonl");
+        {
+            // ~90-byte lines against a 128-byte cap: rotate every 2nd
+            // event; keep only the newest 2 parts.
+            let mut sink = RotatingJsonlSink::create(&base, 128, 2).unwrap();
+            for t in 0..10 {
+                sink.record(&sample(t));
+            }
+            sink.flush();
+            assert_eq!(sink.dropped_writes(), 0);
+            let parts = sink.part_paths();
+            assert_eq!(parts.len(), 2, "keeps exactly 2 parts: {parts:?}");
+            // Only the live parts remain on disk, and each parses back.
+            let mut newest_t = 0;
+            for p in &parts {
+                let text = std::fs::read_to_string(p).unwrap();
+                for line in text.lines() {
+                    let ev = TelemetryEvent::from_jsonl(line).expect("parseable part line");
+                    newest_t = newest_t.max(ev.t_ps());
+                }
+            }
+            assert_eq!(newest_t, 9, "newest history survives rotation");
+            assert!(
+                !std::path::PathBuf::from(format!("{}.0", base.display())).exists(),
+                "oldest part was deleted"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

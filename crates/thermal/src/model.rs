@@ -201,6 +201,30 @@ impl HmcThermalModel {
     pub fn dram_layers(&self) -> &[usize] {
         &self.dram_layers
     }
+
+    /// Per-vault peak DRAM temperature: for each vault, the maximum over
+    /// every DRAM layer of the cells in the vault's footprint. Writes
+    /// into `out` (resized to the vault count) so the flight recorder's
+    /// sampling path allocates only on the first call.
+    ///
+    /// The floorplan's vault index is the cube's vault index — the same
+    /// alignment the power map relies on when it spreads PIM heat by
+    /// per-vault activity weights.
+    pub fn vault_peak_dram_temps_into(&self, out: &mut Vec<f64>) {
+        let fp = &self.grid.floorplan;
+        out.clear();
+        out.resize(fp.vaults(), f64::NEG_INFINITY);
+        let t = self.state.temps();
+        for &layer in &self.dram_layers {
+            for c in 0..fp.cells() {
+                let v = fp.vault_of_cell(c);
+                let temp = t[self.grid.node(layer, c)];
+                if temp > out[v] {
+                    out[v] = temp;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -414,5 +438,42 @@ mod more_tests {
         m.step(&TrafficSample::idle(0.0));
         let after = m.readout();
         assert!((before.peak_dram_c - after.peak_dram_c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_vault_peaks_cover_the_grid_and_single_out_hot_vaults() {
+        let mut m = HmcThermalModel::hmc20(Cooling::CommodityServer);
+        // Concentrate all PIM activity on vault 5: its footprint must be
+        // the hottest, and the max over vaults must equal the readout.
+        let vaults = m.grid().floorplan.vaults();
+        let mut weights = vec![0.0; vaults];
+        weights[5] = 1.0;
+        let sample = TrafficSample {
+            window_s: 1e-3,
+            ext_bytes: 0.0,
+            pim_ops: 5e6,
+            vault_weights: Some(weights),
+        };
+        m.steady_state(&sample);
+        let mut per_vault = Vec::new();
+        m.vault_peak_dram_temps_into(&mut per_vault);
+        assert_eq!(per_vault.len(), vaults);
+        let hottest = per_vault
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(v, _)| v)
+            .unwrap();
+        assert_eq!(hottest, 5, "heat should concentrate over the active vault");
+        let max = per_vault.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let readout = m.readout();
+        assert!(
+            (max - readout.peak_dram_c).abs() < 1e-9,
+            "vault-wise max {max} must equal the cube peak {}",
+            readout.peak_dram_c
+        );
+        // The scratch vector is reused without growing.
+        m.vault_peak_dram_temps_into(&mut per_vault);
+        assert_eq!(per_vault.len(), vaults);
     }
 }

@@ -11,8 +11,9 @@
 //! * [`graph`] — graph substrate and the GraphBIG-style workload suite,
 //! * [`core`] — CoolPIM source throttling (SW-DynT / HW-DynT),
 //!   co-simulation, and the experiment harness,
-//! * [`telemetry`] — typed event tracing, metrics, and wall-clock
-//!   profiling of the co-simulation loop.
+//! * [`telemetry`] — typed event tracing, metrics, wall-clock profiling
+//!   of the co-simulation loop, and the spatial flight recorder behind
+//!   postmortem dump bundles.
 //!
 //! ## Quick start
 //!
@@ -44,7 +45,7 @@ pub use coolpim_thermal as thermal;
 
 /// Commonly used types, one `use` away.
 pub mod prelude {
-    pub use coolpim_core::cosim::{CoSim, CoSimConfig, CoSimResult};
+    pub use coolpim_core::cosim::{CoSim, CoSimConfig, CoSimResult, FlightConfig};
     pub use coolpim_core::experiment::{mean_speedup, run_matrix, WorkloadResults};
     pub use coolpim_core::policy::Policy;
     pub use coolpim_gpu::{GpuConfig, GpuSystem};
@@ -52,6 +53,8 @@ pub mod prelude {
     pub use coolpim_graph::workloads::{make_kernel, Workload};
     pub use coolpim_graph::Csr;
     pub use coolpim_hmc::{Hmc, HmcConfig, PimOp, Request, TempPhase};
-    pub use coolpim_telemetry::{RecordingSink, Telemetry, TelemetryEvent};
+    pub use coolpim_telemetry::{
+        FlightRecorder, PostmortemBundle, RecordingSink, Telemetry, TelemetryEvent,
+    };
     pub use coolpim_thermal::{Cooling, HmcThermalModel, TrafficSample};
 }

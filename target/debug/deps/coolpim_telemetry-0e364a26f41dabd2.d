@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/coolpim_telemetry-0e364a26f41dabd2.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/coolpim_telemetry-0e364a26f41dabd2.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcoolpim_telemetry-0e364a26f41dabd2.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
+/root/repo/target/debug/deps/libcoolpim_telemetry-0e364a26f41dabd2.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs Cargo.toml
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/analysis.rs:
 crates/telemetry/src/event.rs:
+crates/telemetry/src/flight.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/sink.rs:

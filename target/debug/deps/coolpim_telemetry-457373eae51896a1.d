@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/coolpim_telemetry-457373eae51896a1.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/coolpim_telemetry-457373eae51896a1.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/debug/deps/libcoolpim_telemetry-457373eae51896a1.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/libcoolpim_telemetry-457373eae51896a1.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/debug/deps/libcoolpim_telemetry-457373eae51896a1.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/libcoolpim_telemetry-457373eae51896a1.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/analysis.rs:
 crates/telemetry/src/event.rs:
+crates/telemetry/src/flight.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/sink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosim_end_to_end-16ca2c006679e5a8.d: crates/bench/benches/cosim_end_to_end.rs
+
+/root/repo/target/debug/deps/cosim_end_to_end-16ca2c006679e5a8: crates/bench/benches/cosim_end_to_end.rs
+
+crates/bench/benches/cosim_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flight_recorder-31ebff06bbc69bc7.d: tests/flight_recorder.rs
+
+/root/repo/target/debug/deps/flight_recorder-31ebff06bbc69bc7: tests/flight_recorder.rs
+
+tests/flight_recorder.rs:

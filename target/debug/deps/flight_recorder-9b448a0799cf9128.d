@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flight_recorder-9b448a0799cf9128.d: tests/flight_recorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflight_recorder-9b448a0799cf9128.rmeta: tests/flight_recorder.rs Cargo.toml
+
+tests/flight_recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_kernels-6624dc0ca2131e44.d: crates/bench/benches/graph_kernels.rs
+
+/root/repo/target/debug/deps/graph_kernels-6624dc0ca2131e44: crates/bench/benches/graph_kernels.rs
+
+crates/bench/benches/graph_kernels.rs:

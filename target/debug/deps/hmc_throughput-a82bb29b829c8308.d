@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmc_throughput-a82bb29b829c8308.d: crates/bench/benches/hmc_throughput.rs
+
+/root/repo/target/debug/deps/hmc_throughput-a82bb29b829c8308: crates/bench/benches/hmc_throughput.rs
+
+crates/bench/benches/hmc_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postmortem-3aa1c21cfc72e06a.d: crates/bench/src/bin/postmortem.rs
+
+/root/repo/target/debug/deps/postmortem-3aa1c21cfc72e06a: crates/bench/src/bin/postmortem.rs
+
+crates/bench/src/bin/postmortem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postmortem-a239350e8cfa2462.d: crates/bench/src/bin/postmortem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostmortem-a239350e8cfa2462.rmeta: crates/bench/src/bin/postmortem.rs Cargo.toml
+
+crates/bench/src/bin/postmortem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

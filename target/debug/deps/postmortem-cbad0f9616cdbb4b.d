@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postmortem-cbad0f9616cdbb4b.d: crates/bench/src/bin/postmortem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostmortem-cbad0f9616cdbb4b.rmeta: crates/bench/src/bin/postmortem.rs Cargo.toml
+
+crates/bench/src/bin/postmortem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

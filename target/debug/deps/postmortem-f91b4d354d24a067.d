@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postmortem-f91b4d354d24a067.d: crates/bench/src/bin/postmortem.rs
+
+/root/repo/target/debug/deps/postmortem-f91b4d354d24a067: crates/bench/src/bin/postmortem.rs
+
+crates/bench/src/bin/postmortem.rs:

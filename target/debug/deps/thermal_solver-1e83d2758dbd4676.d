@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thermal_solver-1e83d2758dbd4676.d: crates/bench/benches/thermal_solver.rs
+
+/root/repo/target/debug/deps/thermal_solver-1e83d2758dbd4676: crates/bench/benches/thermal_solver.rs
+
+crates/bench/benches/thermal_solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_dbg_flight-cbe1013c1db54f87.d: tests/zz_dbg_flight.rs
+
+/root/repo/target/debug/deps/zz_dbg_flight-cbe1013c1db54f87: tests/zz_dbg_flight.rs
+
+tests/zz_dbg_flight.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/coolpim_telemetry-cc3bdbbab75f341b.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/coolpim_telemetry-cc3bdbbab75f341b.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/release/deps/coolpim_telemetry-cc3bdbbab75f341b: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/coolpim_telemetry-cc3bdbbab75f341b: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/analysis.rs:
 crates/telemetry/src/event.rs:
+crates/telemetry/src/flight.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/sink.rs:

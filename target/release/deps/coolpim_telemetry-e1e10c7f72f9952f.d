@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/coolpim_telemetry-e1e10c7f72f9952f.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/coolpim_telemetry-e1e10c7f72f9952f.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/release/deps/libcoolpim_telemetry-e1e10c7f72f9952f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libcoolpim_telemetry-e1e10c7f72f9952f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/release/deps/libcoolpim_telemetry-e1e10c7f72f9952f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libcoolpim_telemetry-e1e10c7f72f9952f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
 crates/telemetry/src/lib.rs:
 crates/telemetry/src/analysis.rs:
 crates/telemetry/src/event.rs:
+crates/telemetry/src/flight.rs:
 crates/telemetry/src/json.rs:
 crates/telemetry/src/metrics.rs:
 crates/telemetry/src/sink.rs:

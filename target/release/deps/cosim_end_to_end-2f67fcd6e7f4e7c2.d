@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosim_end_to_end-2f67fcd6e7f4e7c2.d: crates/bench/benches/cosim_end_to_end.rs
+
+/root/repo/target/release/deps/cosim_end_to_end-2f67fcd6e7f4e7c2: crates/bench/benches/cosim_end_to_end.rs
+
+crates/bench/benches/cosim_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flight_recorder-6fc6dccad2eade10.d: tests/flight_recorder.rs
+
+/root/repo/target/release/deps/flight_recorder-6fc6dccad2eade10: tests/flight_recorder.rs
+
+tests/flight_recorder.rs:

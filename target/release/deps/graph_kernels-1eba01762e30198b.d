@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_kernels-1eba01762e30198b.d: crates/bench/benches/graph_kernels.rs
+
+/root/repo/target/release/deps/graph_kernels-1eba01762e30198b: crates/bench/benches/graph_kernels.rs
+
+crates/bench/benches/graph_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hmc_throughput-f24a2f29a187eb4b.d: crates/bench/benches/hmc_throughput.rs
+
+/root/repo/target/release/deps/hmc_throughput-f24a2f29a187eb4b: crates/bench/benches/hmc_throughput.rs
+
+crates/bench/benches/hmc_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/postmortem-9aad23c227068ca2.d: crates/bench/src/bin/postmortem.rs
+
+/root/repo/target/release/deps/postmortem-9aad23c227068ca2: crates/bench/src/bin/postmortem.rs
+
+crates/bench/src/bin/postmortem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/postmortem-d45771447524c0fa.d: crates/bench/src/bin/postmortem.rs
+
+/root/repo/target/release/deps/postmortem-d45771447524c0fa: crates/bench/src/bin/postmortem.rs
+
+crates/bench/src/bin/postmortem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thermal_solver-a2d0cfabd60e68da.d: crates/bench/benches/thermal_solver.rs
+
+/root/repo/target/release/deps/thermal_solver-a2d0cfabd60e68da: crates/bench/benches/thermal_solver.rs
+
+crates/bench/benches/thermal_solver.rs:
