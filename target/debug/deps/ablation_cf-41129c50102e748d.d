@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cf-41129c50102e748d.d: crates/bench/src/bin/ablation_cf.rs
+
+/root/repo/target/debug/deps/libablation_cf-41129c50102e748d.rmeta: crates/bench/src/bin/ablation_cf.rs
+
+crates/bench/src/bin/ablation_cf.rs:

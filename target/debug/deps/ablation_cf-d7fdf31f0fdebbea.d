@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cf-d7fdf31f0fdebbea.d: crates/bench/src/bin/ablation_cf.rs
+
+/root/repo/target/debug/deps/libablation_cf-d7fdf31f0fdebbea.rmeta: crates/bench/src/bin/ablation_cf.rs
+
+crates/bench/src/bin/ablation_cf.rs:

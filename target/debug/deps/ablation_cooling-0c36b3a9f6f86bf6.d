@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cooling-0c36b3a9f6f86bf6.d: crates/bench/src/bin/ablation_cooling.rs
+
+/root/repo/target/debug/deps/libablation_cooling-0c36b3a9f6f86bf6.rmeta: crates/bench/src/bin/ablation_cooling.rs
+
+crates/bench/src/bin/ablation_cooling.rs:

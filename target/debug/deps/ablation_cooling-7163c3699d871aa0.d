@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cooling-7163c3699d871aa0.d: crates/bench/src/bin/ablation_cooling.rs
+
+/root/repo/target/debug/deps/libablation_cooling-7163c3699d871aa0.rmeta: crates/bench/src/bin/ablation_cooling.rs
+
+crates/bench/src/bin/ablation_cooling.rs:

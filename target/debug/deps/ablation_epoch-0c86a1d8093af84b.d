@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epoch-0c86a1d8093af84b.d: crates/bench/src/bin/ablation_epoch.rs
+
+/root/repo/target/debug/deps/libablation_epoch-0c86a1d8093af84b.rmeta: crates/bench/src/bin/ablation_epoch.rs
+
+crates/bench/src/bin/ablation_epoch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_epoch-df4ed444c1834375.d: crates/bench/src/bin/ablation_epoch.rs
+
+/root/repo/target/debug/deps/libablation_epoch-df4ed444c1834375.rmeta: crates/bench/src/bin/ablation_epoch.rs
+
+crates/bench/src/bin/ablation_epoch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-92e06e4fed726b3f.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/libablation_margin-92e06e4fed726b3f.rmeta: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_margin-da5d39a5b657e42d.d: crates/bench/src/bin/ablation_margin.rs
+
+/root/repo/target/debug/deps/libablation_margin-da5d39a5b657e42d.rmeta: crates/bench/src/bin/ablation_margin.rs
+
+crates/bench/src/bin/ablation_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_warning_levels-375dfdcb30c9121c.d: crates/bench/src/bin/ablation_warning_levels.rs
+
+/root/repo/target/debug/deps/libablation_warning_levels-375dfdcb30c9121c.rmeta: crates/bench/src/bin/ablation_warning_levels.rs
+
+crates/bench/src/bin/ablation_warning_levels.rs:

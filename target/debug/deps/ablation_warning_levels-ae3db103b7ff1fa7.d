@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_warning_levels-ae3db103b7ff1fa7.d: crates/bench/src/bin/ablation_warning_levels.rs
+
+/root/repo/target/debug/deps/libablation_warning_levels-ae3db103b7ff1fa7.rmeta: crates/bench/src/bin/ablation_warning_levels.rs
+
+crates/bench/src/bin/ablation_warning_levels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze-0daebba1a7d5084d.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/debug/deps/libanalyze-0daebba1a7d5084d.rmeta: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

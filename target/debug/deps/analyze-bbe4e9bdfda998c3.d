@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyze-bbe4e9bdfda998c3.d: crates/bench/src/bin/analyze.rs
+
+/root/repo/target/debug/deps/libanalyze-bbe4e9bdfda998c3.rmeta: crates/bench/src/bin/analyze.rs
+
+crates/bench/src/bin/analyze.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_compare-8e869777b1564841.d: crates/bench/src/bin/bench_compare.rs
+
+/root/repo/target/debug/deps/libbench_compare-8e869777b1564841.rmeta: crates/bench/src/bin/bench_compare.rs
+
+crates/bench/src/bin/bench_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_compare-a7163d9065aa51e4.d: crates/bench/src/bin/bench_compare.rs
+
+/root/repo/target/debug/deps/libbench_compare-a7163d9065aa51e4.rmeta: crates/bench/src/bin/bench_compare.rs
+
+crates/bench/src/bin/bench_compare.rs:

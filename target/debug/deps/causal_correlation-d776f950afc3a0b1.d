@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/causal_correlation-d776f950afc3a0b1.d: tests/causal_correlation.rs
+
+/root/repo/target/debug/deps/libcausal_correlation-d776f950afc3a0b1.rmeta: tests/causal_correlation.rs
+
+tests/causal_correlation.rs:

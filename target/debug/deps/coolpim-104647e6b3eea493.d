@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coolpim-104647e6b3eea493.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoolpim-104647e6b3eea493.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coolpim-4645939899a10993.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoolpim-4645939899a10993.rmeta: src/lib.rs
+
+src/lib.rs:

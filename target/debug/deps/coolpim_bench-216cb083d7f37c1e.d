@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/coolpim_bench-216cb083d7f37c1e.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
+
+/root/repo/target/debug/deps/libcoolpim_bench-216cb083d7f37c1e.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runrec.rs:

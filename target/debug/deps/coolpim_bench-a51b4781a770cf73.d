@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/coolpim_bench-a51b4781a770cf73.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
+
+/root/repo/target/debug/deps/libcoolpim_bench-a51b4781a770cf73.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/harness.rs crates/bench/src/runrec.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/runrec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coolpim_core-58da64dca9fbb270.d: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs
+
+/root/repo/target/debug/deps/libcoolpim_core-58da64dca9fbb270.rmeta: crates/core/src/lib.rs crates/core/src/cosim.rs crates/core/src/estimate.rs crates/core/src/experiment.rs crates/core/src/hw_dynt.rs crates/core/src/multi_level.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/sw_dynt.rs crates/core/src/token_pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cosim.rs:
+crates/core/src/estimate.rs:
+crates/core/src/experiment.rs:
+crates/core/src/hw_dynt.rs:
+crates/core/src/multi_level.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/sw_dynt.rs:
+crates/core/src/token_pool.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coolpim_gpu-e14fcaa21a7aa925.d: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+/root/repo/target/debug/deps/libcoolpim_gpu-e14fcaa21a7aa925.rmeta: crates/gpu/src/lib.rs crates/gpu/src/cache.rs crates/gpu/src/coalesce.rs crates/gpu/src/config.rs crates/gpu/src/controller.rs crates/gpu/src/isa.rs crates/gpu/src/kernel.rs crates/gpu/src/stats.rs crates/gpu/src/system.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/cache.rs:
+crates/gpu/src/coalesce.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/controller.rs:
+crates/gpu/src/isa.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/stats.rs:
+crates/gpu/src/system.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/coolpim_graph-d5f2b10fca3b7efa.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/layout.rs crates/graph/src/reference.rs crates/graph/src/rng.rs crates/graph/src/trace.rs crates/graph/src/workloads/mod.rs crates/graph/src/workloads/bfs.rs crates/graph/src/workloads/cc.rs crates/graph/src/workloads/common.rs crates/graph/src/workloads/dc.rs crates/graph/src/workloads/kcore.rs crates/graph/src/workloads/pagerank.rs crates/graph/src/workloads/sssp.rs
+
+/root/repo/target/debug/deps/libcoolpim_graph-d5f2b10fca3b7efa.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/layout.rs crates/graph/src/reference.rs crates/graph/src/rng.rs crates/graph/src/trace.rs crates/graph/src/workloads/mod.rs crates/graph/src/workloads/bfs.rs crates/graph/src/workloads/cc.rs crates/graph/src/workloads/common.rs crates/graph/src/workloads/dc.rs crates/graph/src/workloads/kcore.rs crates/graph/src/workloads/pagerank.rs crates/graph/src/workloads/sssp.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/layout.rs:
+crates/graph/src/reference.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/trace.rs:
+crates/graph/src/workloads/mod.rs:
+crates/graph/src/workloads/bfs.rs:
+crates/graph/src/workloads/cc.rs:
+crates/graph/src/workloads/common.rs:
+crates/graph/src/workloads/dc.rs:
+crates/graph/src/workloads/kcore.rs:
+crates/graph/src/workloads/pagerank.rs:
+crates/graph/src/workloads/sssp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coolpim_hmc-85977f9f3fec34ce.d: crates/hmc/src/lib.rs crates/hmc/src/bank.rs crates/hmc/src/command.rs crates/hmc/src/cube.rs crates/hmc/src/flit.rs crates/hmc/src/link.rs crates/hmc/src/packet.rs crates/hmc/src/stats.rs crates/hmc/src/thermal_state.rs crates/hmc/src/timing.rs crates/hmc/src/vault.rs
+
+/root/repo/target/debug/deps/libcoolpim_hmc-85977f9f3fec34ce.rmeta: crates/hmc/src/lib.rs crates/hmc/src/bank.rs crates/hmc/src/command.rs crates/hmc/src/cube.rs crates/hmc/src/flit.rs crates/hmc/src/link.rs crates/hmc/src/packet.rs crates/hmc/src/stats.rs crates/hmc/src/thermal_state.rs crates/hmc/src/timing.rs crates/hmc/src/vault.rs
+
+crates/hmc/src/lib.rs:
+crates/hmc/src/bank.rs:
+crates/hmc/src/command.rs:
+crates/hmc/src/cube.rs:
+crates/hmc/src/flit.rs:
+crates/hmc/src/link.rs:
+crates/hmc/src/packet.rs:
+crates/hmc/src/stats.rs:
+crates/hmc/src/thermal_state.rs:
+crates/hmc/src/timing.rs:
+crates/hmc/src/vault.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coolpim_telemetry-72a48eb9ac839638.d: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libcoolpim_telemetry-72a48eb9ac839638.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/analysis.rs crates/telemetry/src/event.rs crates/telemetry/src/flight.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/analysis.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/flight.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coolpim_thermal-3a8f13a64105c29e.d: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs
+
+/root/repo/target/debug/deps/libcoolpim_thermal-3a8f13a64105c29e.rmeta: crates/thermal/src/lib.rs crates/thermal/src/cooling.rs crates/thermal/src/floorplan.rs crates/thermal/src/grid.rs crates/thermal/src/hmc11.rs crates/thermal/src/layers.rs crates/thermal/src/materials.rs crates/thermal/src/model.rs crates/thermal/src/power.rs crates/thermal/src/solver.rs
+
+crates/thermal/src/lib.rs:
+crates/thermal/src/cooling.rs:
+crates/thermal/src/floorplan.rs:
+crates/thermal/src/grid.rs:
+crates/thermal/src/hmc11.rs:
+crates/thermal/src/layers.rs:
+crates/thermal/src/materials.rs:
+crates/thermal/src/model.rs:
+crates/thermal/src/power.rs:
+crates/thermal/src/solver.rs:

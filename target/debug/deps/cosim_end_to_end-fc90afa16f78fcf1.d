@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosim_end_to_end-fc90afa16f78fcf1.d: crates/bench/benches/cosim_end_to_end.rs
+
+/root/repo/target/debug/deps/libcosim_end_to_end-fc90afa16f78fcf1.rmeta: crates/bench/benches/cosim_end_to_end.rs
+
+crates/bench/benches/cosim_end_to_end.rs:

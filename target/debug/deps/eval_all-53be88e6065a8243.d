@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_all-53be88e6065a8243.d: crates/bench/src/bin/eval_all.rs
+
+/root/repo/target/debug/deps/libeval_all-53be88e6065a8243.rmeta: crates/bench/src/bin/eval_all.rs
+
+crates/bench/src/bin/eval_all.rs:

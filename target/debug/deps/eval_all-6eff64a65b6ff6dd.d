@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_all-6eff64a65b6ff6dd.d: crates/bench/src/bin/eval_all.rs
+
+/root/repo/target/debug/deps/libeval_all-6eff64a65b6ff6dd.rmeta: crates/bench/src/bin/eval_all.rs
+
+crates/bench/src/bin/eval_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-22714c2388e3912a.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/libfig10_speedup-22714c2388e3912a.rmeta: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

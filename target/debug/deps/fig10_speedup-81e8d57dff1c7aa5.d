@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-81e8d57dff1c7aa5.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/libfig10_speedup-81e8d57dff1c7aa5.rmeta: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-1e22c94aed8d2578.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/libfig11_bandwidth-1e22c94aed8d2578.rmeta: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

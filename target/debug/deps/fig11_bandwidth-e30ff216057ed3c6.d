@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bandwidth-e30ff216057ed3c6.d: crates/bench/src/bin/fig11_bandwidth.rs
+
+/root/repo/target/debug/deps/libfig11_bandwidth-e30ff216057ed3c6.rmeta: crates/bench/src/bin/fig11_bandwidth.rs
+
+crates/bench/src/bin/fig11_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_pim_rate-7a1b71edbc6f2839.d: crates/bench/src/bin/fig12_pim_rate.rs
+
+/root/repo/target/debug/deps/libfig12_pim_rate-7a1b71edbc6f2839.rmeta: crates/bench/src/bin/fig12_pim_rate.rs
+
+crates/bench/src/bin/fig12_pim_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_pim_rate-c020cdf0711dba0b.d: crates/bench/src/bin/fig12_pim_rate.rs
+
+/root/repo/target/debug/deps/libfig12_pim_rate-c020cdf0711dba0b.rmeta: crates/bench/src/bin/fig12_pim_rate.rs
+
+crates/bench/src/bin/fig12_pim_rate.rs:

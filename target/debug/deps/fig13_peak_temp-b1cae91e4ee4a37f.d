@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_peak_temp-b1cae91e4ee4a37f.d: crates/bench/src/bin/fig13_peak_temp.rs
+
+/root/repo/target/debug/deps/libfig13_peak_temp-b1cae91e4ee4a37f.rmeta: crates/bench/src/bin/fig13_peak_temp.rs
+
+crates/bench/src/bin/fig13_peak_temp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_peak_temp-d7cb19d5deaed3c0.d: crates/bench/src/bin/fig13_peak_temp.rs
+
+/root/repo/target/debug/deps/libfig13_peak_temp-d7cb19d5deaed3c0.rmeta: crates/bench/src/bin/fig13_peak_temp.rs
+
+crates/bench/src/bin/fig13_peak_temp.rs:

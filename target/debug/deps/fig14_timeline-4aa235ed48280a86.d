@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_timeline-4aa235ed48280a86.d: crates/bench/src/bin/fig14_timeline.rs
+
+/root/repo/target/debug/deps/libfig14_timeline-4aa235ed48280a86.rmeta: crates/bench/src/bin/fig14_timeline.rs
+
+crates/bench/src/bin/fig14_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_timeline-9b2d76738a53636d.d: crates/bench/src/bin/fig14_timeline.rs
+
+/root/repo/target/debug/deps/libfig14_timeline-9b2d76738a53636d.rmeta: crates/bench/src/bin/fig14_timeline.rs
+
+crates/bench/src/bin/fig14_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_prototype-9e587490a4d2cd56.d: crates/bench/src/bin/fig1_prototype.rs
+
+/root/repo/target/debug/deps/libfig1_prototype-9e587490a4d2cd56.rmeta: crates/bench/src/bin/fig1_prototype.rs
+
+crates/bench/src/bin/fig1_prototype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_prototype-e56d1cd4c9f17f5e.d: crates/bench/src/bin/fig1_prototype.rs
+
+/root/repo/target/debug/deps/libfig1_prototype-e56d1cd4c9f17f5e.rmeta: crates/bench/src/bin/fig1_prototype.rs
+
+crates/bench/src/bin/fig1_prototype.rs:

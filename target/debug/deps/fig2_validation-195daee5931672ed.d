@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_validation-195daee5931672ed.d: crates/bench/src/bin/fig2_validation.rs
+
+/root/repo/target/debug/deps/libfig2_validation-195daee5931672ed.rmeta: crates/bench/src/bin/fig2_validation.rs
+
+crates/bench/src/bin/fig2_validation.rs:

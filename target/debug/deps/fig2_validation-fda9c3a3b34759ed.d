@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_validation-fda9c3a3b34759ed.d: crates/bench/src/bin/fig2_validation.rs
+
+/root/repo/target/debug/deps/libfig2_validation-fda9c3a3b34759ed.rmeta: crates/bench/src/bin/fig2_validation.rs
+
+crates/bench/src/bin/fig2_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_heatmap-c9a8fb1cc9461bfd.d: crates/bench/src/bin/fig3_heatmap.rs
+
+/root/repo/target/debug/deps/libfig3_heatmap-c9a8fb1cc9461bfd.rmeta: crates/bench/src/bin/fig3_heatmap.rs
+
+crates/bench/src/bin/fig3_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_heatmap-f29fba53afa58f63.d: crates/bench/src/bin/fig3_heatmap.rs
+
+/root/repo/target/debug/deps/libfig3_heatmap-f29fba53afa58f63.rmeta: crates/bench/src/bin/fig3_heatmap.rs
+
+crates/bench/src/bin/fig3_heatmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_bw_sweep-690593b5494946c1.d: crates/bench/src/bin/fig4_bw_sweep.rs
+
+/root/repo/target/debug/deps/libfig4_bw_sweep-690593b5494946c1.rmeta: crates/bench/src/bin/fig4_bw_sweep.rs
+
+crates/bench/src/bin/fig4_bw_sweep.rs:

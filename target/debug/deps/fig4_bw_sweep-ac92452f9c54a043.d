@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_bw_sweep-ac92452f9c54a043.d: crates/bench/src/bin/fig4_bw_sweep.rs
+
+/root/repo/target/debug/deps/libfig4_bw_sweep-ac92452f9c54a043.rmeta: crates/bench/src/bin/fig4_bw_sweep.rs
+
+crates/bench/src/bin/fig4_bw_sweep.rs:

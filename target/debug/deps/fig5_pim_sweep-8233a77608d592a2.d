@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pim_sweep-8233a77608d592a2.d: crates/bench/src/bin/fig5_pim_sweep.rs
+
+/root/repo/target/debug/deps/libfig5_pim_sweep-8233a77608d592a2.rmeta: crates/bench/src/bin/fig5_pim_sweep.rs
+
+crates/bench/src/bin/fig5_pim_sweep.rs:

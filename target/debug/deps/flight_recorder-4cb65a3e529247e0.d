@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flight_recorder-4cb65a3e529247e0.d: tests/flight_recorder.rs
+
+/root/repo/target/debug/deps/libflight_recorder-4cb65a3e529247e0.rmeta: tests/flight_recorder.rs
+
+tests/flight_recorder.rs:

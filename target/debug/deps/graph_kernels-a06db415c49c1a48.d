@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_kernels-a06db415c49c1a48.d: crates/bench/benches/graph_kernels.rs
+
+/root/repo/target/debug/deps/libgraph_kernels-a06db415c49c1a48.rmeta: crates/bench/benches/graph_kernels.rs
+
+crates/bench/benches/graph_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmc_throughput-4ba59b4ad3d71cf1.d: crates/bench/benches/hmc_throughput.rs
+
+/root/repo/target/debug/deps/libhmc_throughput-4ba59b4ad3d71cf1.rmeta: crates/bench/benches/hmc_throughput.rs
+
+crates/bench/benches/hmc_throughput.rs:

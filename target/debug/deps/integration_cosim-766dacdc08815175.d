@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_cosim-766dacdc08815175.d: tests/integration_cosim.rs
+
+/root/repo/target/debug/deps/libintegration_cosim-766dacdc08815175.rmeta: tests/integration_cosim.rs
+
+tests/integration_cosim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_thermal_loop-b5a12843143e4bb8.d: tests/integration_thermal_loop.rs
+
+/root/repo/target/debug/deps/libintegration_thermal_loop-b5a12843143e4bb8.rmeta: tests/integration_thermal_loop.rs
+
+tests/integration_thermal_loop.rs:

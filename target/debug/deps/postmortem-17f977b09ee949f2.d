@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postmortem-17f977b09ee949f2.d: crates/bench/src/bin/postmortem.rs
+
+/root/repo/target/debug/deps/libpostmortem-17f977b09ee949f2.rmeta: crates/bench/src/bin/postmortem.rs
+
+crates/bench/src/bin/postmortem.rs:

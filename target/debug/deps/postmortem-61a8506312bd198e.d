@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postmortem-61a8506312bd198e.d: crates/bench/src/bin/postmortem.rs
+
+/root/repo/target/debug/deps/libpostmortem-61a8506312bd198e.rmeta: crates/bench/src/bin/postmortem.rs
+
+crates/bench/src/bin/postmortem.rs:

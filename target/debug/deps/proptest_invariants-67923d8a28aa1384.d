@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-67923d8a28aa1384.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/libproptest_invariants-67923d8a28aa1384.rmeta: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-42793ba277bbad2d.d: crates/bench/src/bin/sim.rs
+
+/root/repo/target/debug/deps/libsim-42793ba277bbad2d.rmeta: crates/bench/src/bin/sim.rs
+
+crates/bench/src/bin/sim.rs:

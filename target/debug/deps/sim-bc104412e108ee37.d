@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-bc104412e108ee37.d: crates/bench/src/bin/sim.rs
+
+/root/repo/target/debug/deps/libsim-bc104412e108ee37.rmeta: crates/bench/src/bin/sim.rs
+
+crates/bench/src/bin/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_flits-4f0275b04e197c2c.d: crates/bench/src/bin/table1_flits.rs
+
+/root/repo/target/debug/deps/libtable1_flits-4f0275b04e197c2c.rmeta: crates/bench/src/bin/table1_flits.rs
+
+crates/bench/src/bin/table1_flits.rs:

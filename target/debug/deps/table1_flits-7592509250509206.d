@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_flits-7592509250509206.d: crates/bench/src/bin/table1_flits.rs
+
+/root/repo/target/debug/deps/libtable1_flits-7592509250509206.rmeta: crates/bench/src/bin/table1_flits.rs
+
+crates/bench/src/bin/table1_flits.rs:

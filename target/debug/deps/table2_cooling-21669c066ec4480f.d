@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_cooling-21669c066ec4480f.d: crates/bench/src/bin/table2_cooling.rs
+
+/root/repo/target/debug/deps/libtable2_cooling-21669c066ec4480f.rmeta: crates/bench/src/bin/table2_cooling.rs
+
+crates/bench/src/bin/table2_cooling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_cooling-b3c59ee5c06c1f6a.d: crates/bench/src/bin/table2_cooling.rs
+
+/root/repo/target/debug/deps/libtable2_cooling-b3c59ee5c06c1f6a.rmeta: crates/bench/src/bin/table2_cooling.rs
+
+crates/bench/src/bin/table2_cooling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mapping-63b106f4a0453f6c.d: crates/bench/src/bin/table3_mapping.rs
+
+/root/repo/target/debug/deps/libtable3_mapping-63b106f4a0453f6c.rmeta: crates/bench/src/bin/table3_mapping.rs
+
+crates/bench/src/bin/table3_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_mapping-b55180e2a5a6867f.d: crates/bench/src/bin/table3_mapping.rs
+
+/root/repo/target/debug/deps/libtable3_mapping-b55180e2a5a6867f.rmeta: crates/bench/src/bin/table3_mapping.rs
+
+crates/bench/src/bin/table3_mapping.rs:

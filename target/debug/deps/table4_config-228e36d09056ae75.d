@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_config-228e36d09056ae75.d: crates/bench/src/bin/table4_config.rs
+
+/root/repo/target/debug/deps/libtable4_config-228e36d09056ae75.rmeta: crates/bench/src/bin/table4_config.rs
+
+crates/bench/src/bin/table4_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_config-ab63aab7aea7acf5.d: crates/bench/src/bin/table4_config.rs
+
+/root/repo/target/debug/deps/libtable4_config-ab63aab7aea7acf5.rmeta: crates/bench/src/bin/table4_config.rs
+
+crates/bench/src/bin/table4_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_tracing-bf63cd69d573ca10.d: tests/telemetry_tracing.rs
+
+/root/repo/target/debug/deps/libtelemetry_tracing-bf63cd69d573ca10.rmeta: tests/telemetry_tracing.rs
+
+tests/telemetry_tracing.rs:

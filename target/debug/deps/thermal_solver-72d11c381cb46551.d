@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thermal_solver-72d11c381cb46551.d: crates/bench/benches/thermal_solver.rs
+
+/root/repo/target/debug/deps/libthermal_solver-72d11c381cb46551.rmeta: crates/bench/benches/thermal_solver.rs
+
+crates/bench/benches/thermal_solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_correctness-3184a2bafad34814.d: crates/graph/tests/workload_correctness.rs
+
+/root/repo/target/debug/deps/libworkload_correctness-3184a2bafad34814.rmeta: crates/graph/tests/workload_correctness.rs
+
+crates/graph/tests/workload_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-d66b533ccd939112.d: crates/thermal/examples/calibrate.rs
+
+/root/repo/target/debug/examples/libcalibrate-d66b533ccd939112.rmeta: crates/thermal/examples/calibrate.rs
+
+crates/thermal/examples/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cooling_design-0566702e05349862.d: examples/cooling_design.rs
+
+/root/repo/target/debug/examples/libcooling_design-0566702e05349862.rmeta: examples/cooling_design.rs
+
+examples/cooling_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig5probe-1c32c01f77f68827.d: crates/thermal/examples/fig5probe.rs
+
+/root/repo/target/debug/examples/libfig5probe-1c32c01f77f68827.rmeta: crates/thermal/examples/fig5probe.rs
+
+crates/thermal/examples/fig5probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-187bc141490b54b1.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/libgraph_analytics-187bc141490b54b1.rmeta: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

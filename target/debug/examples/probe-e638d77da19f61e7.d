@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-e638d77da19f61e7.d: crates/core/examples/probe.rs
+
+/root/repo/target/debug/examples/libprobe-e638d77da19f61e7.rmeta: crates/core/examples/probe.rs
+
+crates/core/examples/probe.rs:

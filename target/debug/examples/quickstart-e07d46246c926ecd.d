@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e07d46246c926ecd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-e07d46246c926ecd.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thermal_camera-cabce403433ce0b0.d: examples/thermal_camera.rs
+
+/root/repo/target/debug/examples/libthermal_camera-cabce403433ce0b0.rmeta: examples/thermal_camera.rs
+
+examples/thermal_camera.rs:
