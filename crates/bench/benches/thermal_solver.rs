@@ -24,7 +24,22 @@ fn main() {
     let sample = TrafficSample::with_pim(320.0e9, 2.0, 1e-3);
     r.bench("thermal/steady_state_solve", || model.steady_state(&sample));
 
+    // Alternate two operating points: a constant sample settles onto the
+    // solver's power-delta fast path and the bench would time a no-op.
+    let mut model = HmcThermalModel::hmc20(Cooling::CommodityServer);
+    let sample_a = TrafficSample::with_pim(280.0e9, 1.5, 1e-4);
+    let sample_b = TrafficSample::with_pim(240.0e9, 1.2, 1e-4);
+    let mut flip = false;
+    r.bench("thermal/transient_100us_epoch", || {
+        flip = !flip;
+        model.step(if flip { &sample_a } else { &sample_b })
+    });
+
+    // And the fast path itself: a steady-state jump marks the field
+    // settled for that power, so identical epochs after it skip the
+    // implicit solve entirely.
     let mut model = HmcThermalModel::hmc20(Cooling::CommodityServer);
     let sample = TrafficSample::with_pim(280.0e9, 1.5, 1e-4);
-    r.bench("thermal/transient_100us_epoch", || model.step(&sample));
+    model.steady_state(&sample);
+    r.bench("thermal/transient_fastpath_hit", || model.step(&sample));
 }

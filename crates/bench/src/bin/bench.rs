@@ -1,0 +1,350 @@
+//! `bench` — the repo's microbenchmark suite and performance trajectory.
+//!
+//! Times each subsystem at fixed seeds (graph generation, steady-state
+//! thermal solve, transient 100 µs epoch step, `Hmc` submit, one full
+//! co-simulated run) on the shared `harness::Runner`, and replays a
+//! scripted co-sim power sequence (ramp → hold → idle tail) through both
+//! the current transient solver and an in-bin replica of the pre-PR-5
+//! solver, counting Gauss–Seidel sweeps and wall time for each. The
+//! sweep ratio is the evidence behind PR 5's "≥1.5× fewer sweeps" claim
+//! and CI's `bench-trend` job gates on it staying put.
+//!
+//! Output: the human table on stdout plus a machine-readable flat-JSON
+//! run record (schema v1, see `runrec`) written to `BENCH_5.json` in the
+//! working directory (override with `--out PATH`). EXPERIMENTS.md
+//! documents the schema and methodology.
+
+use std::time::Instant;
+
+use coolpim_bench::runrec::RunRecord;
+use coolpim_bench::Runner;
+use coolpim_core::cosim::{CoSim, CoSimConfig};
+use coolpim_core::policy::Policy;
+use coolpim_gpu::GpuConfig;
+use coolpim_graph::generate::GraphSpec;
+use coolpim_graph::workloads::{make_kernel, Workload};
+use coolpim_hmc::{Hmc, Request};
+use coolpim_thermal::cooling::Cooling;
+use coolpim_thermal::floorplan::Floorplan;
+use coolpim_thermal::grid::ThermalGrid;
+use coolpim_thermal::layers::StackConfig;
+use coolpim_thermal::model::HmcThermalModel;
+use coolpim_thermal::power::{build_power_map, PowerParams, TrafficSample};
+use coolpim_thermal::solver::TransientState;
+
+/// Replica of the pre-PR-5 transient solver (natural node order, plain
+/// Gauss–Seidel, per-node diagonal recompute every sweep, no fast paths),
+/// kept here so the sweep-reduction claim stays measurable after the
+/// library solver moved on. Mirrors `crates/thermal/src/solver.rs` as of
+/// the PR-4 tree, plus a sweep counter.
+struct LegacyTransient {
+    temps: Vec<f64>,
+    ambient_c: f64,
+    c_scale: f64,
+    max_substep_s: f64,
+    prev: Vec<f64>,
+    sweeps: u64,
+    substeps: u64,
+}
+
+impl LegacyTransient {
+    const TR_TOLERANCE: f64 = 1e-6;
+    const TR_MAX_SWEEPS: usize = 2_000;
+
+    fn new(grid: &ThermalGrid, ambient_c: f64, c_scale: f64) -> Self {
+        let sink = grid.sink_node();
+        let sink_tau = c_scale * grid.capacitance()[sink] / grid.g_ambient()[sink];
+        let n = grid.node_count();
+        Self {
+            temps: vec![ambient_c; n],
+            ambient_c,
+            c_scale,
+            max_substep_s: (sink_tau / 20.0).max(1e-9),
+            prev: vec![ambient_c; n],
+            sweeps: 0,
+            substeps: 0,
+        }
+    }
+
+    /// Warm start (uncounted): both contenders begin at the same steady
+    /// state, like the co-sim's first-epoch `warm_start`.
+    fn jump_to_steady_state(&mut self, grid: &ThermalGrid, power: &[f64]) {
+        self.temps = coolpim_thermal::solver::steady_state(grid, power, self.ambient_c);
+    }
+
+    fn step(&mut self, grid: &ThermalGrid, power: &[f64], dt: f64) {
+        let substeps = (dt / self.max_substep_s).ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
+        for _ in 0..substeps {
+            self.substep(grid, power, h);
+        }
+    }
+
+    fn substep(&mut self, grid: &ThermalGrid, power: &[f64], h: f64) {
+        let caps = grid.capacitance();
+        let g_amb = grid.g_ambient();
+        let g_total = grid.g_total();
+        let n = grid.node_count();
+        self.prev.copy_from_slice(&self.temps);
+        self.substeps += 1;
+        for _ in 0..Self::TR_MAX_SWEEPS {
+            self.sweeps += 1;
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let c_over_h = self.c_scale * caps[i] / h;
+                let mut acc = power[i] + c_over_h * self.prev[i] + g_amb[i] * self.ambient_c;
+                for (nb, g) in grid.neighbours(i) {
+                    acc += g * self.temps[nb];
+                }
+                let fresh = acc / (c_over_h + g_total[i]);
+                max_delta = max_delta.max((fresh - self.temps[i]).abs());
+                self.temps[i] = fresh;
+            }
+            if max_delta < Self::TR_TOLERANCE {
+                break;
+            }
+        }
+    }
+}
+
+/// The scripted per-epoch power sequence: a co-sim-shaped load profile
+/// at a 100 µs epoch. Both solvers are warm-started at the steady state
+/// of the first vector (the co-sim's `warm_start` default), so the
+/// opening phase — 30 bitwise-identical busy epochs, what steady traffic
+/// windows produce — is where the power-delta fast path earns its keep.
+/// Then a 50-epoch ramp (distinct vector per epoch), a 70-epoch jittered
+/// busy hold, and an 80-epoch idle tail.
+fn scripted_power_sequence(grid: &ThermalGrid) -> Vec<Vec<f64>> {
+    let params = PowerParams::hmc20();
+    let epoch_s = 1e-4;
+    let hi_a = build_power_map(
+        grid,
+        &params,
+        &TrafficSample::with_pim(320.0e9, 2.0, epoch_s),
+    );
+    let hi_b = build_power_map(
+        grid,
+        &params,
+        &TrafficSample::with_pim(305.0e9, 1.9, epoch_s),
+    );
+    let mut seq = Vec::new();
+    // Steady hold: 30 epochs identical to the warm-start point.
+    for _ in 0..30 {
+        seq.push(hi_a.clone());
+    }
+    // Ramp: 50 epochs climbing back up from low load.
+    for k in 0..50 {
+        let frac = (k + 1) as f64 / 50.0;
+        let s = TrafficSample::with_pim(320.0e9 * frac, 2.0 * frac, epoch_s);
+        seq.push(build_power_map(grid, &params, &s));
+    }
+    // Busy hold: 70 epochs alternating two jittered load points.
+    for k in 0..70 {
+        seq.push(if k % 2 == 0 {
+            hi_a.clone()
+        } else {
+            hi_b.clone()
+        });
+    }
+    // Tail: 80 identical idle epochs (static power only).
+    let idle = build_power_map(grid, &params, &TrafficSample::idle(epoch_s));
+    for _ in 0..80 {
+        seq.push(idle.clone());
+    }
+    seq
+}
+
+/// Replays the scripted sequence through a fresh solver state per rep,
+/// returning the wall time of the fastest rep and the final state.
+fn replay<S>(
+    seq: &[Vec<f64>],
+    reps: usize,
+    mut fresh: impl FnMut() -> S,
+    mut step: impl FnMut(&mut S, &[f64]),
+) -> (f64, S) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let mut state = fresh();
+        let t0 = Instant::now();
+        for p in seq {
+            step(&mut state, p);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(state);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn bench_grid() -> ThermalGrid {
+    ThermalGrid::build(
+        StackConfig::hmc20(),
+        Floorplan::hmc20(),
+        Cooling::CommodityServer,
+    )
+}
+
+fn main() {
+    let mut out = String::from("BENCH_5.json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" | "-o" => {
+                i += 1;
+                out = argv
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--out expects a path"));
+            }
+            other => die(&format!(
+                "unknown argument {other:?} (usage: bench [--out PATH])"
+            )),
+        }
+        i += 1;
+    }
+
+    let r = Runner::new();
+    let mut rec = RunRecord::new(
+        "bench-5",
+        "bench5 grid=hmc20 graph=test_medium(seed 11) cosim=tiny-gpu/10us-epoch solver-seq=100us-epoch",
+    );
+
+    println!("# subsystem microbenchmarks (fixed seeds)");
+
+    // Graph generation: the fixed-seed R-MAT used by mid-size tests.
+    let s = r.bench("graph/generate_test_medium", || {
+        GraphSpec::test_medium().build()
+    });
+    rec.push("graph.generate_s", s.median_s);
+
+    // Steady-state solve: cold solve at a busy operating point.
+    let mut model = HmcThermalModel::hmc20(Cooling::CommodityServer);
+    let busy = TrafficSample::with_pim(320.0e9, 2.0, 1e-3);
+    let s = r.bench("thermal/steady_state_solve", || model.steady_state(&busy));
+    rec.push("thermal.steady_state_s", s.median_s);
+
+    // Transient 100 µs epoch: alternating samples so every step pays for
+    // a real implicit solve (a constant sample would settle onto the
+    // fast path and measure a no-op).
+    let mut model = HmcThermalModel::hmc20(Cooling::CommodityServer);
+    let sample_a = TrafficSample::with_pim(280.0e9, 1.5, 1e-4);
+    let sample_b = TrafficSample::with_pim(240.0e9, 1.2, 1e-4);
+    let mut flip = false;
+    let s = r.bench("thermal/transient_100us_epoch", || {
+        flip = !flip;
+        model.step(if flip { &sample_a } else { &sample_b })
+    });
+    rec.push("thermal.step_100us_s", s.median_s);
+
+    // HMC submit: scattered 64 B reads on the golden-ratio stride.
+    let mut hmc = Hmc::hmc20();
+    let mut addr = 0u64;
+    let s = r.bench("hmc/submit_read64_scattered", || {
+        addr = addr.wrapping_add(0x9E3779B97F4A7C15);
+        hmc.submit(0, &Request::read(addr & 0x3FFF_FFC0))
+    });
+    rec.push("hmc.submit_read_s", s.median_s);
+
+    // Full co-simulated run (tiny GPU, fixed-seed medium graph), plus the
+    // derived per-epoch cost. The epoch is shortened to 10 µs here — the
+    // Dc run completes in under 100 µs of simulated time, so the default
+    // epoch would give a one-entry timeline and a meaningless per-epoch
+    // figure.
+    let graph = GraphSpec::test_medium().build();
+    let cfg = CoSimConfig {
+        gpu: GpuConfig::tiny(),
+        epoch: coolpim_hmc::ns_to_ps(10_000.0),
+        ..CoSimConfig::default()
+    };
+    let mut epochs = 0usize;
+    let s = r.bench("cosim/dc_medium_full_run", || {
+        let mut k = make_kernel(Workload::Dc, &graph);
+        let res = CoSim::new(Policy::CoolPimSw, cfg.clone()).run(k.as_mut());
+        epochs = res.timeline.len();
+        res
+    });
+    rec.push("cosim.run_dc_medium_s", s.median_s);
+    rec.push("cosim.epochs", epochs as f64);
+    rec.push("cosim.epoch_s", s.median_s / epochs.max(1) as f64);
+
+    // Solver trajectory: current solver vs the pre-PR-5 replica over the
+    // scripted ramp → hold → idle sequence.
+    println!("\n# transient solver: current vs pre-PR-5 replica (scripted 23 ms sequence)");
+    let grid = bench_grid();
+    let seq = scripted_power_sequence(&grid);
+    let c_scale = 1e-4;
+    let dt = 1e-4;
+    let reps = 3;
+
+    let (legacy_wall, legacy) = replay(
+        &seq,
+        reps,
+        || {
+            let mut st = LegacyTransient::new(&grid, 25.0, c_scale);
+            st.jump_to_steady_state(&grid, &seq[0]);
+            st
+        },
+        |st, p| st.step(&grid, p, dt),
+    );
+    let (new_wall, current) = replay(
+        &seq,
+        reps,
+        || {
+            let mut st = TransientState::new(&grid, 25.0, c_scale);
+            st.jump_to_steady_state(&grid, &seq[0]);
+            st
+        },
+        |st, p| st.step(&grid, p, dt),
+    );
+    let stats = current.solver_stats();
+    let new_sweeps = stats.sweeps;
+    let sweep_ratio = new_sweeps as f64 / legacy.sweeps.max(1) as f64;
+    let wall_ratio = new_wall / legacy_wall.max(1e-12);
+    let max_dev = current
+        .temps()
+        .iter()
+        .zip(&legacy.temps)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    println!(
+        "legacy : {:>8} sweeps / {:>5} substeps  in {:>8.2} ms",
+        legacy.sweeps,
+        legacy.substeps,
+        legacy_wall * 1e3
+    );
+    println!(
+        "current: {:>8} sweeps / {:>5} substeps  in {:>8.2} ms  ({} fast-path hits, {} skipped substeps)",
+        new_sweeps, stats.substeps, new_wall * 1e3, stats.fast_path_hits, stats.skipped_substeps
+    );
+    println!(
+        "ratio  : {:.3}× sweeps, {:.3}× wall  (gate: sweeps ≤ 0.67)  max |ΔT| {:.4} °C",
+        sweep_ratio, wall_ratio, max_dev
+    );
+
+    rec.push("solver.legacy_sweeps", legacy.sweeps as f64);
+    rec.push("solver.legacy_substeps", legacy.substeps as f64);
+    rec.push("solver.legacy_wall_s", legacy_wall);
+    rec.push("solver.new_sweeps", new_sweeps as f64);
+    rec.push("solver.new_substeps", stats.substeps as f64);
+    rec.push("solver.new_wall_s", new_wall);
+    rec.push("solver.fastpath_hits", stats.fast_path_hits as f64);
+    rec.push("solver.skipped_substeps", stats.skipped_substeps as f64);
+    rec.push("solver.sweeps_per_substep", stats.sweeps_per_substep());
+    rec.push("solver.new_over_legacy_sweeps", sweep_ratio);
+    rec.push("solver.new_over_legacy_wall", wall_ratio);
+    rec.push("solver.max_temp_dev_c", max_dev);
+
+    let path = std::path::Path::new(&out);
+    if let Err(e) = rec.write_to(path) {
+        eprintln!("bench: failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\n# wrote {}", path.display());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench: {msg}");
+    std::process::exit(2);
+}

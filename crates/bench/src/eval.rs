@@ -3,13 +3,21 @@
 use coolpim_core::cosim::CoSimConfig;
 use coolpim_core::experiment::{run_matrix, run_matrix_profiled, WorkloadResults};
 use coolpim_core::policy::Policy;
+use coolpim_graph::csr::Csr;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::Workload;
 
 /// Resolves the evaluation graph from `COOLPIM_SCALE` (see crate docs).
 pub fn eval_graph_spec() -> GraphSpec {
+    graph_spec_for(std::env::var("COOLPIM_SCALE").ok().as_deref())
+}
+
+/// Pure form of [`eval_graph_spec`]: maps a `COOLPIM_SCALE` value (`None`
+/// = unset) to a graph spec, without reading the environment — testable
+/// regardless of what the test process inherited.
+pub fn graph_spec_for(scale: Option<&str>) -> GraphSpec {
     let mut spec = GraphSpec::ldbc_like();
-    match std::env::var("COOLPIM_SCALE").ok().as_deref() {
+    match scale {
         None | Some("full") => {}
         Some("quick") => {
             spec.scale = 16;
@@ -38,6 +46,21 @@ pub fn profiling_requested() -> bool {
     )
 }
 
+/// Profiled/unprofiled dispatch shared by the full matrix and the subset
+/// path, so `COOLPIM_PROFILE` means the same thing in every figure binary.
+fn run_matrix_dispatch(
+    graph: &Csr,
+    workloads: &[Workload],
+    policies: &[Policy],
+    profile: bool,
+) -> Vec<WorkloadResults> {
+    if profile {
+        run_matrix_profiled(graph, workloads, policies, CoSimConfig::default())
+    } else {
+        run_matrix(graph, workloads, policies, CoSimConfig::default())
+    }
+}
+
 /// Runs the full evaluation matrix (all ten workloads × the five system
 /// configurations) at the configured scale. Set `COOLPIM_PROFILE=1` to
 /// profile every run's hot phases.
@@ -54,17 +77,25 @@ pub fn run_eval_matrix() -> Vec<WorkloadResults> {
         graph.edge_count(),
         Workload::ALL.len() * Policy::ALL.len()
     );
-    if profiling_requested() {
-        run_matrix_profiled(&graph, &Workload::ALL, &Policy::ALL, CoSimConfig::default())
-    } else {
-        run_matrix(&graph, &Workload::ALL, &Policy::ALL, CoSimConfig::default())
-    }
+    run_matrix_dispatch(&graph, &Workload::ALL, &Policy::ALL, profiling_requested())
 }
 
 /// Runs a subset of the matrix (used by the quicker figure binaries).
+/// Honours `COOLPIM_PROFILE` exactly like [`run_eval_matrix`].
 pub fn run_eval_subset(workloads: &[Workload], policies: &[Policy]) -> Vec<WorkloadResults> {
     let graph = eval_graph_spec().build();
-    run_matrix(&graph, workloads, policies, CoSimConfig::default())
+    run_eval_subset_on(&graph, workloads, policies, profiling_requested())
+}
+
+/// [`run_eval_subset`] with the graph and the profiling decision injected
+/// (tests pass `profile` directly instead of racing on the environment).
+pub fn run_eval_subset_on(
+    graph: &Csr,
+    workloads: &[Workload],
+    policies: &[Policy],
+    profile: bool,
+) -> Vec<WorkloadResults> {
+    run_matrix_dispatch(graph, workloads, policies, profile)
 }
 
 #[cfg(test)]
@@ -73,9 +104,41 @@ mod tests {
 
     #[test]
     fn default_scale_is_full() {
-        // Note: relies on COOLPIM_SCALE being unset in the test env.
-        if std::env::var("COOLPIM_SCALE").is_err() {
-            assert_eq!(eval_graph_spec().scale, GraphSpec::ldbc_like().scale);
-        }
+        // Pure mapping — immune to whatever COOLPIM_SCALE the test
+        // process inherited.
+        assert_eq!(graph_spec_for(None).scale, GraphSpec::ldbc_like().scale);
+        assert_eq!(
+            graph_spec_for(Some("full")).scale,
+            GraphSpec::ldbc_like().scale
+        );
+    }
+
+    #[test]
+    fn quick_and_numeric_scales_resolve() {
+        let quick = graph_spec_for(Some("quick"));
+        assert_eq!(quick.scale, 16);
+        assert_eq!(quick.avg_degree, 12);
+        assert_eq!(graph_spec_for(Some("12")).scale, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_scale_panics() {
+        let _ = graph_spec_for(Some("30"));
+    }
+
+    #[test]
+    fn subset_path_honours_the_profiling_flag() {
+        let graph = GraphSpec::tiny().build();
+        let workloads = [Workload::Dc];
+        let policies = [Policy::NonOffloading];
+        let profiled = run_eval_subset_on(&graph, &workloads, &policies, true);
+        let r = &profiled[0].runs[0];
+        assert!(
+            r.profile.enabled && r.profile.span_s("gpu_advance") > 0.0,
+            "profiled subset run must populate hot-phase spans"
+        );
+        let plain = run_eval_subset_on(&graph, &workloads, &policies, false);
+        assert!(!plain[0].runs[0].profile.enabled);
     }
 }

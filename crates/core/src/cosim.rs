@@ -554,6 +554,28 @@ impl CoSim {
             .metrics
             .gauge("hmc_row_hit_rate", self.sys.hmc().row_hit_rate());
         self.telemetry.metrics.count("pim_ops", totals.pim_ops);
+        // Thermal-solver work counters: sweeps-per-substep distribution
+        // and fast-path hits, so solver convergence improvements are
+        // visible in run records (counter.thermal_* / hist.* metrics).
+        let solver = self.thermal.solver_stats();
+        self.telemetry
+            .metrics
+            .count("thermal_substeps", solver.substeps);
+        self.telemetry
+            .metrics
+            .count("thermal_gs_sweeps", solver.sweeps);
+        self.telemetry
+            .metrics
+            .count("thermal_fastpath_hits", solver.fast_path_hits);
+        self.telemetry
+            .metrics
+            .count("thermal_skipped_substeps", solver.skipped_substeps);
+        self.telemetry
+            .metrics
+            .gauge("thermal_sweeps_per_substep", solver.sweeps_per_substep());
+        self.telemetry
+            .metrics
+            .merge_histogram("thermal_substep_sweeps", &solver.sweep_hist);
         let span = self.telemetry.profiler.start();
         self.telemetry.flush();
         self.telemetry.profiler.stop("telemetry_emit", span);

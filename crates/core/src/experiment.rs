@@ -105,19 +105,20 @@ fn run_matrix_inner(
         }
     }
 
+    // Workers borrow the one shared `&Csr` — scoped threads make the
+    // lifetime work without a per-worker clone of the graph.
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let next = &next;
             let tasks = &tasks;
             let results = &results;
-            let graph = graph.clone();
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(wi, w, pi, p)) = tasks.get(i) else {
                     break;
                 };
                 let started = std::time::Instant::now();
-                let mut kernel = make_kernel(w, &graph);
+                let mut kernel = make_kernel(w, graph);
                 let mut sim = CoSim::new(p, cfg.clone());
                 if profile {
                     sim = sim.with_telemetry(Telemetry::disabled().profiled());

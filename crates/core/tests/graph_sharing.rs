@@ -1,0 +1,87 @@
+//! Regression probe for the experiment harness's memory behaviour: the
+//! worker pool must share the one borrowed graph, never deep-copy it per
+//! thread (O(threads × graph) at scale 2^24 is gigabytes).
+//!
+//! The probe is a counting global allocator that records every allocation
+//! at least as large as the graph's edge array. After the graph is built,
+//! nothing in a matrix run legitimately allocates a block that big — the
+//! largest per-run buffers (kernel property arrays, thermal grid, epoch
+//! timeline) are all an order of magnitude smaller at the chosen scale —
+//! so a single oversized allocation during `run_matrix` means somebody
+//! copied the graph.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use coolpim_core::cosim::CoSimConfig;
+use coolpim_core::experiment::run_matrix;
+use coolpim_core::policy::Policy;
+use coolpim_graph::generate::{GraphKind, GraphSpec};
+use coolpim_graph::workloads::Workload;
+use coolpim_hmc::ns_to_ps;
+
+/// Allocations of size ≥ `THRESHOLD` since the last reset.
+static BIG_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+/// Block-size threshold in bytes (usize::MAX = probe disarmed).
+static THRESHOLD: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to the system allocator; the probe only
+// bumps an atomic counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= THRESHOLD.load(Ordering::Relaxed) {
+            BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn matrix_workers_share_the_graph_instead_of_copying_it() {
+    // Big enough that the edge array (~1.3 MB) dwarfs every legitimate
+    // per-run allocation, small enough to co-simulate quickly.
+    let spec = GraphSpec {
+        kind: GraphKind::RmatSocial,
+        scale: 15,
+        avg_degree: 10,
+        weighted: false,
+        seed: 42,
+    };
+    let graph = spec.build();
+    let edge_bytes = graph.edge_count() * std::mem::size_of::<u32>();
+    assert!(edge_bytes > 1_000_000, "graph too small to probe");
+
+    // Arm the probe only for the matrix run itself.
+    THRESHOLD.store(edge_bytes, Ordering::SeqCst);
+    BIG_ALLOCS.store(0, Ordering::SeqCst);
+    let cfg = CoSimConfig {
+        gpu: coolpim_gpu::GpuConfig::tiny(),
+        max_sim_time: ns_to_ps(1.0e9),
+        ..CoSimConfig::default()
+    };
+    let res = run_matrix(
+        &graph,
+        &[Workload::Dc, Workload::KCore],
+        &[Policy::NonOffloading, Policy::NaiveOffloading],
+        cfg,
+    );
+    let big = BIG_ALLOCS.load(Ordering::SeqCst);
+    THRESHOLD.store(usize::MAX, Ordering::SeqCst);
+
+    assert_eq!(res.len(), 2);
+    assert!(res.iter().all(|w| w.runs.len() == 2));
+    assert_eq!(
+        big, 0,
+        "run_matrix made {big} graph-sized allocation(s) — workers must \
+         borrow the shared &Csr, not copy it"
+    );
+}

@@ -178,9 +178,11 @@ impl<W: Write + Send> Drop for JsonlSink<W> {
 /// Streams events as JSONL into size-capped part files so long
 /// simulations cannot fill the disk.
 ///
-/// Output goes to numbered parts `<path>.0`, `<path>.1`, …; once the
-/// current part exceeds the byte cap the sink rotates to the next
-/// number and deletes the oldest parts so at most `keep` files remain.
+/// Output goes to numbered parts `<path>.0`, `<path>.1`, …; before a
+/// write that would push the current part past the byte cap, the sink
+/// rotates to the next number and deletes the oldest parts so at most
+/// `keep` files remain — no part ever exceeds the cap (a single line
+/// larger than the cap still goes out whole, into a part of its own).
 /// The newest history is always on disk; the truncated prefix is the
 /// price of the bound (the flight recorder's post-mortem bundles cover
 /// the anomaly windows).
@@ -250,14 +252,18 @@ impl RotatingJsonlSink {
 impl Sink for RotatingJsonlSink {
     fn record(&mut self, ev: &TelemetryEvent) {
         let line = ev.to_jsonl();
+        let line_bytes = line.len() as u64 + 1; // +1 for the newline
+                                                // Rotate *before* a write that would exceed the cap, so no part
+                                                // ever overshoots it. A non-empty check keeps an oversized
+                                                // single line from producing an empty part in front of it.
+        if self.cur_bytes > 0 && self.cur_bytes + line_bytes > self.max_bytes {
+            self.rotate();
+        }
         match &mut self.w {
             Some(w) => {
                 let res = writeln!(w, "{line}");
                 self.failures.note("rotating JSONL write", res);
-                self.cur_bytes += line.len() as u64 + 1;
-                if self.cur_bytes >= self.max_bytes {
-                    self.rotate();
-                }
+                self.cur_bytes += line_bytes;
             }
             None => self.failures.note::<()>(
                 "rotating JSONL write",
@@ -520,8 +526,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("trace.jsonl");
         {
-            // ~90-byte lines against a 128-byte cap: rotate every 2nd
-            // event; keep only the newest 2 parts.
+            // ~90-byte lines against a 128-byte cap: each part holds one
+            // line (a 2nd would exceed the cap); keep the newest 2 parts.
             let mut sink = RotatingJsonlSink::create(&base, 128, 2).unwrap();
             for t in 0..10 {
                 sink.record(&sample(t));
@@ -544,6 +550,41 @@ mod tests {
                 !std::path::PathBuf::from(format!("{}.0", base.display())).exists(),
                 "oldest part was deleted"
             );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotating_sink_never_exceeds_the_byte_cap() {
+        let dir = std::env::temp_dir().join(format!("coolpim_rotate_cap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("trace.jsonl");
+        {
+            // A cap sized to exactly two lines plus slack: rotation must
+            // trigger *before* the third write, never after it. Using
+            // same-width timestamps keeps every line the same length.
+            let line_bytes = sample(10).to_jsonl().len() as u64 + 1;
+            let cap = 2 * line_bytes + 4;
+            let mut sink = RotatingJsonlSink::create(&base, cap, 4).unwrap();
+            for t in 10..34 {
+                sink.record(&sample(t));
+            }
+            sink.flush();
+            assert_eq!(sink.dropped_writes(), 0);
+            let parts = sink.part_paths();
+            assert!(parts.len() > 1, "cap must force rotation");
+            for p in &parts {
+                let len = std::fs::metadata(p).unwrap().len();
+                assert!(
+                    len <= cap,
+                    "part {} is {len} bytes, over the {cap}-byte cap",
+                    p.display()
+                );
+                // Two lines per part at this cap — rotation is not
+                // firing early either.
+                let text = std::fs::read_to_string(p).unwrap();
+                assert_eq!(text.lines().count(), 2, "part {}", p.display());
+            }
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

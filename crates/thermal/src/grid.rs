@@ -45,6 +45,10 @@ pub struct ThermalGrid {
     g_ambient: Vec<f64>,
     /// Cached per-node total conductance (Σ edges + ambient), for solvers.
     g_total: Vec<f64>,
+    /// Red-black node ordering for the Gauss–Seidel solvers: all nodes of
+    /// one lattice parity, then the other, sink last (it touches both
+    /// colours). Precomputed once so solves never allocate it.
+    rb_order: Vec<u32>,
 }
 
 impl ThermalGrid {
@@ -128,6 +132,23 @@ impl ThermalGrid {
             })
             .collect();
 
+        // Red-black ordering: (x + y + layer) parity colours the lattice
+        // so no two same-colour cells are neighbours; the sink (adjacent
+        // to every top-layer cell) goes last.
+        let mut rb_order = Vec::with_capacity(n);
+        for parity in 0..2usize {
+            for (li, _) in stack.layers.iter().enumerate() {
+                for yc in 0..floorplan.ny {
+                    for xc in 0..floorplan.nx {
+                        if (xc + yc + li) % 2 == parity {
+                            rb_order.push((li * cells + floorplan.cell(xc, yc)) as u32);
+                        }
+                    }
+                }
+            }
+        }
+        rb_order.push(sink as u32);
+
         Self {
             stack,
             floorplan,
@@ -137,6 +158,7 @@ impl ThermalGrid {
             edges,
             g_ambient,
             g_total,
+            rb_order,
         }
     }
 
@@ -180,6 +202,14 @@ impl ThermalGrid {
     /// Per-node total conductance (W/K).
     pub fn g_total(&self) -> &[f64] {
         &self.g_total
+    }
+
+    /// The precomputed red-black Gauss–Seidel sweep order: every node
+    /// exactly once, one lattice colour first, then the other, sink last.
+    /// Same-colour interior nodes share no edge, so a sweep in this order
+    /// propagates fresh values colour-to-colour (classic red-black SOR).
+    pub fn rb_order(&self) -> &[u32] {
+        &self.rb_order
     }
 
     /// Iterates `(neighbour, conductance)` pairs of `node`.

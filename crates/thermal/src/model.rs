@@ -7,8 +7,8 @@ use crate::cooling::Cooling;
 use crate::floorplan::Floorplan;
 use crate::grid::ThermalGrid;
 use crate::layers::{LayerKind, StackConfig};
-use crate::power::{build_power_map, PowerParams, TrafficSample};
-use crate::solver::TransientState;
+use crate::power::{build_power_map_into, PowerParams, TrafficSample};
+use crate::solver::{NonConvergence, TransientSolverStats, TransientState};
 use crate::AMBIENT_C;
 
 /// The cube-level thermal response time the transient plant is calibrated
@@ -132,7 +132,7 @@ impl HmcThermalModel {
     /// spans (the co-simulator's `--profile` breakdown).
     pub fn step_profiled(&mut self, sample: &TrafficSample, prof: &mut Profiler) -> ThermalReadout {
         let t = prof.start();
-        self.power_scratch = build_power_map(&self.grid, &self.params, sample);
+        build_power_map_into(&self.grid, &self.params, sample, &mut self.power_scratch);
         prof.stop("power_map_build", t);
         let t = prof.start();
         let p = std::mem::take(&mut self.power_scratch);
@@ -144,12 +144,42 @@ impl HmcThermalModel {
 
     /// Jumps directly to the steady state for `sample` (open-loop sweeps,
     /// warm starts) and returns the readout.
+    ///
+    /// # Panics
+    /// Panics with full solve diagnostics on non-convergence — see
+    /// [`Self::try_steady_state`] for the fallible form.
     pub fn steady_state(&mut self, sample: &TrafficSample) -> ThermalReadout {
-        self.power_scratch = build_power_map(&self.grid, &self.params, sample);
+        match self.try_steady_state(sample) {
+            Ok(r) => r,
+            Err(e) => panic!(
+                "thermal steady-state solve failed under {:?} cooling at \
+                 {:.1} GB/s ext, {:.2} op/ns PIM: {e}",
+                self.grid.cooling,
+                sample.ext_bytes_per_s() / 1e9,
+                sample.pim_ops_per_ns(),
+            ),
+        }
+    }
+
+    /// Fallible [`Self::steady_state`]: on non-convergence returns the
+    /// [`NonConvergence`] diagnostics (sweeps spent, final residual,
+    /// tolerance) instead of panicking; the field then holds the partial
+    /// solution.
+    pub fn try_steady_state(
+        &mut self,
+        sample: &TrafficSample,
+    ) -> Result<ThermalReadout, NonConvergence> {
+        build_power_map_into(&self.grid, &self.params, sample, &mut self.power_scratch);
         let p = std::mem::take(&mut self.power_scratch);
-        self.state.jump_to_steady_state(&self.grid, &p);
+        let res = self.state.try_jump_to_steady_state(&self.grid, &p);
         self.power_scratch = p;
-        self.readout()
+        res.map(|_| self.readout())
+    }
+
+    /// Cumulative transient-solver work counters (sub-steps, sweeps,
+    /// fast-path hits) since construction or the last [`Self::reset`].
+    pub fn solver_stats(&self) -> &TransientSolverStats {
+        self.state.solver_stats()
     }
 
     /// Resets all temperatures to ambient.

@@ -176,14 +176,29 @@ impl TrafficSample {
 ///   activity;
 /// * dynamic DRAM (per-bit + PIM DRAM energy): spread evenly over the DRAM
 ///   dies, within each die over vault footprints weighted by activity.
-#[allow(clippy::needless_range_loop)] // vault loops index two parallel maps
 pub fn build_power_map(
     grid: &ThermalGrid,
     params: &PowerParams,
     sample: &TrafficSample,
 ) -> Vec<f64> {
+    let mut power = Vec::new();
+    build_power_map_into(grid, params, sample, &mut power);
+    power
+}
+
+/// [`build_power_map`] writing into a reusable buffer: `power` is cleared
+/// and resized to the node count, so a correctly-sized buffer is refilled
+/// without allocating — the co-simulator calls this every thermal epoch.
+#[allow(clippy::needless_range_loop)] // vault loops index two parallel maps
+pub fn build_power_map_into(
+    grid: &ThermalGrid,
+    params: &PowerParams,
+    sample: &TrafficSample,
+    power: &mut Vec<f64>,
+) {
     let fp = &grid.floorplan;
-    let mut power = vec![0.0; grid.node_count()];
+    power.clear();
+    power.resize(grid.node_count(), 0.0);
 
     let bits_per_s = sample.ext_bytes_per_s() * 8.0;
     let ops_per_s = sample.pim_ops_per_s();
@@ -239,8 +254,6 @@ pub fn build_power_map(
             }
         }
     }
-
-    power
 }
 
 fn normalised_vault_weights(fp: &Floorplan, raw: Option<&[f64]>) -> Vec<f64> {
