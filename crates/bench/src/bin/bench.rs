@@ -9,8 +9,14 @@
 //! sweep ratio is the evidence behind PR 5's "≥1.5× fewer sweeps" claim
 //! and CI's `bench-trend` job gates on it staying put.
 //!
+//! PR 6 adds the live-telemetry figures: `telemetry.sample_epoch_s`
+//! (the wall cost of one `MonitorHub::sample` with 32 vault temps and a
+//! populated registry mirror) and `telemetry.overhead_pct` (the
+//! recorded telemetry share of a monitored co-sim run, budgeted < 3 %
+//! by CI).
+//!
 //! Output: the human table on stdout plus a machine-readable flat-JSON
-//! run record (schema v1, see `runrec`) written to `BENCH_5.json` in the
+//! run record (schema v1, see `runrec`) written to `BENCH_6.json` in the
 //! working directory (override with `--out PATH`). EXPERIMENTS.md
 //! documents the schema and methodology.
 
@@ -24,6 +30,8 @@ use coolpim_gpu::GpuConfig;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
 use coolpim_hmc::{Hmc, Request};
+use coolpim_telemetry::monitor::EpochObservation;
+use coolpim_telemetry::{MetricsRegistry, MonitorHub, Telemetry};
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::floorplan::Floorplan;
 use coolpim_thermal::grid::ThermalGrid;
@@ -185,7 +193,7 @@ fn bench_grid() -> ThermalGrid {
 }
 
 fn main() {
-    let mut out = String::from("BENCH_5.json");
+    let mut out = String::from("BENCH_6.json");
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -206,8 +214,8 @@ fn main() {
 
     let r = Runner::new();
     let mut rec = RunRecord::new(
-        "bench-5",
-        "bench5 grid=hmc20 graph=test_medium(seed 11) cosim=tiny-gpu/10us-epoch solver-seq=100us-epoch",
+        "bench-6",
+        "bench6 grid=hmc20 graph=test_medium(seed 11) cosim=tiny-gpu/10us-epoch solver-seq=100us-epoch telemetry=monitor-sample/32-vaults",
     );
 
     println!("# subsystem microbenchmarks (fixed seeds)");
@@ -267,6 +275,56 @@ fn main() {
     rec.push("cosim.run_dc_medium_s", s.median_s);
     rec.push("cosim.epochs", epochs as f64);
     rec.push("cosim.epoch_s", s.median_s / epochs.max(1) as f64);
+
+    // Live-telemetry sampling: the per-epoch cost of one MonitorHub
+    // sample (32 vault temps plus a populated registry mirror) — the
+    // figure CI gates with `bench_compare --assert-max`.
+    let hub = MonitorHub::new();
+    hub.begin_run("bench6-sample", "0");
+    let mut reg = MetricsRegistry::new();
+    reg.count("pim_ops", 1_000_000);
+    reg.gauge("peak_dram_c", 83.4);
+    reg.gauge("token_pool_size", 96.0);
+    for v in 0..4096u64 {
+        reg.observe("vault_queue_wait_ps", v * 97);
+    }
+    let vaults: Vec<f64> = (0..32).map(|i| 70.0 + i as f64 * 0.3).collect();
+    let mut epoch = 0u64;
+    let s = r.bench("telemetry/monitor_sample_epoch", || {
+        epoch += 1;
+        let obs = EpochObservation {
+            t_ps: epoch * 100_000_000,
+            epoch,
+            phase: "Normal",
+            peak_dram_c: 80.0 + (epoch % 7) as f64,
+            pool_tokens: 96.0,
+            warp_cap: 64.0,
+            pim_ops_per_s: 1.0e6,
+            queue_wait_ps: 1.0e4,
+            solver_sweeps: 12.0,
+            epochs_per_s: 5_000.0,
+            eta_s: 10.0,
+            last_warning_id: 0,
+            vault_peak_dram_c: &vaults,
+        };
+        hub.sample(&obs, &reg);
+    });
+    rec.push("telemetry.sample_epoch_s", s.median_s);
+
+    // The same Dc run with a live monitor attached: the recorded
+    // telemetry overhead must stay under the 3 % CI budget.
+    let hub = MonitorHub::new();
+    hub.begin_run("bench6-monitored", "0");
+    let mut k = make_kernel(Workload::Dc, &graph);
+    let res = CoSim::new(Policy::CoolPimSw, cfg.clone())
+        .with_telemetry(Telemetry::disabled().profiled())
+        .with_monitor(hub.clone())
+        .run(k.as_mut());
+    println!(
+        "cosim/monitored_dc_medium   telemetry overhead {:.3} % (budget < 3 %)",
+        res.telemetry_overhead_pct
+    );
+    rec.push("telemetry.overhead_pct", res.telemetry_overhead_pct);
 
     // Solver trajectory: current solver vs the pre-PR-5 replica over the
     // scripted ramp → hold → idle sequence.

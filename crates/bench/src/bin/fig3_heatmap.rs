@@ -5,28 +5,12 @@
 //! `--from-dump BUNDLE.jsonl` renders the per-vault peak-DRAM map from
 //! the newest frame of a flight-recorder bundle instead of running the
 //! steady-state model — the same glyph ramp, but fed by recorded data.
+use coolpim_bench::heatmap::{glyph, render_vault_rows, vault_grid};
 use coolpim_telemetry::PostmortemBundle;
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::layers::LayerKind;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
-
-const GLYPHS: [u8; 9] = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'@', b'#'];
-
-fn glyph(v: f64, lo: f64, hi: f64) -> char {
-    let g = ((v - lo) / (hi - lo + 1e-9) * (GLYPHS.len() - 1) as f64).round() as usize;
-    GLYPHS[g] as char
-}
-
-/// Lay `vaults` out on a grid: known cube footprints get their real
-/// aspect ratio (32 vaults → 8x4, 16 → 4x4), anything else one row.
-fn vault_grid(vaults: usize) -> (usize, usize) {
-    match vaults {
-        32 => (8, 4),
-        16 => (4, 4),
-        n => (n.max(1), 1),
-    }
-}
 
 fn render_dump(path: &str) {
     let b = PostmortemBundle::load(std::path::Path::new(path)).unwrap_or_else(|e| {
@@ -53,14 +37,7 @@ fn render_dump(path: &str) {
     println!(
         "Per-vault peak DRAM temp, newest frame ({nx}x{ny} vaults, {lo:.1}–{hi:.1} °C, '.'=cool '#'=hot):"
     );
-    for y in 0..ny {
-        let mut line = String::new();
-        for x in 0..nx {
-            match temps.get(y * nx + x) {
-                Some(&v) => line.push(glyph(v, lo, hi)),
-                None => line.push(' '),
-            }
-        }
+    for line in render_vault_rows(&temps, lo, hi) {
         println!("  {line}");
     }
     if let Some(hot) = b.hottest_vault() {

@@ -31,15 +31,25 @@
 //! `--flight-capacity N` and `--flight-every N` tune the ring depth and
 //! sampling stride. `--trace-rotate-mb MB` caps the `--trace` file by
 //! rotating it into numbered parts, keeping only the newest few.
+//!
+//! `--monitor ADDR` (e.g. `127.0.0.1:9184`, or `:0` for an ephemeral
+//! port) serves the run's live state over HTTP while it executes —
+//! `/metrics` (Prometheus text format), `/status` (flat JSON),
+//! `/series` (downsampled time-series JSONL) — and prints the bound
+//! address to stderr before the run starts; point the `watch` bin (or
+//! `curl`) at it. The server thread is stopped and joined when the run
+//! finishes. `--heartbeat SECS` prints a one-line progress summary to
+//! stderr at that wall-clock cadence (first beat on the first epoch).
 
-use coolpim_bench::runrec::{run_record_dir, RunRecord};
+use coolpim_bench::runrec::{fnv1a, run_record_dir, RunRecord};
 use coolpim_core::cosim::{CoSim, CoSimConfig, FlightConfig};
 use coolpim_core::policy::Policy;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
 use coolpim_graph::Csr;
 use coolpim_telemetry::{
-    CsvSink, JsonlSink, MultiSink, RotatingJsonlSink, Sink, Telemetry, CSV_TIMELINE_HEADER,
+    CsvSink, JsonlSink, MonitorHub, MonitorServer, MultiSink, RotatingJsonlSink, Sink, Telemetry,
+    CSV_TIMELINE_HEADER,
 };
 use coolpim_thermal::cooling::Cooling;
 
@@ -63,6 +73,8 @@ struct Args {
     flight_capacity: Option<u64>,
     flight_every: Option<u64>,
     trace_rotate_mb: Option<u64>,
+    monitor: Option<String>,
+    heartbeat_s: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -77,7 +89,8 @@ fn usage() -> ! {
          \x20          [--run-record dir]\n\
          \x20          [--flight-recorder] [--postmortem-dir dir]\n\
          \x20          [--flight-capacity N] [--flight-every N]\n\
-         \x20          [--trace-rotate-mb MB]"
+         \x20          [--trace-rotate-mb MB]\n\
+         \x20          [--monitor addr:port] [--heartbeat secs]"
     );
     std::process::exit(2);
 }
@@ -126,6 +139,8 @@ fn parse_args() -> Args {
         flight_capacity: None,
         flight_every: None,
         trace_rotate_mb: None,
+        monitor: None,
+        heartbeat_s: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -170,6 +185,10 @@ fn parse_args() -> Args {
             }
             "--trace-rotate-mb" => {
                 args.trace_rotate_mb = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--monitor" => args.monitor = Some(take(&mut i)),
+            "--heartbeat" => {
+                args.heartbeat_s = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--help" | "-h" => usage(),
             other => {
@@ -251,14 +270,53 @@ fn main() {
         _ => Telemetry::with_sink(Box::new(MultiSink::new(sinks))),
     };
     let flight_on = args.flight_recorder || args.postmortem_dir.is_some();
-    // The flight recorder's self-overhead metric needs span timings, so
-    // enabling it implies profiling.
-    if args.profile || flight_on {
+    let monitor_on = args.monitor.is_some();
+    // The flight recorder's and live monitor's self-overhead metric
+    // needs span timings, so enabling either implies profiling.
+    if args.profile || flight_on || monitor_on {
         telemetry = telemetry.profiled();
     }
 
     let threshold_c = cfg.warning_threshold_c;
+
+    // One record serves the snapshot dump, the run store, and the live
+    // monitor's /status identity — computed before the run so the
+    // monitor can serve it from the first epoch.
+    let config_desc = format!(
+        "workload={} policy={} scale={} degree={} seed={} cooling={} threshold={} graph={}",
+        args.workload.name(),
+        args.policy.name(),
+        args.scale,
+        args.degree,
+        args.seed,
+        args.cooling.name(),
+        threshold_c,
+        args.graph_file.as_deref().unwrap_or("-"),
+    );
+    let record_name = format!("{}-{}", args.workload.name(), args.policy.name());
+
     let mut cosim = CoSim::new(args.policy, cfg).with_telemetry(telemetry);
+    let mut server = None;
+    if let Some(addr) = &args.monitor {
+        let hub = MonitorHub::new();
+        hub.begin_run(&record_name, &format!("{:016x}", fnv1a(&config_desc)));
+        match MonitorServer::start(addr, hub.clone()) {
+            Ok(s) => {
+                // Printed before the run starts so scrapers can attach
+                // and land mid-run (the CI live-monitor job greps this).
+                eprintln!("# monitor: http://{}", s.local_addr());
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("failed to bind monitor on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+        cosim = cosim.with_monitor(hub);
+    }
+    if let Some(secs) = args.heartbeat_s {
+        cosim = cosim.with_heartbeat(secs);
+    }
     if flight_on {
         let mut fcfg = FlightConfig {
             postmortem_dir: args.postmortem_dir.clone().map(Into::into),
@@ -280,24 +338,18 @@ fn main() {
     }
     let r = cosim.run(kernel.as_mut());
 
+    // Clean monitor shutdown: the run is over, so stop the accept loop
+    // and join the server thread — a finished sim must not keep a
+    // listener (and the process) alive.
+    if let Some(mut s) = server.take() {
+        s.stop();
+        eprintln!("# monitor stopped");
+    }
+
     for path in &r.postmortem_dumps {
         eprintln!("# postmortem bundle: {}", path.display());
     }
 
-    // One record serves both outlets: the explicit snapshot dump and the
-    // append-only run store the regression gate reads.
-    let config_desc = format!(
-        "workload={} policy={} scale={} degree={} seed={} cooling={} threshold={} graph={}",
-        args.workload.name(),
-        args.policy.name(),
-        args.scale,
-        args.degree,
-        args.seed,
-        args.cooling.name(),
-        threshold_c,
-        args.graph_file.as_deref().unwrap_or("-"),
-    );
-    let record_name = format!("{}-{}", args.workload.name(), args.policy.name());
     let record = RunRecord::from_cosim(&record_name, &config_desc, &r);
     if let Some(path) = &args.metrics_out {
         if let Err(e) = record.write_to(std::path::Path::new(path)) {
@@ -334,8 +386,10 @@ fn main() {
     println!("offload fraction   {:.3}", r.gpu.offload_fraction());
     println!("kernel launches    {}", r.gpu.launches);
     println!("throttle steps     {}", r.throttle_steps);
-    if flight_on {
+    if flight_on || monitor_on {
         println!("telemetry overhead {:.2} %", r.telemetry_overhead_pct);
+    }
+    if flight_on {
         println!("postmortem dumps   {}", r.postmortem_dumps.len());
     }
     if r.shutdown {

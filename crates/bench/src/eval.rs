@@ -1,11 +1,14 @@
 //! Shared evaluation driver for the `fig10`–`fig14` binaries.
 
 use coolpim_core::cosim::CoSimConfig;
-use coolpim_core::experiment::{run_matrix, run_matrix_profiled, WorkloadResults};
+use coolpim_core::experiment::{
+    run_matrix, run_matrix_monitored, run_matrix_profiled, WorkloadResults,
+};
 use coolpim_core::policy::Policy;
 use coolpim_graph::csr::Csr;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::Workload;
+use coolpim_telemetry::{MonitorHub, MonitorServer};
 
 /// Resolves the evaluation graph from `COOLPIM_SCALE` (see crate docs).
 pub fn eval_graph_spec() -> GraphSpec {
@@ -46,14 +49,45 @@ pub fn profiling_requested() -> bool {
     )
 }
 
+/// The live-monitor bind address requested via the `COOLPIM_MONITOR`
+/// environment variable (e.g. `127.0.0.1:9090`), if any. When set, the
+/// evaluation binaries serve `/metrics`, `/status`, and `/series` for
+/// the duration of the matrix — point `watch --addr` at it.
+pub fn monitor_addr_requested() -> Option<String> {
+    std::env::var("COOLPIM_MONITOR")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
 /// Profiled/unprofiled dispatch shared by the full matrix and the subset
 /// path, so `COOLPIM_PROFILE` means the same thing in every figure binary.
+/// With `COOLPIM_MONITOR` set, the matrix runs with a live monitor
+/// endpoint bound for its duration (implies profiling, so the runs carry
+/// `telemetry_overhead_pct`).
 fn run_matrix_dispatch(
     graph: &Csr,
     workloads: &[Workload],
     policies: &[Policy],
     profile: bool,
 ) -> Vec<WorkloadResults> {
+    if let Some(addr) = monitor_addr_requested() {
+        let hub = MonitorHub::new();
+        hub.begin_run("eval-matrix", "0");
+        let mut server = match MonitorServer::start(&addr, hub.clone()) {
+            Ok(s) => {
+                eprintln!("# monitor: http://{}", s.local_addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("failed to bind monitor on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let results = run_matrix_monitored(graph, workloads, policies, CoSimConfig::default(), hub);
+        server.stop();
+        eprintln!("# monitor stopped");
+        return results;
+    }
     if profile {
         run_matrix_profiled(graph, workloads, policies, CoSimConfig::default())
     } else {

@@ -19,8 +19,9 @@
 
 pub mod eval;
 pub mod harness;
+pub mod heatmap;
 pub mod runrec;
 
-pub use eval::{eval_graph_spec, profiling_requested, run_eval_matrix};
+pub use eval::{eval_graph_spec, monitor_addr_requested, profiling_requested, run_eval_matrix};
 pub use harness::{Runner, Stats};
 pub use runrec::{compare, Gate, RunRecord, DEFAULT_GATES, RUN_RECORD_SCHEMA_VERSION};

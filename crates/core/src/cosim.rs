@@ -17,7 +17,8 @@ use coolpim_gpu::system::{GpuSystem, RunOutcome};
 use coolpim_hmc::stats::StatsTotals;
 use coolpim_hmc::{ns_to_ps, Hmc, Ps, TempPhase};
 use coolpim_telemetry::flight::{FlightRecorder, PostmortemBundle};
-use coolpim_telemetry::{MetricsSnapshot, ProfileReport, Telemetry, TelemetryEvent};
+use coolpim_telemetry::monitor::EpochObservation;
+use coolpim_telemetry::{MetricsSnapshot, MonitorHub, ProfileReport, Telemetry, TelemetryEvent};
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
@@ -194,6 +195,8 @@ pub struct CoSim {
     cfg: CoSimConfig,
     telemetry: Telemetry,
     flight_cfg: Option<FlightConfig>,
+    monitor: Option<MonitorHub>,
+    heartbeat_s: Option<f64>,
 }
 
 impl CoSim {
@@ -216,6 +219,8 @@ impl CoSim {
             cfg,
             telemetry: Telemetry::disabled(),
             flight_cfg: None,
+            monitor: None,
+            heartbeat_s: None,
         }
     }
 
@@ -239,6 +244,26 @@ impl CoSim {
     /// change out of Normal, overshoot-episode start).
     pub fn with_flight_recorder(mut self, cfg: FlightConfig) -> Self {
         self.flight_cfg = Some(cfg);
+        self
+    }
+
+    /// Publishes one [`EpochObservation`] per thermal epoch into `hub`
+    /// so a [`coolpim_telemetry::MonitorServer`] (or any other observer
+    /// holding the hub) can watch the run live. The per-epoch cost is
+    /// one mutex lock plus ring pushes and a registry `clone_from`; it
+    /// is profiled under the `monitor_sample` span and counted into
+    /// `telemetry_overhead_pct`.
+    pub fn with_monitor(mut self, hub: MonitorHub) -> Self {
+        self.monitor = Some(hub);
+        self
+    }
+
+    /// Prints a one-line progress summary (epoch, peak temp, phase,
+    /// epochs/s) to stderr every `secs` wall seconds, and emits a
+    /// [`TelemetryEvent::Heartbeat`] alongside — headless runs stop
+    /// being silent until completion.
+    pub fn with_heartbeat(mut self, secs: f64) -> Self {
+        self.heartbeat_s = Some(secs.max(0.1));
         self
     }
 
@@ -302,6 +327,14 @@ impl CoSim {
         let mut horizon = 0;
         let mut first_epoch = true;
         let mut epoch_idx = 0u64;
+        // Live-monitor / heartbeat state: wall-clock pacing plus scratch
+        // for the per-vault temperature reduction (no per-epoch alloc).
+        let run_started = std::time::Instant::now();
+        let mut mon_temps: Vec<f64> = Vec::new();
+        let mut prev_sweeps = self.thermal.solver_stats().sweeps;
+        // First beat fires on the first epoch (immediate sign of life),
+        // then paces at the configured interval.
+        let mut next_beat = 0.0f64;
         let end_ps = loop {
             horizon += self.cfg.epoch;
             epoch_idx += 1;
@@ -526,6 +559,79 @@ impl CoSim {
             self.telemetry
                 .metrics
                 .gauge_max("peak_dram_c", readout.peak_dram_c);
+
+            // Live monitor + heartbeat: both read the same wall-clock
+            // progress figures. The monitor sample is profiled so the
+            // run record's telemetry_overhead_pct covers it.
+            if self.monitor.is_some() || self.heartbeat_s.is_some() {
+                let elapsed_s = run_started.elapsed().as_secs_f64().max(1e-9);
+                let epochs_per_s = epoch_idx as f64 / elapsed_s;
+                if let Some(hub) = &self.monitor {
+                    let span = self.telemetry.profiler.start();
+                    self.thermal.vault_peak_dram_temps_into(&mut mon_temps);
+                    let sweeps_now = self.thermal.solver_stats().sweeps;
+                    let total_wait_ps: u64 = window.vault_queue_wait_ps.iter().sum();
+                    let total_ops: u64 = window.vault_ops.iter().sum();
+                    // ETA is an upper bound: wall time to reach the
+                    // max_sim_time cap at the observed sim rate (most
+                    // runs finish earlier when the kernel retires).
+                    let sim_rate = now as f64 / elapsed_s;
+                    let eta_s = if sim_rate > 0.0 {
+                        self.cfg.max_sim_time.saturating_sub(now) as f64 / sim_rate
+                    } else {
+                        f64::NAN
+                    };
+                    let obs = EpochObservation {
+                        t_ps: now,
+                        epoch: epoch_idx,
+                        phase: phase.name(),
+                        peak_dram_c: readout.peak_dram_c,
+                        pool_tokens: self
+                            .telemetry
+                            .metrics
+                            .gauge_value("token_pool_size")
+                            .unwrap_or(f64::NAN),
+                        warp_cap: self
+                            .telemetry
+                            .metrics
+                            .gauge_value("warp_cap_slots")
+                            .unwrap_or(f64::NAN),
+                        pim_ops_per_s: window.pim_ops as f64 / dur_s,
+                        queue_wait_ps: if total_ops > 0 {
+                            total_wait_ps as f64 / total_ops as f64
+                        } else {
+                            0.0
+                        },
+                        solver_sweeps: sweeps_now.saturating_sub(prev_sweeps) as f64,
+                        epochs_per_s,
+                        eta_s,
+                        last_warning_id: raised_at.last().map_or(0, |(id, _)| *id),
+                        vault_peak_dram_c: &mon_temps,
+                    };
+                    prev_sweeps = sweeps_now;
+                    hub.sample(&obs, &self.telemetry.metrics);
+                    self.telemetry.profiler.stop("monitor_sample", span);
+                }
+                if let Some(beat_s) = self.heartbeat_s {
+                    if elapsed_s >= next_beat {
+                        next_beat = elapsed_s + beat_s;
+                        eprintln!(
+                            "[coolpim] epoch {epoch_idx} t={:.3}ms peak={:.2}C phase={} {:.0} epochs/s",
+                            now as f64 * 1e-9,
+                            readout.peak_dram_c,
+                            phase.name(),
+                            epochs_per_s,
+                        );
+                        self.telemetry.emit(TelemetryEvent::Heartbeat {
+                            t_ps: now,
+                            epoch: epoch_idx,
+                            peak_dram_c: readout.peak_dram_c,
+                            phase: phase.name(),
+                            epochs_per_s,
+                        });
+                    }
+                }
+            }
             match outcome {
                 RunOutcome::Finished => break now,
                 RunOutcome::Shutdown => {
@@ -586,6 +692,7 @@ impl CoSim {
         let profile = self.telemetry.profiler.finish();
         let self_time_s = profile.span_s("flight_sample")
             + profile.span_s("flight_dump")
+            + profile.span_s("monitor_sample")
             + profile.span_s("telemetry_emit");
         let telemetry_overhead_pct = if profile.enabled && profile.wall_s > 0.0 {
             100.0 * self_time_s / profile.wall_s
@@ -596,6 +703,11 @@ impl CoSim {
             .metrics
             .gauge("telemetry_overhead_pct", telemetry_overhead_pct);
         let postmortem_dumps = flight.map(|f| f.dumps).unwrap_or_default();
+        // Tell observers the run is over (dashboards stop polling; the
+        // server is stopped by whoever started it).
+        if let Some(hub) = &self.monitor {
+            hub.mark_done();
+        }
 
         CoSimResult {
             policy: self.policy,
@@ -707,6 +819,67 @@ mod tests {
         assert!(r.profile.entries.is_empty());
         // Metrics are always on: the epoch counter still runs.
         assert_eq!(r.metrics.counter("epochs"), r.timeline.len() as u64);
+    }
+
+    #[test]
+    fn monitor_hub_tracks_the_run_and_reports_done() {
+        use coolpim_telemetry::{StatusSnapshot, Telemetry};
+
+        let g = GraphSpec::tiny().build();
+        let mut k = make_kernel(Workload::Dc, &g);
+        let hub = MonitorHub::new();
+        hub.begin_run("dc+CoolPIM(SW)", "cafef00d");
+        let r = tiny_cosim(Policy::CoolPimSw)
+            .with_telemetry(Telemetry::disabled().profiled())
+            .with_monitor(hub.clone())
+            .run(k.as_mut());
+        assert!(hub.is_done(), "CoSim must mark the hub done at run end");
+        let status = StatusSnapshot::from_json(&hub.status_json()).expect("status parses");
+        assert_eq!(status.run_id, "dc+CoolPIM(SW)");
+        assert_eq!(status.config_hash, "cafef00d");
+        assert_eq!(status.epoch as usize, r.timeline.len());
+        assert!(status.done);
+        assert!(status.peak_dram_c > 20.0);
+        // The live series saw every epoch at tier 0 (short run < ring).
+        let (t_ps, peak) = hub.latest("peak_dram_c").expect("series sampled");
+        assert!(t_ps > 0);
+        assert!((peak - r.timeline.last().unwrap().peak_dram_c).abs() < 1e-9);
+        // Sampling is profiled and folded into the overhead figure.
+        assert!(r.profile.span_s("monitor_sample") > 0.0);
+        assert!(r.telemetry_overhead_pct >= 0.0);
+        // The mirrored registry reached the hub's exposition.
+        let page = hub.metrics_text();
+        coolpim_telemetry::validate_exposition(&page).expect("hub metrics validate");
+        assert!(page.contains("coolpim_epochs_total"));
+    }
+
+    #[test]
+    fn heartbeat_emits_progress_events() {
+        use coolpim_telemetry::{RecordingSink, Telemetry};
+
+        let g = GraphSpec::tiny().build();
+        let mut k = make_kernel(Workload::Dc, &g);
+        let (sink, log) = RecordingSink::new();
+        tiny_cosim(Policy::CoolPimSw)
+            .with_telemetry(Telemetry::with_sink(Box::new(sink)))
+            .with_heartbeat(30.0)
+            .run(k.as_mut());
+        // The first beat fires on the first epoch regardless of the
+        // interval; later beats pace at 30 s (none here).
+        assert_eq!(log.count_kind("Heartbeat"), 1);
+        for ev in log.snapshot().iter() {
+            if let TelemetryEvent::Heartbeat {
+                epoch,
+                peak_dram_c,
+                phase,
+                ..
+            } = ev
+            {
+                assert!(*epoch > 0);
+                assert!(*peak_dram_c > 20.0);
+                assert!(!phase.is_empty());
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Mutex;
 
 use coolpim_graph::csr::Csr;
 use coolpim_graph::workloads::{make_kernel, Workload};
-use coolpim_telemetry::{MetricsSnapshot, ProfileReport, Telemetry};
+use coolpim_telemetry::{MetricsSnapshot, MonitorHub, ProfileReport, Telemetry};
 
 use crate::cosim::{CoSim, CoSimConfig, CoSimResult};
 use crate::policy::Policy;
@@ -56,7 +56,7 @@ pub fn run_matrix(
     policies: &[Policy],
     cfg: CoSimConfig,
 ) -> Vec<WorkloadResults> {
-    run_matrix_inner(graph, workloads, policies, cfg, false)
+    run_matrix_inner(graph, workloads, policies, cfg, false, None)
 }
 
 /// [`run_matrix`] with wall-clock span profiling enabled in every run;
@@ -67,7 +67,22 @@ pub fn run_matrix_profiled(
     policies: &[Policy],
     cfg: CoSimConfig,
 ) -> Vec<WorkloadResults> {
-    run_matrix_inner(graph, workloads, policies, cfg, true)
+    run_matrix_inner(graph, workloads, policies, cfg, true, None)
+}
+
+/// [`run_matrix_profiled`] with every run publishing live epoch
+/// observations into `hub`. The cells run concurrently, so the hub
+/// shows an interleaved view of whichever runs are in flight — status
+/// identity (run id, config hash) should be stamped by the caller via
+/// [`MonitorHub::begin_run`] before the matrix starts.
+pub fn run_matrix_monitored(
+    graph: &Csr,
+    workloads: &[Workload],
+    policies: &[Policy],
+    cfg: CoSimConfig,
+    hub: MonitorHub,
+) -> Vec<WorkloadResults> {
+    run_matrix_inner(graph, workloads, policies, cfg, true, Some(hub))
 }
 
 fn run_matrix_inner(
@@ -76,8 +91,12 @@ fn run_matrix_inner(
     policies: &[Policy],
     cfg: CoSimConfig,
     profile: bool,
+    hub: Option<MonitorHub>,
 ) -> Vec<WorkloadResults> {
     let cfg = &cfg;
+    if let Some(hub) = &hub {
+        hub.expect_runs((workloads.len() * policies.len()) as u64);
+    }
     let tasks: Vec<(usize, Workload, usize, Policy)> = workloads
         .iter()
         .enumerate()
@@ -112,6 +131,7 @@ fn run_matrix_inner(
             let next = &next;
             let tasks = &tasks;
             let results = &results;
+            let hub = hub.clone();
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(wi, w, pi, p)) = tasks.get(i) else {
@@ -122,6 +142,9 @@ fn run_matrix_inner(
                 let mut sim = CoSim::new(p, cfg.clone());
                 if profile {
                     sim = sim.with_telemetry(Telemetry::disabled().profiled());
+                }
+                if let Some(hub) = hub.clone() {
+                    sim = sim.with_monitor(hub);
                 }
                 let r = sim.run(kernel.as_mut());
                 eprintln!(

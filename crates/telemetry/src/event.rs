@@ -152,6 +152,21 @@ pub enum TelemetryEvent {
         /// 1-based ordinal of the retiring launch.
         launch: u64,
     },
+    /// A periodic liveness beat from the co-simulation driver
+    /// (`sim --heartbeat`): one line of progress for headless runs and
+    /// the live monitor.
+    Heartbeat {
+        /// Simulation time (ps).
+        t_ps: u64,
+        /// Thermal epochs completed so far.
+        epoch: u64,
+        /// Peak DRAM temperature at the beat (°C).
+        peak_dram_c: f64,
+        /// Operating phase at the beat.
+        phase: &'static str,
+        /// Observed simulation throughput (epochs per wall second).
+        epochs_per_s: f64,
+    },
     /// The flight recorder snapshotted its ring into a post-mortem
     /// bundle (see [`crate::flight`]).
     FlightDump {
@@ -183,6 +198,7 @@ impl TelemetryEvent {
             | TelemetryEvent::EpochSample { t_ps, .. }
             | TelemetryEvent::KernelLaunch { t_ps, .. }
             | TelemetryEvent::KernelRetire { t_ps, .. }
+            | TelemetryEvent::Heartbeat { t_ps, .. }
             | TelemetryEvent::FlightDump { t_ps, .. } => t_ps,
         }
     }
@@ -216,6 +232,7 @@ impl TelemetryEvent {
             TelemetryEvent::EpochSample { .. } => "EpochSample",
             TelemetryEvent::KernelLaunch { .. } => "KernelLaunch",
             TelemetryEvent::KernelRetire { .. } => "KernelRetire",
+            TelemetryEvent::Heartbeat { .. } => "Heartbeat",
             TelemetryEvent::FlightDump { .. } => "FlightDump",
         }
     }
@@ -307,6 +324,18 @@ impl TelemetryEvent {
             | TelemetryEvent::KernelRetire { launch, .. } => {
                 b.u64("launch", *launch);
             }
+            TelemetryEvent::Heartbeat {
+                epoch,
+                peak_dram_c,
+                phase,
+                epochs_per_s,
+                ..
+            } => {
+                b.u64("epoch", *epoch)
+                    .f64("peak_dram_c", *peak_dram_c)
+                    .str("phase", phase)
+                    .f64("epochs_per_s", *epochs_per_s);
+            }
             TelemetryEvent::FlightDump {
                 trigger,
                 frames,
@@ -395,6 +424,13 @@ impl TelemetryEvent {
             "KernelRetire" => TelemetryEvent::KernelRetire {
                 t_ps,
                 launch: fields.u64_field("launch")?,
+            },
+            "Heartbeat" => TelemetryEvent::Heartbeat {
+                t_ps,
+                epoch: fields.u64_field("epoch")?,
+                peak_dram_c: fields.f64_field("peak_dram_c")?,
+                phase: intern(fields.str_field("phase")?),
+                epochs_per_s: fields.f64_field("epochs_per_s")?,
             },
             "FlightDump" => TelemetryEvent::FlightDump {
                 t_ps,
@@ -532,6 +568,13 @@ mod tests {
         });
         roundtrip(TelemetryEvent::KernelLaunch { t_ps: 7, launch: 1 });
         roundtrip(TelemetryEvent::KernelRetire { t_ps: 8, launch: 3 });
+        roundtrip(TelemetryEvent::Heartbeat {
+            t_ps: 10,
+            epoch: 250,
+            peak_dram_c: 84.5,
+            phase: "Extended",
+            epochs_per_s: 1234.5,
+        });
         roundtrip(TelemetryEvent::FlightDump {
             t_ps: 9,
             trigger: "warning",

@@ -1,0 +1,585 @@
+//! Prometheus text-format exposition and the compact `/status` JSON.
+//!
+//! The live monitor serves read-only snapshots of a run; this module
+//! owns the wire formats. [`PromWriter`] renders counters, gauges,
+//! labeled gauge families, and log2-bucketed [`Histogram`]s as
+//! [Prometheus text format 0.0.4] (`# HELP` / `# TYPE` headers,
+//! sanitized names, cumulative `le`-buckets terminated by `+Inf`);
+//! [`render_registry`] maps a whole [`MetricsRegistry`] through it.
+//! [`validate_exposition`] is the parser-side contract the CI scrape
+//! job and the golden tests enforce. [`StatusSnapshot`] is the
+//! `/status` payload — a single flat object that round-trips through
+//! [`crate::json`].
+//!
+//! [Prometheus text format 0.0.4]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::json::{parse_flat_object, JsonBuilder};
+use crate::metrics::{Histogram, MetricsRegistry, HIST_BUCKETS};
+
+/// Prefix stamped onto every exposed metric name.
+pub const METRIC_PREFIX: &str = "coolpim_";
+
+/// Rewrites `name` into the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, and a
+/// leading digit gains a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incrementally renders one exposition page.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    buf: String,
+}
+
+impl PromWriter {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(help);
+        self.buf.push_str("\n# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// Emits one counter (`name` is prefixed/sanitized and gains the
+    /// conventional `_total` suffix if missing).
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        let mut full = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
+        if !full.ends_with("_total") {
+            full.push_str("_total");
+        }
+        self.header(&full, help, "counter");
+        self.buf.push_str(&format!("{full} {value}\n"));
+        self
+    }
+
+    /// Emits one unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        let full = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
+        self.header(&full, help, "gauge");
+        self.buf.push_str(&format!("{full} {}\n", fmt_value(value)));
+        self
+    }
+
+    /// Emits one gauge family with a single label dimension, e.g.
+    /// `coolpim_vault_peak_dram_c{vault="13"} 84.5`.
+    pub fn labeled_gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        series: &[(String, f64)],
+    ) -> &mut Self {
+        let full = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
+        let label = sanitize_metric_name(label);
+        self.header(&full, help, "gauge");
+        for (lv, v) in series {
+            debug_assert!(!lv.contains('"') && !lv.contains('\\') && !lv.contains('\n'));
+            self.buf
+                .push_str(&format!("{full}{{{label}=\"{lv}\"}} {}\n", fmt_value(*v)));
+        }
+        self
+    }
+
+    /// Emits one log2-bucketed histogram as cumulative `le`-buckets plus
+    /// `_sum` and `_count`. Empty trailing buckets are collapsed into
+    /// the terminal `+Inf` bucket to keep the page small.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) -> &mut Self {
+        let full = format!("{METRIC_PREFIX}{}", sanitize_metric_name(name));
+        self.header(&full, help, "histogram");
+        let counts = h.bucket_counts();
+        let last_used = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last_used + 1) {
+            cum += c;
+            self.buf.push_str(&format!(
+                "{full}_bucket{{le=\"{}\"}} {cum}\n",
+                Histogram::bucket_upper_bound(i.min(HIST_BUCKETS - 1))
+            ));
+        }
+        self.buf
+            .push_str(&format!("{full}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        self.buf.push_str(&format!("{full}_sum {}\n", h.sum()));
+        self.buf.push_str(&format!("{full}_count {}\n", h.count()));
+        self
+    }
+
+    /// The rendered page.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Renders every metric in `reg` onto `w` (counters → `_total`
+/// counters, gauges → gauges, histograms → `le`-bucketed histograms).
+pub fn render_registry(w: &mut PromWriter, reg: &MetricsRegistry) {
+    for (name, v) in reg.counters() {
+        w.counter(name, "run counter (see coolpim-telemetry metrics)", v);
+    }
+    for (name, v) in reg.gauges() {
+        w.gauge(name, "run gauge (see coolpim-telemetry metrics)", v);
+    }
+    for (name, h) in reg.histograms() {
+        w.histogram(name, "log2-bucketed run histogram", h);
+    }
+}
+
+/// The `/status` payload: one flat JSON object describing where a run
+/// is right now. Round-trips through [`crate::json`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatusSnapshot {
+    /// Run identifier (config description string, quote-free).
+    pub run_id: String,
+    /// FNV-1a hash of the run configuration, hex-encoded.
+    pub config_hash: String,
+    /// Current operating phase name.
+    pub phase: String,
+    /// Thermal epochs completed.
+    pub epoch: u64,
+    /// Simulation time reached (ps).
+    pub t_ps: u64,
+    /// Peak DRAM temperature now (°C).
+    pub peak_dram_c: f64,
+    /// Observed throughput (epochs per wall second).
+    pub epochs_per_s: f64,
+    /// Upper-bound ETA to the configured sim-time cap (wall seconds;
+    /// NaN until throughput is known).
+    pub eta_s: f64,
+    /// Most recent thermal warning id (0 before the first warning).
+    pub last_warning_id: u64,
+    /// Whether the run has finished.
+    pub done: bool,
+}
+
+impl StatusSnapshot {
+    /// Encodes as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut b = JsonBuilder::new();
+        b.str("run_id", &self.run_id)
+            .str("config_hash", &self.config_hash)
+            .str("phase", &self.phase)
+            .u64("epoch", self.epoch)
+            .u64("t_ps", self.t_ps)
+            .f64("peak_dram_c", self.peak_dram_c)
+            .f64("epochs_per_s", self.epochs_per_s)
+            .f64("eta_s", self.eta_s)
+            .u64("last_warning_id", self.last_warning_id)
+            .u64("done", self.done as u64);
+        b.finish()
+    }
+
+    /// Parses a `/status` body produced by [`Self::to_json`].
+    pub fn from_json(s: &str) -> Option<Self> {
+        let o = parse_flat_object(s)?;
+        Some(Self {
+            run_id: o.str_field("run_id")?.to_string(),
+            config_hash: o.str_field("config_hash")?.to_string(),
+            phase: o.str_field("phase")?.to_string(),
+            epoch: o.u64_field("epoch")?,
+            t_ps: o.u64_field("t_ps")?,
+            peak_dram_c: o.f64_field("peak_dram_c")?,
+            epochs_per_s: o.f64_field("epochs_per_s")?,
+            eta_s: o.f64_field("eta_s")?,
+            last_warning_id: o.u64_field("last_warning_id")?,
+            done: o.u64_field("done")? != 0,
+        })
+    }
+}
+
+/// Per-metric tally from [`validate_exposition`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExpoSummary {
+    /// Metric families seen (HELP/TYPE pairs).
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+    /// Counter sample values by full metric name, for cross-scrape
+    /// monotonicity checks.
+    pub counter_values: Vec<(String, f64)>,
+}
+
+impl ExpoSummary {
+    /// Value of the counter sample `name` (full exposed name).
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counter_values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn valid_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+fn parse_sample_value(s: &str) -> Result<f64, String> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {s:?}")),
+    }
+}
+
+/// A parsed sample line: metric name, `(label, value)` pairs, value.
+type ParsedSample = (String, Vec<(String, String)>, f64);
+
+/// Splits a sample line into `(name, labels, value)`, validating label
+/// syntax along the way.
+fn parse_sample_line(line: &str) -> Result<ParsedSample, String> {
+    let (head, value_str) = match line.find('}') {
+        Some(close) => {
+            let v = line[close + 1..].trim();
+            (&line[..close + 1], v)
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let h = it.next().unwrap_or("");
+            let v = it.next().map(str::trim).unwrap_or("");
+            (h, v)
+        }
+    };
+    let value = parse_sample_value(value_str)?;
+    let (name, labels) = match head.find('{') {
+        None => (head.to_string(), Vec::new()),
+        Some(open) => {
+            let name = head[..open].to_string();
+            let inner = head[open + 1..]
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unclosed label block in {line:?}"))?;
+            let mut labels = Vec::new();
+            for pair in inner.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label without '=' in {line:?}"))?;
+                if !valid_label_name(k) {
+                    return Err(format!("invalid label name {k:?} in {line:?}"));
+                }
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value in {line:?}"))?;
+                if v.contains('"') || v.contains('\\') {
+                    return Err(format!("unescaped label value in {line:?}"));
+                }
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name, labels)
+        }
+    };
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok((name, labels, value))
+}
+
+/// Validates one Prometheus text-format page: every sample line must
+/// parse, names/labels must match the charset, every family needs its
+/// `# HELP`/`# TYPE` header before its samples, histogram buckets must
+/// be cumulative and end at `+Inf`, and counters must be finite and
+/// non-negative. Returns a summary for cross-scrape checks.
+pub fn validate_exposition(text: &str) -> Result<ExpoSummary, String> {
+    let mut summary = ExpoSummary::default();
+    // family name → declared type.
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut helps: Vec<String> = Vec::new();
+    // histogram family → (last cumulative count, last le, saw +Inf).
+    let mut hist_state: Vec<(String, f64, f64, bool)> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {}: invalid HELP name {name:?}", ln + 1));
+            }
+            helps.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("line {}: invalid TYPE name {name:?}", ln + 1));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {}: unknown TYPE {kind:?}", ln + 1));
+            }
+            if !helps.iter().any(|h| h == name) {
+                return Err(format!("line {}: TYPE {name} without HELP", ln + 1));
+            }
+            types.push((name.to_string(), kind.to_string()));
+            summary.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let (name, labels, value) =
+            parse_sample_line(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        summary.samples += 1;
+        // Find the declaring family: exact name, or histogram suffixes.
+        let family = types
+            .iter()
+            .find(|(n, _)| {
+                *n == name
+                    || (name.ends_with("_bucket") && *n == name[..name.len() - 7])
+                    || (name.ends_with("_sum") && *n == name[..name.len() - 4])
+                    || (name.ends_with("_count") && *n == name[..name.len() - 6])
+            })
+            .ok_or_else(|| format!("line {}: sample {name} before its TYPE", ln + 1))?;
+        let (fam_name, fam_kind) = (family.0.clone(), family.1.clone());
+        match fam_kind.as_str() {
+            "counter" => {
+                if !value.is_finite() || value < 0.0 {
+                    return Err(format!(
+                        "line {}: counter {name} = {value} not a finite non-negative value",
+                        ln + 1
+                    ));
+                }
+                summary.counter_values.push((name.clone(), value));
+            }
+            "histogram" if name.ends_with("_bucket") => {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("line {}: bucket without le label", ln + 1))?;
+                let le_v =
+                    parse_sample_value(&le.1).map_err(|e| format!("line {}: {e}", ln + 1))?;
+                let st = match hist_state.iter_mut().find(|(n, ..)| *n == fam_name) {
+                    Some(st) => st,
+                    None => {
+                        hist_state.push((fam_name.clone(), -1.0, f64::NEG_INFINITY, false));
+                        hist_state.last_mut().unwrap()
+                    }
+                };
+                if value < st.1 {
+                    return Err(format!(
+                        "line {}: histogram {fam_name} buckets not cumulative ({value} < {})",
+                        ln + 1,
+                        st.1
+                    ));
+                }
+                if le_v != f64::INFINITY && le_v <= st.2 {
+                    return Err(format!(
+                        "line {}: histogram {fam_name} le values not increasing",
+                        ln + 1
+                    ));
+                }
+                st.1 = value;
+                st.2 = if le_v == f64::INFINITY { st.2 } else { le_v };
+                st.3 |= le_v == f64::INFINITY;
+            }
+            _ => {}
+        }
+    }
+    for (name, _, _, saw_inf) in &hist_state {
+        if !saw_inf {
+            return Err(format!("histogram {name} missing +Inf bucket"));
+        }
+    }
+    if summary.families == 0 {
+        return Err("no metric families".to_string());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_enforces_charset() {
+        assert_eq!(sanitize_metric_name("peak_dram_c"), "peak_dram_c");
+        assert_eq!(sanitize_metric_name("queue.wait-ps"), "queue_wait_ps");
+        assert_eq!(sanitize_metric_name("3rd"), "_3rd");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("a:b"), "a:b");
+    }
+
+    #[test]
+    fn writer_renders_and_validator_accepts() {
+        let mut w = PromWriter::new();
+        w.counter("pim_ops", "PIM operations executed", 1234)
+            .gauge("peak_dram_c", "peak DRAM temperature", 84.5)
+            .labeled_gauge(
+                "vault_peak_dram_c",
+                "per-vault peak DRAM temperature",
+                "vault",
+                &[("0".to_string(), 80.0), ("1".to_string(), 81.5)],
+            );
+        let mut h = Histogram::new();
+        for v in [1u64, 3, 100] {
+            h.record(v);
+        }
+        w.histogram("queue_wait_ps", "queue wait", &h);
+        let page = w.finish();
+        assert!(page.contains("# TYPE coolpim_pim_ops_total counter"));
+        assert!(page.contains("coolpim_vault_peak_dram_c{vault=\"1\"} 81.5"));
+        assert!(page.contains("coolpim_queue_wait_ps_bucket{le=\"+Inf\"} 3"));
+        let s = validate_exposition(&page).expect("page validates");
+        assert_eq!(s.families, 4);
+        assert_eq!(s.counter("coolpim_pim_ops_total"), Some(1234.0));
+    }
+
+    #[test]
+    fn registry_renders_every_metric() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("epochs", 17);
+        reg.gauge("pool_tokens", 92.0);
+        reg.observe("hmc_service_ps", 50_000);
+        let mut w = PromWriter::new();
+        render_registry(&mut w, &reg);
+        let page = w.finish();
+        let s = validate_exposition(&page).expect("valid");
+        assert_eq!(s.families, 3);
+        assert_eq!(s.counter("coolpim_epochs_total"), Some(17.0));
+        assert!(page.contains("coolpim_pool_tokens 92"));
+        assert!(page.contains("coolpim_hmc_service_ps_count 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_to_inf() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 8, 8, 8] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.histogram("lat", "x", &h);
+        let page = w.finish();
+        validate_exposition(&page).expect("cumulative buckets validate");
+        // The +Inf bucket equals _count.
+        assert!(page.contains("coolpim_lat_bucket{le=\"+Inf\"} 7"));
+        assert!(page.contains("coolpim_lat_count 7"));
+        assert!(page.contains("coolpim_lat_sum 28"));
+    }
+
+    #[test]
+    fn validator_rejects_malformations() {
+        // Sample before TYPE.
+        assert!(validate_exposition("orphan 1\n").is_err());
+        // Invalid name.
+        assert!(validate_exposition("# HELP bad-name x\n").is_err());
+        // TYPE without HELP.
+        assert!(validate_exposition("# TYPE orphan gauge\norphan 1\n").is_err());
+        // Unknown type keyword.
+        assert!(validate_exposition("# HELP m x\n# TYPE m widget\nm 1\n").is_err());
+        // Negative counter.
+        assert!(
+            validate_exposition("# HELP c_total x\n# TYPE c_total counter\nc_total -1\n").is_err()
+        );
+        // Non-cumulative histogram.
+        assert!(validate_exposition(
+            "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
+        )
+        .is_err());
+        // Histogram without +Inf.
+        assert!(validate_exposition(
+            "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n"
+        )
+        .is_err());
+        // Bad value token.
+        assert!(validate_exposition("# HELP g x\n# TYPE g gauge\ng wat\n").is_err());
+        // Empty page.
+        assert!(validate_exposition("\n\n").is_err());
+    }
+
+    #[test]
+    fn gauge_nan_and_inf_render_as_prometheus_tokens() {
+        let mut w = PromWriter::new();
+        w.gauge("a", "x", f64::NAN).gauge("b", "x", f64::INFINITY);
+        let page = w.finish();
+        assert!(page.contains("coolpim_a NaN"));
+        assert!(page.contains("coolpim_b +Inf"));
+        validate_exposition(&page).expect("NaN/Inf are valid sample values");
+    }
+
+    #[test]
+    fn status_snapshot_round_trips() {
+        let s = StatusSnapshot {
+            run_id: "pagerank+CoolPIM(SW) seed=7".to_string(),
+            config_hash: "9a3f00c1d2e4b567".to_string(),
+            phase: "Extended".to_string(),
+            epoch: 412,
+            t_ps: 41_200_000_000,
+            peak_dram_c: 84.75,
+            epochs_per_s: 1532.5,
+            eta_s: 12.25,
+            last_warning_id: 3,
+            done: false,
+        };
+        let json = s.to_json();
+        let back = StatusSnapshot::from_json(&json).expect("parses");
+        assert_eq!(s, back);
+        // And through the generic flat parser (the satellite contract).
+        let o = parse_flat_object(&json).expect("flat object");
+        assert_eq!(o.str_field("config_hash"), Some("9a3f00c1d2e4b567"));
+        assert_eq!(o.u64_field("epoch"), Some(412));
+    }
+
+    #[test]
+    fn status_nan_eta_round_trips_as_nan() {
+        let s = StatusSnapshot {
+            eta_s: f64::NAN,
+            ..Default::default()
+        };
+        let back = StatusSnapshot::from_json(&s.to_json()).expect("parses");
+        assert!(back.eta_s.is_nan());
+        assert!(!back.done);
+    }
+}

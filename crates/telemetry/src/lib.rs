@@ -27,7 +27,16 @@
 //! * [`flight`] — the spatial flight recorder: a no-alloc ring of
 //!   per-vault samples ([`FlightRecorder`]) dumped on thermal anomalies
 //!   as versioned post-mortem bundles ([`PostmortemBundle`]) with
-//!   SM → vault PIM attribution.
+//!   SM → vault PIM attribution;
+//! * [`timeseries`] — in-run history at bounded memory: fixed-capacity
+//!   ring tiers, 2x-decimated per tier ([`TimeSeries`], [`SeriesSet`]),
+//!   no allocation on the per-epoch push path;
+//! * [`expo`] — the monitor wire formats: Prometheus text exposition
+//!   ([`PromWriter`], [`validate_exposition`]) and the flat-JSON
+//!   `/status` payload ([`StatusSnapshot`]);
+//! * [`monitor`] — the live monitor itself: the [`MonitorHub`] snapshot
+//!   bridge and the one-thread in-tree HTTP [`MonitorServer`]
+//!   (`/metrics`, `/status`, `/series`, `/healthz`).
 //!
 //! ## Example
 //!
@@ -46,21 +55,27 @@
 
 pub mod analysis;
 pub mod event;
+pub mod expo;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 
 pub use analysis::{ControlLoopReport, LatencyStats};
 pub use event::TelemetryEvent;
+pub use expo::{validate_exposition, ExpoSummary, PromWriter, StatusSnapshot};
 pub use flight::{FlightFrame, FlightRecorder, PostmortemBundle, VaultSample};
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use monitor::{EpochObservation, MonitorHub, MonitorServer};
 pub use sink::{
     CsvSink, EventLog, JsonlSink, MultiSink, NullSink, RecordingSink, RotatingJsonlSink, Sink,
     CSV_TIMELINE_HEADER,
 };
 pub use span::{ProfileReport, Profiler, SpanTimer};
+pub use timeseries::{Agg, SeriesSet, TimeSeries};
 
 /// The per-run telemetry bundle the co-simulator carries: an optional
 /// event sink, the metrics registry, and the profiler.

@@ -128,6 +128,30 @@ impl Histogram {
         *self = Self::default();
     }
 
+    /// Raw per-bucket counts (bucket `i` covers `[2^(i-1), 2^i)`, bucket
+    /// 0 holds zero) — the exposition layer renders these as cumulative
+    /// `le`-buckets.
+    pub fn bucket_counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Inclusive upper bound of bucket `i`: `0` for bucket 0, otherwise
+    /// `2^i - 1` (the largest value with `i` significant bits).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
     /// A cloneable summary for snapshots.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -236,6 +260,21 @@ impl MetricsRegistry {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| *v)
+    }
+
+    /// Iterates `(name, total)` over the registered counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// Iterates `(name, value)` over the registered gauges.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().copied()
+    }
+
+    /// Iterates `(name, histogram)` over the registered histograms.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(n, h)| (*n, h))
     }
 
     /// Drains the registry into a cloneable snapshot, resetting it.
@@ -451,6 +490,87 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), 10);
         assert_eq!(a.max(), 2000);
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        // Recording the union of two sample streams into one histogram
+        // must equal recording them separately and merging — the
+        // windowed-percentile path (live display merges per-interval
+        // histograms) depends on this.
+        let xs: Vec<u64> = (0..50u64).map(|i| i * 7 % 1024).collect();
+        let ys: Vec<u64> = (0..80u64).map(|i| i * i % 100_000).collect();
+        let mut combined = Histogram::new();
+        for &v in xs.iter().chain(ys.iter()) {
+            combined.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), combined.bucket_counts());
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.sum(), combined.sum());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.summary(), combined.summary());
+    }
+
+    #[test]
+    fn reset_clears_to_empty() {
+        let mut h = Histogram::new();
+        for v in [1u64, 50, 9000] {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.bucket_counts(), Histogram::new().bucket_counts());
+        assert_eq!(h.summary(), HistogramSummary::default());
+        // A reset histogram records as if fresh (min tracking intact).
+        h.record(42);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_bracket_samples() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 8, 1_000_000] {
+            h.record(v);
+        }
+        // Bucket counts sum to the sample count; bounds grow monotonic.
+        let seen: u64 = h.bucket_counts().iter().sum();
+        assert_eq!(seen, h.count());
+        for i in 1..HIST_BUCKETS {
+            assert!(Histogram::bucket_upper_bound(i) > Histogram::bucket_upper_bound(i - 1));
+        }
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(4), 15);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn registry_iterators_expose_all_metrics() {
+        let mut m = MetricsRegistry::new();
+        m.count("a", 2);
+        m.count("b", 3);
+        m.gauge("g", 1.5);
+        m.observe("h", 9);
+        assert_eq!(m.counters().count(), 2);
+        assert_eq!(m.counters().find(|(n, _)| *n == "b").unwrap().1, 3);
+        assert_eq!(m.gauges().next(), Some(("g", 1.5)));
+        let (name, hist) = m.histograms().next().unwrap();
+        assert_eq!(name, "h");
+        assert_eq!(hist.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! In-run time series: fixed-capacity, downsampling ring buffers.
+//!
+//! The flight recorder answers "what happened just before the anomaly";
+//! this module answers "what has the run been doing over its whole
+//! lifetime" at bounded memory. Each [`TimeSeries`] owns a chain of
+//! tiers: tier 0 holds raw per-epoch samples, tier `k` holds one point
+//! per `2^k` raw samples (the configured [`Agg`] folds them). Every tier
+//! is a fixed ring, so a series of `T` tiers of capacity `C` covers the
+//! last `C` epochs at full resolution, the last `2C` at half, … the last
+//! `2^(T-1) C` at the coarsest — recent history sharp, old history
+//! cheap, total memory constant.
+//!
+//! Everything is allocated at construction ([`TimeSeries::new`],
+//! [`SeriesSet::builder`]); [`TimeSeries::push`] writes into
+//! pre-allocated rings and never allocates — the same hot-path
+//! discipline as [`crate::flight`].
+
+/// How a tier folds the two finer-tier points it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Arithmetic mean (rates, bandwidths, queue waits).
+    Mean,
+    /// Maximum (temperatures, anything peak-shaped).
+    Max,
+    /// The newer of the two (level gauges: pool size, warp cap).
+    Last,
+}
+
+impl Agg {
+    fn fold(self, a: f64, b: f64) -> f64 {
+        match self {
+            Agg::Mean => 0.5 * (a + b),
+            Agg::Max => a.max(b),
+            Agg::Last => b,
+        }
+    }
+}
+
+/// One fixed-capacity ring of `(t_ps, value)` points.
+#[derive(Debug, Clone)]
+struct Tier {
+    t_ps: Vec<u64>,
+    v: Vec<f64>,
+    /// Next slot to overwrite.
+    head: usize,
+    /// Live points (saturates at capacity).
+    len: usize,
+    /// Carry for the next-coarser tier: the first of the pair, waiting
+    /// for its partner.
+    carry: Option<(u64, f64)>,
+}
+
+impl Tier {
+    fn new(capacity: usize) -> Self {
+        Self {
+            t_ps: vec![0; capacity],
+            v: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+            carry: None,
+        }
+    }
+
+    fn push(&mut self, t_ps: u64, v: f64) {
+        let cap = self.t_ps.len();
+        self.t_ps[self.head] = t_ps;
+        self.v[self.head] = v;
+        self.head = (self.head + 1) % cap;
+        self.len = (self.len + 1).min(cap);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let cap = self.t_ps.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| {
+            let s = (start + i) % cap;
+            (self.t_ps[s], self.v[s])
+        })
+    }
+
+    fn latest(&self) -> Option<(u64, f64)> {
+        if self.len == 0 {
+            None
+        } else {
+            let cap = self.t_ps.len();
+            let s = (self.head + cap - 1) % cap;
+            Some((self.t_ps[s], self.v[s]))
+        }
+    }
+}
+
+/// One named series: a chain of progressively 2x-decimated ring tiers.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: &'static str,
+    agg: Agg,
+    tiers: Vec<Tier>,
+    /// Total raw samples ever pushed (monotonic; counts overwrites).
+    pushed: u64,
+}
+
+impl TimeSeries {
+    /// A series named `name` with `tiers` rings of `capacity` points
+    /// each, folded by `agg`. Allocates everything now; panics on zero
+    /// capacity or zero tiers.
+    pub fn new(name: &'static str, agg: Agg, capacity: usize, tiers: usize) -> Self {
+        assert!(capacity > 0, "time series needs capacity >= 1");
+        assert!(tiers > 0, "time series needs at least one tier");
+        Self {
+            name,
+            agg,
+            tiers: (0..tiers).map(|_| Tier::new(capacity)).collect(),
+            pushed: 0,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The configured downsampling fold.
+    pub fn agg(&self) -> Agg {
+        self.agg
+    }
+
+    /// Number of tiers (tier 0 = raw).
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Points per tier ring.
+    pub fn capacity(&self) -> usize {
+        self.tiers[0].t_ps.len()
+    }
+
+    /// Total raw samples ever pushed (monotonic).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Records one raw sample, cascading completed pairs into the
+    /// coarser tiers. No allocation.
+    pub fn push(&mut self, t_ps: u64, v: f64) {
+        self.pushed += 1;
+        let t = t_ps;
+        let mut val = v;
+        for k in 0..self.tiers.len() {
+            self.tiers[k].push(t, val);
+            // The last tier keeps no carry — nothing coarser to feed.
+            if k + 1 == self.tiers.len() {
+                break;
+            }
+            match self.tiers[k].carry.take() {
+                None => {
+                    self.tiers[k].carry = Some((t, val));
+                    break;
+                }
+                Some((_t0, v0)) => {
+                    // Pair complete: the aggregated point is stamped at
+                    // the newer sample's time (`t` unchanged) and
+                    // cascades up.
+                    val = self.agg.fold(v0, val);
+                }
+            }
+        }
+    }
+
+    /// Live points of tier `k`, oldest → newest. Empty iterator for an
+    /// out-of-range tier.
+    pub fn iter_tier(&self, k: usize) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.tiers.get(k).into_iter().flat_map(|t| t.iter())
+    }
+
+    /// Number of live points in tier `k` (0 for out-of-range tiers).
+    pub fn tier_len(&self, k: usize) -> usize {
+        self.tiers.get(k).map_or(0, |t| t.len)
+    }
+
+    /// The most recent raw sample, if any.
+    pub fn latest(&self) -> Option<(u64, f64)> {
+        self.tiers[0].latest()
+    }
+}
+
+/// A fixed set of named series sampled together once per epoch.
+///
+/// Built once (all rings pre-allocated) via [`SeriesSet::builder`]; the
+/// per-epoch path looks series up by the index returned at registration
+/// ([`SeriesSet::push`]) or scans by name ([`SeriesSet::push_named`],
+/// linear over a handful of entries — the registry discipline).
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSet {
+    series: Vec<TimeSeries>,
+}
+
+/// Builder for [`SeriesSet`] (all allocation happens here).
+#[derive(Debug, Default)]
+pub struct SeriesSetBuilder {
+    capacity: usize,
+    tiers: usize,
+    series: Vec<TimeSeries>,
+}
+
+impl SeriesSetBuilder {
+    /// Registers one series; returns its stable index for O(1) pushes.
+    pub fn series(&mut self, name: &'static str, agg: Agg) -> usize {
+        self.series
+            .push(TimeSeries::new(name, agg, self.capacity, self.tiers));
+        self.series.len() - 1
+    }
+
+    /// Finishes the set.
+    pub fn build(self) -> SeriesSet {
+        SeriesSet {
+            series: self.series,
+        }
+    }
+}
+
+impl SeriesSet {
+    /// Starts a builder whose series all share `capacity` points per
+    /// tier and `tiers` tiers.
+    pub fn builder(capacity: usize, tiers: usize) -> SeriesSetBuilder {
+        assert!(capacity > 0 && tiers > 0);
+        SeriesSetBuilder {
+            capacity,
+            tiers,
+            series: Vec::new(),
+        }
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the set holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Pushes a sample into the series registered as `idx`.
+    #[inline]
+    pub fn push(&mut self, idx: usize, t_ps: u64, v: f64) {
+        self.series[idx].push(t_ps, v);
+    }
+
+    /// Pushes by name (linear scan; ignores unknown names).
+    pub fn push_named(&mut self, name: &str, t_ps: u64, v: f64) {
+        if let Some(s) = self.series.iter_mut().find(|s| s.name == name) {
+            s.push(t_ps, v);
+        }
+    }
+
+    /// The series named `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Iterates the registered series.
+    pub fn iter(&self) -> impl Iterator<Item = &TimeSeries> {
+        self.series.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_tier_keeps_the_newest_window() {
+        let mut s = TimeSeries::new("x", Agg::Last, 4, 1);
+        for i in 1..=9u64 {
+            s.push(i * 10, i as f64);
+        }
+        let pts: Vec<(u64, f64)> = s.iter_tier(0).collect();
+        assert_eq!(
+            pts,
+            vec![(60, 6.0), (70, 7.0), (80, 8.0), (90, 9.0)],
+            "ring holds the last `capacity` samples in order"
+        );
+        assert_eq!(s.total_pushed(), 9);
+        assert_eq!(s.latest(), Some((90, 9.0)));
+        assert_eq!(s.tier_len(0), 4);
+        assert_eq!(s.iter_tier(5).count(), 0, "out-of-range tier is empty");
+    }
+
+    #[test]
+    fn decimated_tier_covers_twice_the_history() {
+        // Tier 1 gets one point per 2 raw samples → a capacity-4 tier 1
+        // spans the last 8 raw samples.
+        let mut s = TimeSeries::new("x", Agg::Mean, 4, 2);
+        for i in 1..=8u64 {
+            s.push(i, i as f64);
+        }
+        let t1: Vec<(u64, f64)> = s.iter_tier(1).collect();
+        assert_eq!(t1.len(), 4);
+        // Pairs (1,2) (3,4) (5,6) (7,8) → means 1.5 3.5 5.5 7.5, stamped
+        // at the newer sample's time.
+        assert_eq!(t1, vec![(2, 1.5), (4, 3.5), (6, 5.5), (8, 7.5)]);
+    }
+
+    #[test]
+    fn tier_cascade_decimates_by_powers_of_two() {
+        let mut s = TimeSeries::new("x", Agg::Max, 8, 3);
+        for i in 1..=8u64 {
+            s.push(i, i as f64);
+        }
+        assert_eq!(s.tier_len(0), 8);
+        assert_eq!(s.tier_len(1), 4, "one point per 2 raw samples");
+        assert_eq!(s.tier_len(2), 2, "one point per 4 raw samples");
+        let t2: Vec<(u64, f64)> = s.iter_tier(2).collect();
+        // Max over (1..=4) = 4 at t=4; max over (5..=8) = 8 at t=8.
+        assert_eq!(t2, vec![(4, 4.0), (8, 8.0)]);
+    }
+
+    #[test]
+    fn aggregations_fold_as_documented() {
+        assert_eq!(Agg::Mean.fold(2.0, 4.0), 3.0);
+        assert_eq!(Agg::Max.fold(2.0, 4.0), 4.0);
+        assert_eq!(Agg::Max.fold(5.0, 4.0), 5.0);
+        assert_eq!(Agg::Last.fold(2.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn push_does_not_allocate_after_construction() {
+        // Structural proxy for the no-alloc claim (the allocation-probe
+        // global hook lives in the core crate's tests): pushing far past
+        // every tier's capacity never grows any ring.
+        let mut s = TimeSeries::new("x", Agg::Mean, 16, 3);
+        let caps: Vec<usize> = s.tiers.iter().map(|t| t.t_ps.capacity()).collect();
+        for i in 0..10_000u64 {
+            s.push(i, i as f64);
+        }
+        let after: Vec<usize> = s.tiers.iter().map(|t| t.t_ps.capacity()).collect();
+        assert_eq!(caps, after);
+        assert_eq!(s.tier_len(0), 16);
+    }
+
+    #[test]
+    fn series_set_registers_pushes_and_looks_up() {
+        let mut b = SeriesSet::builder(8, 2);
+        let temp = b.series("peak_dram_c", Agg::Max);
+        let pool = b.series("pool_tokens", Agg::Last);
+        let mut set = b.build();
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        set.push(temp, 100, 81.0);
+        set.push(pool, 100, 96.0);
+        set.push_named("peak_dram_c", 200, 83.0);
+        set.push_named("unknown", 200, 1.0); // ignored
+        assert_eq!(set.get("peak_dram_c").unwrap().latest(), Some((200, 83.0)));
+        assert_eq!(set.get("pool_tokens").unwrap().latest(), Some((100, 96.0)));
+        assert!(set.get("unknown").is_none());
+        assert_eq!(set.iter().count(), 2);
+        assert_eq!(set.get("pool_tokens").unwrap().agg(), Agg::Last);
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden-file tests for the live-monitor wire formats: a fixed hub
+//! state must render byte-identical Prometheus text and `/status` JSON
+//! against the committed goldens (`tests/golden/`), pass the in-tree
+//! exposition validator, and round-trip through the flat-JSON codec.
+//!
+//! To refresh after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test --test expo_golden` and commit the diff.
+
+use std::path::PathBuf;
+
+use coolpim::telemetry::monitor::EpochObservation;
+use coolpim::telemetry::{validate_exposition, MetricsRegistry, MonitorHub, StatusSnapshot};
+
+/// A fixed, fully deterministic hub state: every number chosen to
+/// exercise a distinct renderer path (counters, finite and NaN gauges,
+/// a histogram with occupied and empty buckets, 32 labeled vault
+/// temps).
+fn golden_hub() -> MonitorHub {
+    let hub = MonitorHub::new();
+    hub.begin_run("golden-run", "00000000deadbeef");
+    let mut reg = MetricsRegistry::new();
+    reg.count("warnings_raised", 3);
+    reg.count("pool_shrinks", 2);
+    reg.gauge("peak_dram_c", 84.25);
+    reg.gauge("token_pool_size", 96.0);
+    for v in [100u64, 900, 7_000, 65_000] {
+        reg.observe("warning_to_action_ps", v);
+    }
+    let vaults: Vec<f64> = (0..32).map(|i| 70.0 + (i % 8) as f64).collect();
+    let obs = EpochObservation {
+        t_ps: 400_000,
+        epoch: 4,
+        phase: "Extended",
+        peak_dram_c: 84.25,
+        pool_tokens: 96.0,
+        warp_cap: f64::NAN, // SW policy: no HW warp cap
+        pim_ops_per_s: 2.0e6,
+        queue_wait_ps: 1.5e4,
+        solver_sweeps: 12.0,
+        epochs_per_s: 250.0,
+        eta_s: 4.0,
+        last_warning_id: 3,
+        vault_peak_dram_c: &vaults,
+    };
+    hub.sample(&obs, &reg);
+    hub
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with UPDATE_GOLDEN=1 to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{} drifted from the golden copy — if intentional, refresh with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn metrics_page_matches_golden_and_validates() {
+    let page = golden_hub().metrics_text();
+    // Structural validity first: name/label charsets, HELP/TYPE before
+    // samples, counters finite and non-negative, histogram buckets
+    // cumulative with a +Inf terminal.
+    let summary = validate_exposition(&page).expect("golden page must be a valid exposition");
+    assert!(summary.families >= 10, "families: {}", summary.families);
+    assert_eq!(summary.counter("coolpim_live_epoch_total"), Some(4.0));
+    assert_eq!(summary.counter("coolpim_warnings_raised_total"), Some(3.0));
+    check_golden("metrics.prom", &page);
+}
+
+#[test]
+fn status_json_matches_golden_and_roundtrips() {
+    let hub = golden_hub();
+    let body = hub.status_json();
+    let parsed = StatusSnapshot::from_json(&body).expect("/status is one flat JSON object");
+    assert_eq!(parsed.run_id, "golden-run");
+    assert_eq!(parsed.config_hash, "00000000deadbeef");
+    assert_eq!(parsed.epoch, 4);
+    assert_eq!(parsed.phase, "Extended");
+    assert!(!parsed.done);
+    // Byte-stable round trip through telemetry::json.
+    assert_eq!(parsed.to_json(), body);
+    check_golden("status.json", &body);
+}
