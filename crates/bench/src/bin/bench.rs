@@ -4,10 +4,12 @@
 //! thermal solve, transient 100 µs epoch step, `Hmc` submit, one full
 //! co-simulated run) on the shared `harness::Runner`, and replays a
 //! scripted co-sim power sequence (ramp → hold → idle tail) through both
-//! the current transient solver and an in-bin replica of the pre-PR-5
-//! solver, counting Gauss–Seidel sweeps and wall time for each. The
-//! sweep ratio is the evidence behind PR 5's "≥1.5× fewer sweeps" claim
-//! and CI's `bench-trend` job gates on it staying put.
+//! the current transient solver and the canonical pre-PR-5 reference
+//! solver (`coolpim_thermal::reference::ReferenceTransient` — the same
+//! implementation the `coolpim-validate` lockstep oracle drives),
+//! counting Gauss–Seidel sweeps and wall time for each. The sweep ratio
+//! is the evidence behind PR 5's "≥1.5× fewer sweeps" claim and CI's
+//! `bench-trend` job gates on it staying put.
 //!
 //! PR 6 adds the live-telemetry figures: `telemetry.sample_epoch_s`
 //! (the wall cost of one `MonitorHub::sample` with 32 vault temps and a
@@ -38,82 +40,8 @@ use coolpim_thermal::grid::ThermalGrid;
 use coolpim_thermal::layers::StackConfig;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::{build_power_map, PowerParams, TrafficSample};
-use coolpim_thermal::solver::TransientState;
-
-/// Replica of the pre-PR-5 transient solver (natural node order, plain
-/// Gauss–Seidel, per-node diagonal recompute every sweep, no fast paths),
-/// kept here so the sweep-reduction claim stays measurable after the
-/// library solver moved on. Mirrors `crates/thermal/src/solver.rs` as of
-/// the PR-4 tree, plus a sweep counter.
-struct LegacyTransient {
-    temps: Vec<f64>,
-    ambient_c: f64,
-    c_scale: f64,
-    max_substep_s: f64,
-    prev: Vec<f64>,
-    sweeps: u64,
-    substeps: u64,
-}
-
-impl LegacyTransient {
-    const TR_TOLERANCE: f64 = 1e-6;
-    const TR_MAX_SWEEPS: usize = 2_000;
-
-    fn new(grid: &ThermalGrid, ambient_c: f64, c_scale: f64) -> Self {
-        let sink = grid.sink_node();
-        let sink_tau = c_scale * grid.capacitance()[sink] / grid.g_ambient()[sink];
-        let n = grid.node_count();
-        Self {
-            temps: vec![ambient_c; n],
-            ambient_c,
-            c_scale,
-            max_substep_s: (sink_tau / 20.0).max(1e-9),
-            prev: vec![ambient_c; n],
-            sweeps: 0,
-            substeps: 0,
-        }
-    }
-
-    /// Warm start (uncounted): both contenders begin at the same steady
-    /// state, like the co-sim's first-epoch `warm_start`.
-    fn jump_to_steady_state(&mut self, grid: &ThermalGrid, power: &[f64]) {
-        self.temps = coolpim_thermal::solver::steady_state(grid, power, self.ambient_c);
-    }
-
-    fn step(&mut self, grid: &ThermalGrid, power: &[f64], dt: f64) {
-        let substeps = (dt / self.max_substep_s).ceil().max(1.0) as usize;
-        let h = dt / substeps as f64;
-        for _ in 0..substeps {
-            self.substep(grid, power, h);
-        }
-    }
-
-    fn substep(&mut self, grid: &ThermalGrid, power: &[f64], h: f64) {
-        let caps = grid.capacitance();
-        let g_amb = grid.g_ambient();
-        let g_total = grid.g_total();
-        let n = grid.node_count();
-        self.prev.copy_from_slice(&self.temps);
-        self.substeps += 1;
-        for _ in 0..Self::TR_MAX_SWEEPS {
-            self.sweeps += 1;
-            let mut max_delta: f64 = 0.0;
-            for i in 0..n {
-                let c_over_h = self.c_scale * caps[i] / h;
-                let mut acc = power[i] + c_over_h * self.prev[i] + g_amb[i] * self.ambient_c;
-                for (nb, g) in grid.neighbours(i) {
-                    acc += g * self.temps[nb];
-                }
-                let fresh = acc / (c_over_h + g_total[i]);
-                max_delta = max_delta.max((fresh - self.temps[i]).abs());
-                self.temps[i] = fresh;
-            }
-            if max_delta < Self::TR_TOLERANCE {
-                break;
-            }
-        }
-    }
-}
+use coolpim_thermal::solver::{ThermalSolve, TransientState};
+use coolpim_thermal::ReferenceTransient;
 
 /// The scripted per-epoch power sequence: a co-sim-shaped load profile
 /// at a 100 µs epoch. Both solvers are warm-started at the steady state
@@ -326,9 +254,12 @@ fn main() {
     );
     rec.push("telemetry.overhead_pct", res.telemetry_overhead_pct);
 
-    // Solver trajectory: current solver vs the pre-PR-5 replica over the
-    // scripted ramp → hold → idle sequence.
-    println!("\n# transient solver: current vs pre-PR-5 replica (scripted 23 ms sequence)");
+    // Solver trajectory: current solver vs the canonical pre-PR-5
+    // reference over the scripted ramp → hold → idle sequence. The
+    // `solver.legacy_*` metric names predate the replica's promotion to
+    // `coolpim_thermal::reference` and are kept so the bench-trend
+    // history stays one continuous series.
+    println!("\n# transient solver: current vs reference (scripted 23 ms sequence)");
     let grid = bench_grid();
     let seq = scripted_power_sequence(&grid);
     let c_scale = 1e-4;
@@ -339,11 +270,15 @@ fn main() {
         &seq,
         reps,
         || {
-            let mut st = LegacyTransient::new(&grid, 25.0, c_scale);
-            st.jump_to_steady_state(&grid, &seq[0]);
+            // Warm start (uncounted, outside the timed region): the
+            // co-sim's first-epoch `warm_start`, via the optimized SOR so
+            // both contenders begin at the bit-identical field the
+            // pre-promotion in-bin replica used.
+            let mut st = ReferenceTransient::new(&grid, 25.0, c_scale);
+            st.warm_start(&coolpim_thermal::solver::steady_state(&grid, &seq[0], 25.0));
             st
         },
-        |st, p| st.step(&grid, p, dt),
+        |st, p| ThermalSolve::step(st, &grid, p, dt),
     );
     let (new_wall, current) = replay(
         &seq,
@@ -356,20 +291,21 @@ fn main() {
         |st, p| st.step(&grid, p, dt),
     );
     let stats = current.solver_stats();
+    let legacy_stats = legacy.solver_stats();
     let new_sweeps = stats.sweeps;
-    let sweep_ratio = new_sweeps as f64 / legacy.sweeps.max(1) as f64;
+    let sweep_ratio = new_sweeps as f64 / legacy_stats.sweeps.max(1) as f64;
     let wall_ratio = new_wall / legacy_wall.max(1e-12);
     let max_dev = current
         .temps()
         .iter()
-        .zip(&legacy.temps)
+        .zip(legacy.temps())
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
 
     println!(
         "legacy : {:>8} sweeps / {:>5} substeps  in {:>8.2} ms",
-        legacy.sweeps,
-        legacy.substeps,
+        legacy_stats.sweeps,
+        legacy_stats.substeps,
         legacy_wall * 1e3
     );
     println!(
@@ -381,8 +317,8 @@ fn main() {
         sweep_ratio, wall_ratio, max_dev
     );
 
-    rec.push("solver.legacy_sweeps", legacy.sweeps as f64);
-    rec.push("solver.legacy_substeps", legacy.substeps as f64);
+    rec.push("solver.legacy_sweeps", legacy_stats.sweeps as f64);
+    rec.push("solver.legacy_substeps", legacy_stats.substeps as f64);
     rec.push("solver.legacy_wall_s", legacy_wall);
     rec.push("solver.new_sweeps", new_sweeps as f64);
     rec.push("solver.new_substeps", stats.substeps as f64);

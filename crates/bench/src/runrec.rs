@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 
 use coolpim_core::cosim::CoSimResult;
 use coolpim_telemetry::json::{parse_flat_object, FlatValue, JsonBuilder};
+use coolpim_telemetry::Tolerance;
 
 /// Version stamped into every record; bump on incompatible layout
 /// changes so the comparator can refuse mixed-version diffs.
@@ -209,18 +210,17 @@ impl RunRecord {
     }
 }
 
-/// One gated metric: a tolerance band around the baseline value.
-/// `allowed slack = abs_tol + rel_tol × |baseline|`; a move past the
-/// slack in the *worse* direction is a regression, any move in the
-/// better direction never is.
+/// One gated metric: a [`Tolerance`] band around the baseline value —
+/// the same `abs + rel·|baseline|` vocabulary the lockstep oracle and
+/// the solver equivalence tests use. A move past the band's slack in
+/// the *worse* direction is a regression, any move in the better
+/// direction never is.
 #[derive(Debug, Clone, Copy)]
 pub struct Gate {
     /// Metric key in the record.
     pub metric: &'static str,
-    /// Relative tolerance (fraction of the baseline value).
-    pub rel_tol: f64,
-    /// Absolute tolerance (metric units).
-    pub abs_tol: f64,
+    /// Tolerance band around the baseline.
+    pub tol: Tolerance,
     /// Whether larger values are worse (execution time, temperature) as
     /// opposed to smaller-is-worse throughput metrics.
     pub higher_is_worse: bool,
@@ -232,46 +232,39 @@ pub struct Gate {
 pub const DEFAULT_GATES: &[Gate] = &[
     Gate {
         metric: "exec_s",
-        rel_tol: 0.05,
-        abs_tol: 0.0,
+        tol: Tolerance::rel(0.05),
         higher_is_worse: true,
     },
     Gate {
         metric: "max_peak_dram_c",
-        rel_tol: 0.0,
-        abs_tol: 0.5,
+        tol: Tolerance::abs(0.5),
         higher_is_worse: true,
     },
     Gate {
         metric: "avg_pim_rate_op_ns",
-        rel_tol: 0.05,
-        abs_tol: 0.0,
+        tol: Tolerance::rel(0.05),
         higher_is_worse: false,
     },
     Gate {
         metric: "ext_data_bytes",
-        rel_tol: 0.05,
-        abs_tol: 0.0,
+        tol: Tolerance::rel(0.05),
         higher_is_worse: true,
     },
     Gate {
         metric: "throttle_steps",
-        rel_tol: 0.0,
-        abs_tol: 2.0,
+        tol: Tolerance::abs(2.0),
         higher_is_worse: true,
     },
     Gate {
         metric: "shutdown",
-        rel_tol: 0.0,
-        abs_tol: 0.0,
+        tol: Tolerance::EXACT,
         higher_is_worse: true,
     },
     Gate {
         // Log2-bucketed percentile: identical behaviour can move one
         // bucket, so allow a full factor of two.
         metric: "hist.warning_to_action_ps.p50",
-        rel_tol: 1.0,
-        abs_tol: 0.0,
+        tol: Tolerance::rel(1.0),
         higher_is_worse: true,
     },
     Gate {
@@ -280,16 +273,14 @@ pub const DEFAULT_GATES: &[Gate] = &[
         // baseline value. The hard ceiling is asserted separately via
         // `bench_compare --assert-max`.
         metric: "telemetry_overhead_pct",
-        rel_tol: 0.0,
-        abs_tol: 3.0,
+        tol: Tolerance::abs(3.0),
         higher_is_worse: true,
     },
     Gate {
         // Dump count is deterministic for a fixed seed; a small slack
         // absorbs trigger-ordering changes near the threshold.
         metric: "postmortem_dumps",
-        rel_tol: 0.0,
-        abs_tol: 2.0,
+        tol: Tolerance::abs(2.0),
         higher_is_worse: true,
     },
 ];
@@ -393,9 +384,8 @@ pub fn compare(baseline: &RunRecord, current: &RunRecord, gates: &[Gate]) -> Com
             let c = current.metric(g.metric);
             let status = match (b, c) {
                 (Some(b), Some(c)) => {
-                    let slack = g.abs_tol + g.rel_tol * b.abs();
                     let worse = if g.higher_is_worse { c - b } else { b - c };
-                    if worse > slack {
+                    if worse > g.tol.slack(b) {
                         GateStatus::Regressed
                     } else {
                         GateStatus::Ok

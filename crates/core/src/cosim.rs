@@ -22,6 +22,7 @@ use coolpim_telemetry::{MetricsSnapshot, MonitorHub, ProfileReport, Telemetry, T
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
+use coolpim_thermal::solver::{ThermalSolve, TransientState};
 
 use crate::policy::Policy;
 
@@ -188,9 +189,13 @@ impl CoSimResult {
 }
 
 /// The co-simulator: GPU + HMC timing coupled to the thermal plant.
-pub struct CoSim {
+///
+/// Generic over the thermal model's [`ThermalSolve`] seam (default: the
+/// optimized [`TransientState`]); [`Self::with_thermal_model`] swaps the
+/// whole plant, e.g. for one driven by the reference solver.
+pub struct CoSim<S: ThermalSolve = TransientState> {
     sys: GpuSystem,
-    thermal: HmcThermalModel,
+    thermal: HmcThermalModel<S>,
     policy: Policy,
     cfg: CoSimConfig,
     telemetry: Telemetry,
@@ -199,6 +204,9 @@ pub struct CoSim {
     heartbeat_s: Option<f64>,
 }
 
+// Constructors stay on the defaulted type so `CoSim::paper(...)` keeps
+// resolving without annotation (default type parameters don't take part
+// in inference).
 impl CoSim {
     /// Paper configuration: Table IV GPU + HMC 2.0 + commodity-server
     /// cooling.
@@ -223,11 +231,31 @@ impl CoSim {
             heartbeat_s: None,
         }
     }
+}
 
+impl<S: ThermalSolve> CoSim<S> {
     /// Replaces the GPU system (test hook for smaller configurations).
     pub fn with_system(mut self, sys: GpuSystem) -> Self {
         self.sys = sys;
         self
+    }
+
+    /// Replaces the thermal plant wholesale — the solver-swap hook the
+    /// lockstep oracle uses, e.g.
+    /// `CoSim::paper(p).with_thermal_model(model.with_solver(ReferenceTransient::new))`.
+    /// Pair it with a model built for the same cooling solution as the
+    /// config, or the run answers a different question than configured.
+    pub fn with_thermal_model<S2: ThermalSolve>(self, thermal: HmcThermalModel<S2>) -> CoSim<S2> {
+        CoSim {
+            sys: self.sys,
+            thermal,
+            policy: self.policy,
+            cfg: self.cfg,
+            telemetry: self.telemetry,
+            flight_cfg: self.flight_cfg,
+            monitor: self.monitor,
+            heartbeat_s: self.heartbeat_s,
+        }
     }
 
     /// Attaches a telemetry bundle (event sink and/or profiler). The

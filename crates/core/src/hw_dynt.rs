@@ -134,6 +134,10 @@ impl HwDynT {
 }
 
 impl OffloadController for HwDynT {
+    fn name(&self) -> &'static str {
+        "hw-dynt"
+    }
+
     fn on_block_launch(&mut self, _block_id: usize, now: Ps) -> bool {
         self.apply_pending(now);
         // HW-DynT always launches the PIM body; per-warp translation

@@ -18,6 +18,8 @@
 //!   evaluation figures,
 //! * [`multi_level`] — the paper's multi-error-state extension
 //!   (graduated warnings, footnote in §IV-B),
+//! * [`reference`] — independently re-derived SW/HW-DynT controllers the
+//!   lockstep oracle (`coolpim-validate`) pits against the shipped ones,
 //! * [`report`] — fixed-format output for the reproduction binaries.
 //!
 //! ## Quick start
@@ -43,6 +45,7 @@ pub mod experiment;
 pub mod hw_dynt;
 pub mod multi_level;
 pub mod policy;
+pub mod reference;
 pub mod report;
 pub mod sw_dynt;
 pub mod token_pool;

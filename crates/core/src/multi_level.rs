@@ -148,6 +148,10 @@ impl GraduatedHwDynT {
 }
 
 impl OffloadController for GraduatedHwDynT {
+    fn name(&self) -> &'static str {
+        "graduated-hw-dynt"
+    }
+
     fn on_block_launch(&mut self, _block_id: usize, now: Ps) -> bool {
         self.apply_pending(now);
         true

@@ -1,0 +1,391 @@
+//! Reference throttling controllers: independent re-implementations of
+//! SW-DynT and HW-DynT written straight from the paper's §IV prose, for
+//! the `coolpim-validate` lockstep oracle to pit against the shipped
+//! controllers.
+//!
+//! The point is redundancy, not reuse: these deliberately avoid the
+//! shipped controllers' internals (no [`TokenPool`](crate::token_pool),
+//! no shared pending-action plumbing) and keep the whole state machine in
+//! one flat struct each, so a bug in the optimized code paths cannot hide
+//! behind common code. Observable behaviour — every launch/offload
+//! decision and every drained telemetry event, field for field — must
+//! match the shipped implementation exactly; the lockstep driver checks
+//! precisely that.
+
+use coolpim_gpu::controller::OffloadController;
+use coolpim_gpu::kernel::KernelProfile;
+use coolpim_hmc::Ps;
+use coolpim_telemetry::TelemetryEvent;
+
+use crate::estimate::{initial_ptp_size, HardwareProfile};
+use crate::hw_dynt::HwDynTConfig;
+use crate::sw_dynt::SwDynTConfig;
+
+/// A pending action is dropped if no warning arrived within this window
+/// before it fires (§IV's stale-interrupt cancellation) — the same 300 µs
+/// both shipped controllers use.
+const STALE_WARNING_WINDOW: Ps = 300_000_000;
+
+/// A scheduled throttle action: fires at `at`, attributed to the warning
+/// episode that raised it.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    at: Ps,
+    warning_id: u64,
+}
+
+/// Reference SW-DynT: the token-pool throttler re-derived from §IV-B.
+///
+/// The pool is inlined (`size`/`issued` counters) rather than borrowed
+/// from the shipped [`TokenPool`](crate::token_pool::TokenPool):
+/// `try_acquire` grants while `issued < size`, `release` returns a
+/// token, and a warning shrink applies Eq. `size = min(size − CF,
+/// issued)` after the T_throttle delay.
+#[derive(Debug, Clone)]
+pub struct ReferenceSwDynT {
+    cfg: SwDynTConfig,
+    size: usize,
+    issued: usize,
+    pending: Option<Scheduled>,
+    quiet_until: Ps,
+    shrinks: u64,
+    first_warning_at: Option<Ps>,
+    last_warning_at: Ps,
+    events: Vec<TelemetryEvent>,
+}
+
+impl ReferenceSwDynT {
+    /// Builds the reference controller with the Eq. 1 initial pool size
+    /// for `kernel` on `hw` — the same sizing rule the shipped
+    /// controller applies, because the initial size is part of the spec.
+    pub fn new(cfg: SwDynTConfig, hw: &HardwareProfile, kernel: &KernelProfile) -> Self {
+        let size = initial_ptp_size(hw, kernel, cfg.target_rate_op_ns, cfg.margin);
+        Self {
+            cfg,
+            size,
+            issued: 0,
+            pending: None,
+            quiet_until: 0,
+            shrinks: 0,
+            first_warning_at: None,
+            last_warning_at: 0,
+            events: vec![TelemetryEvent::TokenPoolResize {
+                t_ps: 0,
+                old: size as u64,
+                new: size as u64,
+                trigger: "init",
+                warning_id: None,
+            }],
+        }
+    }
+
+    /// Current pool size.
+    pub fn pool_size(&self) -> usize {
+        self.size
+    }
+
+    /// Shrink steps applied.
+    pub fn shrink_steps(&self) -> u64 {
+        self.shrinks
+    }
+
+    fn apply_pending(&mut self, now: Ps) {
+        let Some(p) = self.pending else { return };
+        if now < p.at {
+            return;
+        }
+        self.pending = None;
+        if p.at.saturating_sub(self.last_warning_at) > STALE_WARNING_WINDOW {
+            // The cube went quiet before the handler ran: cancel.
+            self.quiet_until = p.at;
+            let size = self.size as u64;
+            self.events.push(TelemetryEvent::TokenPoolResize {
+                t_ps: now,
+                old: size,
+                new: size,
+                trigger: "stale_cancelled",
+                warning_id: Some(p.warning_id),
+            });
+            return;
+        }
+        let old = self.size as u64;
+        self.size = self
+            .size
+            .saturating_sub(self.cfg.control_factor)
+            .min(self.issued);
+        self.shrinks += 1;
+        self.quiet_until = p.at + self.cfg.t_settle;
+        self.events.push(TelemetryEvent::TokenPoolResize {
+            t_ps: now,
+            old,
+            new: self.size as u64,
+            trigger: "thermal_warning",
+            warning_id: Some(p.warning_id),
+        });
+    }
+}
+
+impl OffloadController for ReferenceSwDynT {
+    fn name(&self) -> &'static str {
+        "reference-sw-dynt"
+    }
+
+    fn on_block_launch(&mut self, _block_id: usize, now: Ps) -> bool {
+        self.apply_pending(now);
+        if self.issued < self.size {
+            self.issued += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_block_complete(&mut self, _block_id: usize, was_pim: bool, now: Ps) {
+        self.apply_pending(now);
+        if was_pim {
+            self.issued = self.issued.saturating_sub(1);
+        }
+    }
+
+    fn on_thermal_warning(&mut self, now: Ps, warning_id: u64) {
+        self.first_warning_at.get_or_insert(now);
+        self.last_warning_at = self.last_warning_at.max(now);
+        if now >= self.quiet_until && self.pending.is_none() {
+            self.pending = Some(Scheduled {
+                at: now + self.cfg.t_throttle,
+                warning_id,
+            });
+            self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
+            self.events.push(TelemetryEvent::ThermalWarningDelivered {
+                t_ps: now,
+                warning_id,
+            });
+        }
+    }
+
+    fn drain_control_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.append(&mut self.events);
+    }
+}
+
+/// Reference HW-DynT: the PCU warp-cap throttler re-derived from §IV-C.
+///
+/// Keeps one uniform cap instead of the shipped per-SM vector: the
+/// thermal feedback is cube-global and the shipped round-robin reduction
+/// runs to completion inside one call, so its observable effect is
+/// exactly "every SM loses CF slots per update".
+#[derive(Debug, Clone)]
+pub struct ReferenceHwDynT {
+    cfg: HwDynTConfig,
+    cap: usize,
+    pending: Option<Scheduled>,
+    quiet_until: Ps,
+    updates: u64,
+    first_warning_at: Option<Ps>,
+    last_warning_at: Ps,
+    events: Vec<TelemetryEvent>,
+}
+
+impl ReferenceHwDynT {
+    /// Builds the reference controller with every warp PIM-enabled.
+    pub fn new(cfg: HwDynTConfig) -> Self {
+        Self {
+            cap: cfg.warps_per_block,
+            cfg,
+            pending: None,
+            quiet_until: 0,
+            updates: 0,
+            first_warning_at: None,
+            last_warning_at: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Enabled warp slots (uniform across SMs).
+    pub fn enabled_slots(&self) -> usize {
+        self.cap
+    }
+
+    /// PCU updates applied.
+    pub fn update_steps(&self) -> u64 {
+        self.updates
+    }
+
+    fn apply_pending(&mut self, now: Ps) {
+        let Some(p) = self.pending else { return };
+        if now < p.at {
+            return;
+        }
+        self.pending = None;
+        if p.at.saturating_sub(self.last_warning_at) > STALE_WARNING_WINDOW {
+            // Stale: recovered on its own. The shipped PCU stays silent
+            // here (no cancellation event), so the reference does too.
+            self.quiet_until = p.at;
+            return;
+        }
+        let old = self.cap as u64;
+        self.cap = self.cap.saturating_sub(self.cfg.control_factor_slots);
+        self.updates += 1;
+        self.quiet_until = p.at + self.cfg.t_settle;
+        self.events.push(TelemetryEvent::WarpCapUpdate {
+            t_ps: now,
+            old_slots: old,
+            new_slots: self.cap as u64,
+            warning_id: Some(p.warning_id),
+        });
+    }
+}
+
+impl OffloadController for ReferenceHwDynT {
+    fn name(&self) -> &'static str {
+        "reference-hw-dynt"
+    }
+
+    fn on_block_launch(&mut self, _block_id: usize, now: Ps) -> bool {
+        self.apply_pending(now);
+        true
+    }
+
+    fn warp_may_offload(&mut self, _sm: usize, warp_slot: usize, now: Ps) -> bool {
+        self.apply_pending(now);
+        warp_slot < self.cap
+    }
+
+    fn on_thermal_warning(&mut self, now: Ps, warning_id: u64) {
+        self.first_warning_at.get_or_insert(now);
+        self.last_warning_at = self.last_warning_at.max(now);
+        if now >= self.quiet_until && self.pending.is_none() {
+            self.pending = Some(Scheduled {
+                at: now + self.cfg.t_throttle,
+                warning_id,
+            });
+            self.quiet_until = now + self.cfg.t_throttle + self.cfg.t_settle;
+            self.events.push(TelemetryEvent::ThermalWarningDelivered {
+                t_ps: now,
+                warning_id,
+            });
+        }
+    }
+
+    fn drain_control_events(&mut self, out: &mut Vec<TelemetryEvent>) {
+        out.append(&mut self.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw_dynt::HwDynT;
+    use crate::sw_dynt::SwDynT;
+    use coolpim_hmc::ns_to_ps;
+
+    fn kernel() -> KernelProfile {
+        KernelProfile {
+            pim_intensity: 0.4,
+            divergence_ratio: 0.1,
+        }
+    }
+
+    #[test]
+    fn reference_sw_dynt_matches_shipped_on_a_warning_episode() {
+        let cfg = SwDynTConfig::default();
+        let hw = HardwareProfile::paper();
+        let mut shipped = SwDynT::new(cfg, &hw, &kernel());
+        let mut reference = ReferenceSwDynT::new(cfg, &hw, &kernel());
+        assert_eq!(shipped.pool_size(), reference.pool_size());
+        for b in 0..96 {
+            assert_eq!(
+                shipped.on_block_launch(b, 0),
+                reference.on_block_launch(b, 0)
+            );
+        }
+        shipped.on_thermal_warning(1_000_000, 7);
+        reference.on_thermal_warning(1_000_000, 7);
+        let after = 1_000_000 + ns_to_ps(100_000.0) + 1;
+        assert_eq!(
+            shipped.on_block_launch(100, after),
+            reference.on_block_launch(100, after)
+        );
+        assert_eq!(shipped.pool_size(), reference.pool_size());
+        assert_eq!(shipped.shrink_steps(), reference.shrink_steps());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        shipped.drain_control_events(&mut a);
+        reference.drain_control_events(&mut b);
+        assert_eq!(a, b, "event streams must match field for field");
+    }
+
+    #[test]
+    fn reference_hw_dynt_matches_shipped_on_a_warning_episode() {
+        let cfg = HwDynTConfig::default();
+        let mut shipped = HwDynT::new(cfg);
+        let mut reference = ReferenceHwDynT::new(cfg);
+        shipped.on_thermal_warning(1_000, 3);
+        reference.on_thermal_warning(1_000, 3);
+        let after = 1_000 + ns_to_ps(100.0) + 1;
+        for sm in 0..cfg.sms {
+            for slot in 0..cfg.warps_per_block {
+                assert_eq!(
+                    shipped.warp_may_offload(sm, slot, after),
+                    reference.warp_may_offload(sm, slot, after),
+                    "sm {sm} slot {slot}"
+                );
+            }
+        }
+        assert_eq!(shipped.enabled_slots(), reference.enabled_slots());
+        assert_eq!(shipped.update_steps(), reference.update_steps());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        shipped.drain_control_events(&mut a);
+        reference.drain_control_events(&mut b);
+        assert_eq!(a, b, "event streams must match field for field");
+    }
+
+    #[test]
+    fn stale_cancellation_matches_shipped_including_event_asymmetry() {
+        // One warning, then a long quiet gap so the pending action goes
+        // stale: SW-DynT emits a `stale_cancelled` resize, HW-DynT stays
+        // silent. The references must reproduce both behaviours.
+        let cfg = SwDynTConfig {
+            t_throttle: ns_to_ps(500_000.0), // 0.5 ms > the 300 µs window
+            ..SwDynTConfig::default()
+        };
+        let hw = HardwareProfile::paper();
+        let mut shipped = SwDynT::new(cfg, &hw, &kernel());
+        let mut reference = ReferenceSwDynT::new(cfg, &hw, &kernel());
+        shipped.on_thermal_warning(0, 1);
+        reference.on_thermal_warning(0, 1);
+        let late = ns_to_ps(2_000_000.0);
+        shipped.on_block_launch(0, late);
+        reference.on_block_launch(0, late);
+        assert_eq!(shipped.shrink_steps(), 0);
+        assert_eq!(reference.shrink_steps(), 0);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        shipped.drain_control_events(&mut a);
+        reference.drain_control_events(&mut b);
+        assert_eq!(a, b);
+        assert!(a
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::TokenPoolResize { trigger, .. } if *trigger == "stale_cancelled")));
+
+        let hcfg = HwDynTConfig {
+            t_throttle: ns_to_ps(500_000.0),
+            ..HwDynTConfig::default()
+        };
+        let mut hshipped = HwDynT::new(hcfg);
+        let mut href = ReferenceHwDynT::new(hcfg);
+        hshipped.on_thermal_warning(0, 1);
+        href.on_thermal_warning(0, 1);
+        hshipped.warp_may_offload(0, 0, late);
+        href.warp_may_offload(0, 0, late);
+        assert_eq!(hshipped.update_steps(), 0);
+        assert_eq!(href.update_steps(), 0);
+        let (mut c, mut d) = (Vec::new(), Vec::new());
+        hshipped.drain_control_events(&mut c);
+        href.drain_control_events(&mut d);
+        assert_eq!(c, d);
+        assert!(
+            !c.iter()
+                .any(|e| matches!(e, TelemetryEvent::WarpCapUpdate { .. })),
+            "the PCU cancels silently"
+        );
+    }
+}

@@ -145,6 +145,10 @@ impl SwDynT {
 }
 
 impl OffloadController for SwDynT {
+    fn name(&self) -> &'static str {
+        "sw-dynt"
+    }
+
     fn on_block_launch(&mut self, _block_id: usize, now: Ps) -> bool {
         self.apply_pending(now);
         self.pool.try_acquire()

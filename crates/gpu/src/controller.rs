@@ -13,6 +13,12 @@ use coolpim_telemetry::TelemetryEvent;
 /// policies (naïve offloading, SW-DynT, HW-DynT) and by the trivial
 /// controllers below.
 pub trait OffloadController {
+    /// A short stable identifier for reports (lockstep divergence output,
+    /// experiment tables). Defaults to `"controller"`.
+    fn name(&self) -> &'static str {
+        "controller"
+    }
+
     /// A thread block is about to launch at `now`. Return `true` to run
     /// the PIM-enabled body, `false` for the non-PIM shadow body.
     fn on_block_launch(&mut self, block_id: usize, now: Ps) -> bool;
@@ -62,6 +68,10 @@ pub trait OffloadController {
 pub struct AlwaysOffload;
 
 impl OffloadController for AlwaysOffload {
+    fn name(&self) -> &'static str {
+        "always-offload"
+    }
+
     fn on_block_launch(&mut self, _block_id: usize, _now: Ps) -> bool {
         true
     }
@@ -72,6 +82,10 @@ impl OffloadController for AlwaysOffload {
 pub struct NeverOffload;
 
 impl OffloadController for NeverOffload {
+    fn name(&self) -> &'static str {
+        "never-offload"
+    }
+
     fn on_block_launch(&mut self, _block_id: usize, _now: Ps) -> bool {
         false
     }
@@ -88,6 +102,8 @@ mod tests {
         assert!(a.on_block_launch(0, 0));
         assert!(!n.on_block_launch(0, 0));
         assert!(a.warp_may_offload(0, 0, 0));
+        assert_eq!(a.name(), "always-offload");
+        assert_eq!(n.name(), "never-offload");
         // Default hooks are no-ops.
         a.on_block_complete(0, true, 10);
         a.on_thermal_warning(10, 1);

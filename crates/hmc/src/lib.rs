@@ -14,6 +14,8 @@
 //!   temperature-dependent derating ([`timing`], [`bank`]),
 //! * vault controllers with PIM functional units that lock the target
 //!   bank for the duration of an atomic read-modify-write ([`vault`]),
+//!   behind the swappable [`vault::VaultTiming`] seam with an
+//!   independently re-derived reference implementation ([`reference`]),
 //! * serialized links with per-direction raw bandwidth ([`link`]),
 //! * the thermal status/warning machinery (ERRSTAT=0x01 in response
 //!   tails) and operating phases ([`thermal_state`]),
@@ -45,6 +47,7 @@ pub mod cube;
 pub mod flit;
 pub mod link;
 pub mod packet;
+pub mod reference;
 pub mod stats;
 pub mod thermal_state;
 pub mod timing;
@@ -53,8 +56,10 @@ pub mod vault;
 pub use command::PimOp;
 pub use cube::{Completion, Hmc, HmcConfig};
 pub use packet::Request;
+pub use reference::ReferenceVault;
 pub use stats::PimAttribution;
 pub use thermal_state::TempPhase;
+pub use vault::VaultTiming;
 
 /// Simulation time in integer picoseconds.
 pub type Ps = u64;

@@ -1,0 +1,236 @@
+//! Reference vault controller: an independent re-derivation of the
+//! shipped [`Vault`](crate::vault::Vault) timing for the
+//! `coolpim-validate` lockstep oracle.
+//!
+//! Like the reference throttling controllers in `coolpim-core`, this is
+//! redundancy by construction: the open-page bank state is inlined
+//! (parallel `next_free`/`open_row` vectors rather than the shipped
+//! [`Bank`](crate::bank::Bank) struct) and each serial resource is
+//! resolved in its own explicitly-named stage. All arithmetic is integer
+//! picoseconds in the same multiply-then-divide order as the shipped
+//! controller, so completions must match *exactly* — the lockstep vault
+//! comparison uses [`Tolerance::EXACT`](coolpim_telemetry::Tolerance).
+
+use crate::bank::ROW_BYTES;
+use crate::timing::DramTiming;
+use crate::vault::{VaultAccess, VaultCompletion, VaultTiming};
+use crate::Ps;
+
+/// The reference vault: controller + FU + TSV data bus + open-page banks.
+#[derive(Debug, Clone)]
+pub struct ReferenceVault {
+    ctrl_next_free: Ps,
+    fu_next_free: Ps,
+    bus_next_free: Ps,
+    bank_next_free: Vec<Ps>,
+    bank_open_row: Vec<Option<u64>>,
+    ctrl_occupancy: Ps,
+    fu_latency: Ps,
+    bus_ps_per_byte: f64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl ReferenceVault {
+    /// Creates a reference vault — same parameter contract as
+    /// [`Vault::new`](crate::vault::Vault::new).
+    pub fn new(banks: usize, ctrl_occupancy: Ps, fu_latency: Ps, bus_bytes_per_s: f64) -> Self {
+        assert!(bus_bytes_per_s > 0.0);
+        Self {
+            ctrl_next_free: 0,
+            fu_next_free: 0,
+            bus_next_free: 0,
+            bank_next_free: vec![0; banks],
+            bank_open_row: vec![None; banks],
+            ctrl_occupancy,
+            fu_latency,
+            bus_ps_per_byte: 1e12 / bus_bytes_per_s,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Stage 1 — controller serialization: one transaction at a time,
+    /// occupancy derated by the phase frequency stretch.
+    fn through_controller(&mut self, arrive: Ps, fnum: u64, fden: u64) -> Ps {
+        let start = self.ctrl_next_free.max(arrive);
+        self.ctrl_next_free = start + self.ctrl_occupancy * fnum / fden;
+        self.ctrl_next_free
+    }
+
+    /// Stage 2 — bank reservation under the open-page policy: a hit
+    /// occupies the bank for `hit_occ`, a miss for `miss_occ`; either way
+    /// the accessed row is left open. Returns `(start, was_hit)`.
+    fn through_bank(
+        &mut self,
+        bank: usize,
+        ready: Ps,
+        addr: u64,
+        hit_occ: Ps,
+        miss_occ: Ps,
+    ) -> (Ps, bool) {
+        let row = addr / ROW_BYTES;
+        let hit = self.bank_open_row[bank] == Some(row);
+        let start = self.bank_next_free[bank].max(ready);
+        self.bank_next_free[bank] = start + if hit { hit_occ } else { miss_occ };
+        self.bank_open_row[bank] = Some(row);
+        (start, hit)
+    }
+}
+
+impl VaultTiming for ReferenceVault {
+    fn name(&self) -> &'static str {
+        "reference-vault"
+    }
+
+    fn service(
+        &mut self,
+        arrive: Ps,
+        bank: usize,
+        addr: u64,
+        access: VaultAccess,
+        timing: &DramTiming,
+        refresh_permille: u64,
+        freq_stretch: (u64, u64),
+    ) -> VaultCompletion {
+        assert!(bank < self.bank_next_free.len(), "bank index out of range");
+        let (fnum, fden) = freq_stretch;
+        let ready = self.through_controller(arrive, fnum, fden);
+
+        // Bank occupancies: refresh steals a per-mille share of bank time.
+        let stretch = |v: Ps| v * (1000 + refresh_permille) / 1000;
+        let col = 2 * timing.t_burst;
+        let (hit_occ, miss_occ) = match access {
+            VaultAccess::Read | VaultAccess::Write => (
+                stretch(col),
+                stretch(timing.t_rc().max(timing.read_latency())),
+            ),
+            VaultAccess::PimRmw => (
+                stretch(self.fu_latency + col),
+                stretch(
+                    timing.t_rcd + timing.t_cl + self.fu_latency + timing.t_burst + timing.t_rp,
+                ),
+            ),
+        };
+        let (bank_start, row_hit) = self.through_bank(bank, ready, addr, hit_occ, miss_occ);
+        if row_hit {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
+        }
+        let queue_delay = bank_start - arrive.min(bank_start);
+
+        // Response latency from bank start, per access kind and hit/miss.
+        let resp_latency = match (access, row_hit) {
+            (VaultAccess::Read, true) => timing.t_cl + timing.t_burst,
+            (VaultAccess::Read, false) => timing.read_latency(),
+            (VaultAccess::Write, true) => timing.t_burst,
+            (VaultAccess::Write, false) => timing.t_rcd + timing.t_burst,
+            (VaultAccess::PimRmw, true) => timing.t_cl + self.fu_latency + timing.t_burst,
+            (VaultAccess::PimRmw, false) => {
+                timing.t_rcd + timing.t_cl + self.fu_latency + timing.t_burst
+            }
+        };
+        let mut response_ready = bank_start + resp_latency;
+
+        // Stage 3 — FU serialization (PIM only): the one FU per vault is
+        // shared across banks.
+        if access == VaultAccess::PimRmw {
+            let fu_ready = bank_start
+                + if row_hit {
+                    timing.t_cl
+                } else {
+                    timing.t_rcd + timing.t_cl
+                };
+            let fu_start = self.fu_next_free.max(fu_ready);
+            self.fu_next_free = fu_start + self.fu_latency * fnum / fden;
+            response_ready = response_ready.max(fu_start + self.fu_latency + timing.t_burst);
+        }
+
+        // Stage 4 — TSV data bus: 64 B per regular access, 80 B for a PIM
+        // read-modify-write (two 32 B granules + command slot).
+        let bus_bytes = match access {
+            VaultAccess::Read | VaultAccess::Write => 64.0,
+            VaultAccess::PimRmw => 80.0,
+        };
+        let bus_occ = (bus_bytes * self.bus_ps_per_byte) as Ps * fnum / fden;
+        let bus_start = self.bus_next_free.max(bank_start);
+        self.bus_next_free = bus_start + bus_occ;
+        response_ready = response_ready.max(bus_start + bus_occ);
+
+        VaultCompletion {
+            response_ready,
+            queue_delay,
+            row_hit,
+        }
+    }
+
+    fn bank_count(&self) -> usize {
+        self.bank_next_free.len()
+    }
+
+    fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ns_to_ps;
+    use crate::vault::Vault;
+
+    #[test]
+    fn reference_vault_completions_are_integer_identical_to_shipped() {
+        let mut shipped = Vault::new(16, ns_to_ps(0.5), ns_to_ps(2.0), 10.0e9);
+        let mut reference = ReferenceVault::new(16, ns_to_ps(0.5), ns_to_ps(2.0), 10.0e9);
+        let t = DramTiming::hmc20();
+        let accesses = [VaultAccess::Read, VaultAccess::Write, VaultAccess::PimRmw];
+        // A deterministic mixed pattern: varying banks, rows, derates.
+        for i in 0u64..300 {
+            let bank = (i * 7 % 16) as usize;
+            let addr = (i * 192) % (8 * ROW_BYTES);
+            let access = accesses[(i % 3) as usize];
+            let arrive = i * 900;
+            let refresh = [0, 33, 66][(i % 3) as usize];
+            let stretch = [(1u64, 1u64), (5, 4), (2, 1)][(i / 100) as usize];
+            let a = Vault::service(
+                &mut shipped,
+                arrive,
+                bank,
+                addr,
+                access,
+                &t,
+                refresh,
+                stretch,
+            );
+            let b = VaultTiming::service(
+                &mut reference,
+                arrive,
+                bank,
+                addr,
+                access,
+                &t,
+                refresh,
+                stretch,
+            );
+            assert_eq!(a.response_ready, b.response_ready, "access {i}");
+            assert_eq!(a.queue_delay, b.queue_delay, "access {i}");
+            assert_eq!(a.row_hit, b.row_hit, "access {i}");
+        }
+        assert_eq!(shipped.row_hits(), reference.row_hits());
+        assert_eq!(shipped.row_misses(), reference.row_misses());
+    }
+
+    #[test]
+    fn trait_accessors_report_configuration() {
+        let r = ReferenceVault::new(8, 100, 200, 10.0e9);
+        assert_eq!(r.bank_count(), 8);
+        assert_eq!(r.name(), "reference-vault");
+        assert_eq!(r.row_hits() + r.row_misses(), 0);
+    }
+}

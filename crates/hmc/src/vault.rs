@@ -33,6 +33,39 @@ pub struct VaultCompletion {
     pub row_hit: bool,
 }
 
+/// The vault-timing seam: everything the cube (and the lockstep oracle)
+/// needs from a vault controller. The shipped [`Vault`] is the optimized
+/// implementation; `crate::reference::ReferenceVault` re-derives the same
+/// timing independently so the two can be run in lockstep.
+pub trait VaultTiming {
+    /// A short stable identifier for reports.
+    fn name(&self) -> &'static str;
+
+    /// Services one access — see [`Vault::service`] for the parameter
+    /// contract (derated `timing`, refresh overhead in per-mille, phase
+    /// frequency derating as a `(num, den)` stretch).
+    #[allow(clippy::too_many_arguments)]
+    fn service(
+        &mut self,
+        arrive: Ps,
+        bank: usize,
+        addr: u64,
+        access: VaultAccess,
+        timing: &DramTiming,
+        refresh_permille: u64,
+        freq_stretch: (u64, u64),
+    ) -> VaultCompletion;
+
+    /// Number of banks.
+    fn bank_count(&self) -> usize;
+
+    /// Accesses that hit the open row so far.
+    fn row_hits(&self) -> u64;
+
+    /// Accesses that paid a row activation so far.
+    fn row_misses(&self) -> u64;
+}
+
 /// One vault: controller + FU + TSV data bus + banks.
 #[derive(Debug, Clone)]
 pub struct Vault {
@@ -192,6 +225,46 @@ impl Vault {
             queue_delay,
             row_hit,
         }
+    }
+}
+
+impl VaultTiming for Vault {
+    fn name(&self) -> &'static str {
+        "vault"
+    }
+
+    fn service(
+        &mut self,
+        arrive: Ps,
+        bank: usize,
+        addr: u64,
+        access: VaultAccess,
+        timing: &DramTiming,
+        refresh_permille: u64,
+        freq_stretch: (u64, u64),
+    ) -> VaultCompletion {
+        Vault::service(
+            self,
+            arrive,
+            bank,
+            addr,
+            access,
+            timing,
+            refresh_permille,
+            freq_stretch,
+        )
+    }
+
+    fn bank_count(&self) -> usize {
+        Vault::bank_count(self)
+    }
+
+    fn row_hits(&self) -> u64 {
+        Vault::row_hits(self)
+    }
+
+    fn row_misses(&self) -> u64 {
+        Vault::row_misses(self)
     }
 }
 

@@ -462,6 +462,7 @@ pub fn intern(s: &str) -> &'static str {
         "warning",
         "phase",
         "overshoot",
+        "lockstep_divergence",
         // Policy labels (paper figure names).
         "Non-Offloading",
         "Naive-Offloading",

@@ -36,7 +36,9 @@
 //!   `/status` payload ([`StatusSnapshot`]);
 //! * [`monitor`] — the live monitor itself: the [`MonitorHub`] snapshot
 //!   bridge and the one-thread in-tree HTTP [`MonitorServer`]
-//!   (`/metrics`, `/status`, `/series`, `/healthz`).
+//!   (`/metrics`, `/status`, `/series`, `/healthz`);
+//! * [`tolerance`] — the shared [`Tolerance`] band (`abs + rel·|base|`)
+//!   used by the run-record regression gates and the lockstep oracle.
 //!
 //! ## Example
 //!
@@ -63,6 +65,7 @@ pub mod monitor;
 pub mod sink;
 pub mod span;
 pub mod timeseries;
+pub mod tolerance;
 
 pub use analysis::{ControlLoopReport, LatencyStats};
 pub use event::TelemetryEvent;
@@ -76,6 +79,7 @@ pub use sink::{
 };
 pub use span::{ProfileReport, Profiler, SpanTimer};
 pub use timeseries::{Agg, SeriesSet, TimeSeries};
+pub use tolerance::Tolerance;
 
 /// The per-run telemetry bundle the co-simulator carries: an optional
 /// event sink, the metrics registry, and the profiler.

@@ -15,7 +15,10 @@
 //! * a cooling-solution library reproducing Table II of the paper
 //!   ([`cooling`]),
 //! * a high-level [`model::HmcThermalModel`] façade used by the
-//!   co-simulator, and
+//!   co-simulator — generic over the [`solver::ThermalSolve`] seam so any
+//!   conforming solver can be swapped in,
+//! * the canonical plain-Gauss–Seidel reference solver the optimized one
+//!   is validated against ([`reference`]), and
 //! * HMC 1.1 prototype calibration data for reproducing Figures 1 and 2
 //!   ([`hmc11`]).
 //!
@@ -54,11 +57,14 @@ pub mod layers;
 pub mod materials;
 pub mod model;
 pub mod power;
+pub mod reference;
 pub mod solver;
 
 pub use cooling::Cooling;
 pub use model::{HmcThermalModel, ThermalReadout};
 pub use power::TrafficSample;
+pub use reference::ReferenceTransient;
+pub use solver::ThermalSolve;
 
 /// Default ambient temperature used throughout the paper reproduction (°C).
 pub const AMBIENT_C: f64 = 25.0;

@@ -8,7 +8,7 @@ use crate::floorplan::Floorplan;
 use crate::grid::ThermalGrid;
 use crate::layers::{LayerKind, StackConfig};
 use crate::power::{build_power_map_into, PowerParams, TrafficSample};
-use crate::solver::{NonConvergence, TransientSolverStats, TransientState};
+use crate::solver::{NonConvergence, ThermalSolve, TransientSolverStats, TransientState};
 use crate::AMBIENT_C;
 
 /// The cube-level thermal response time the transient plant is calibrated
@@ -32,17 +32,26 @@ pub struct ThermalReadout {
 }
 
 /// A die stack + floorplan + cooling + power model + transient state.
+///
+/// Generic over the [`ThermalSolve`] seam: the default `S` is the
+/// optimized [`TransientState`]; [`Self::with_solver`] swaps in any other
+/// conforming solver (e.g. the plain-Gauss–Seidel
+/// [`ReferenceTransient`](crate::reference::ReferenceTransient) the
+/// lockstep oracle drives).
 #[derive(Debug, Clone)]
-pub struct HmcThermalModel {
+pub struct HmcThermalModel<S: ThermalSolve = TransientState> {
     grid: ThermalGrid,
     params: PowerParams,
-    state: TransientState,
+    state: S,
     dram_layers: Vec<usize>,
     logic_layer: usize,
     /// Scratch power map reused across steps.
     power_scratch: Vec<f64>,
 }
 
+// Constructors live on the non-generic impl (default `S`) because default
+// type parameters don't participate in inference: `HmcThermalModel::hmc20`
+// must resolve without annotation everywhere it already appears.
 impl HmcThermalModel {
     /// HMC 2.0 cube (8 DRAM dies, 32 vaults) under `cooling`.
     pub fn hmc20(cooling: Cooling) -> Self {
@@ -99,6 +108,39 @@ impl HmcThermalModel {
             logic_layer,
             power_scratch: vec![0.0; n],
         }
+    }
+}
+
+impl<S: ThermalSolve> HmcThermalModel<S> {
+    /// Swaps the solver out (builder style): `make` receives the grid,
+    /// the current ambient (°C), and the calibrated capacitance scale,
+    /// and builds the replacement — e.g.
+    /// `model.with_solver(ReferenceTransient::new)`. The new solver
+    /// starts from ambient; swap before stepping.
+    pub fn with_solver<S2: ThermalSolve>(
+        self,
+        make: impl FnOnce(&ThermalGrid, f64, f64) -> S2,
+    ) -> HmcThermalModel<S2> {
+        let state = make(&self.grid, self.state.ambient_c(), self.state.c_scale());
+        HmcThermalModel {
+            grid: self.grid,
+            params: self.params,
+            state,
+            dram_layers: self.dram_layers,
+            logic_layer: self.logic_layer,
+            power_scratch: self.power_scratch,
+        }
+    }
+
+    /// The solver driving this model.
+    pub fn solver(&self) -> &S {
+        &self.state
+    }
+
+    /// The full temperature field (absolute °C, grid node order) — what
+    /// the lockstep oracle snapshots each epoch.
+    pub fn temps(&self) -> &[f64] {
+        self.state.temps()
     }
 
     /// The underlying RC grid (for heat-map style inspection).
@@ -182,9 +224,9 @@ impl HmcThermalModel {
         self.state.solver_stats()
     }
 
-    /// Resets all temperatures to ambient.
+    /// Resets all temperatures to ambient and clears the solver counters.
     pub fn reset(&mut self) {
-        self.state = TransientState::new(&self.grid, AMBIENT_C, self.state.c_scale());
+        self.state.reset();
     }
 
     /// The current readout without advancing time.
@@ -396,6 +438,7 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
+    use crate::reference::ReferenceTransient;
 
     #[test]
     fn reset_returns_to_ambient() {
@@ -468,6 +511,26 @@ mod more_tests {
         m.step(&TrafficSample::idle(0.0));
         let after = m.readout();
         assert!((before.peak_dram_c - after.peak_dram_c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swapped_reference_solver_reaches_the_same_steady_state() {
+        let mut opt = HmcThermalModel::hmc11(Cooling::LowEndActive);
+        let mut reference =
+            HmcThermalModel::hmc11(Cooling::LowEndActive).with_solver(ReferenceTransient::new);
+        assert_eq!(reference.solver().name(), "reference-gs");
+        let s = TrafficSample::external_stream(120.0e9, 1e-3);
+        let a = opt.steady_state(&s);
+        let b = reference.steady_state(&s);
+        assert!(
+            (a.peak_dram_c - b.peak_dram_c).abs() < 1e-3,
+            "optimized {} vs reference {}",
+            a.peak_dram_c,
+            b.peak_dram_c
+        );
+        assert_eq!(reference.temps().len(), reference.grid().node_count());
+        reference.reset();
+        assert!((reference.readout().peak_dram_c - crate::AMBIENT_C).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Deliberately broken solver variants — the oracle's own test fixtures.
+//!
+//! A lockstep harness that has never caught anything proves nothing, so
+//! [`PerturbedTransient`] wraps the reference integrator's exact
+//! Gauss–Seidel loop and injects a chosen defect starting at a chosen
+//! epoch. Before the injection point the arithmetic is *verbatim* the
+//! reference loop — same statement order, same accumulation — so the two
+//! sides stay bit-identical and the first reported divergence lands on
+//! exactly the epoch the defect activates (modulo the defect being big
+//! enough to clear the tolerance; [`Perturbation::WrongOmega`] always
+//! is, since ω > 2 makes the sweep iteration diverge outright).
+
+use coolpim_thermal::grid::ThermalGrid;
+use coolpim_thermal::reference::reference_steady_state_into;
+use coolpim_thermal::solver::{NonConvergence, SolveStats, ThermalSolve, TransientSolverStats};
+
+/// Inner-solve convergence threshold — identical to the reference's.
+const TR_TOLERANCE: f64 = 1e-6;
+/// Inner-solve sweep cap — identical to the reference's.
+const TR_MAX_SWEEPS: usize = 2_000;
+
+/// The defect a [`PerturbedTransient`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Run exactly one Gauss–Seidel sweep per sub-step instead of
+    /// iterating to tolerance (an "optimisation" that under-solves).
+    ShortSweep,
+    /// Over-relax with ω = 2.05. SOR diverges for ω ≥ 2, so the field
+    /// blows up within the first perturbed epoch — guaranteed to be
+    /// caught at exactly the injection epoch.
+    WrongOmega,
+    /// Skip the last node in every sweep (a classic off-by-one in a
+    /// hand-unrolled loop bound).
+    SkipLastNode,
+}
+
+impl Perturbation {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "short-sweep" => Some(Perturbation::ShortSweep),
+            "wrong-omega" => Some(Perturbation::WrongOmega),
+            "skip-last-node" => Some(Perturbation::SkipLastNode),
+            _ => None,
+        }
+    }
+}
+
+/// A transient solver that is the reference integrator until its
+/// `from_epoch`-th [`ThermalSolve::step`] call, and a chosen defect
+/// afterwards. Construct it through
+/// [`HmcThermalModel::with_solver`](coolpim_thermal::HmcThermalModel::with_solver):
+///
+/// ```ignore
+/// let broken = HmcThermalModel::hmc11(cooling)
+///     .with_solver(|g, a, c| PerturbedTransient::new(g, a, c, Perturbation::WrongOmega, 5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerturbedTransient {
+    temps: Vec<f64>,
+    ambient_c: f64,
+    c_scale: f64,
+    max_substep_s: f64,
+    prev: Vec<f64>,
+    stats: TransientSolverStats,
+    perturbation: Perturbation,
+    /// Step calls (epochs) before the defect activates (0-based: the
+    /// defect is live from the `from_epoch`-th call onward).
+    from_epoch: u64,
+    steps_taken: u64,
+}
+
+impl PerturbedTransient {
+    /// Creates the solver with the defect dormant until `from_epoch`
+    /// step calls have happened.
+    pub fn new(
+        grid: &ThermalGrid,
+        ambient_c: f64,
+        c_scale: f64,
+        perturbation: Perturbation,
+        from_epoch: u64,
+    ) -> Self {
+        assert!(c_scale > 0.0);
+        let sink = grid.sink_node();
+        let sink_tau = c_scale * grid.capacitance()[sink] / grid.g_ambient()[sink];
+        let n = grid.node_count();
+        Self {
+            temps: vec![ambient_c; n],
+            ambient_c,
+            c_scale,
+            max_substep_s: (sink_tau / 20.0).max(1e-9),
+            prev: vec![ambient_c; n],
+            stats: TransientSolverStats::default(),
+            perturbation,
+            from_epoch,
+            steps_taken: 0,
+        }
+    }
+
+    /// Whether the defect is currently active.
+    pub fn perturbing(&self) -> bool {
+        self.steps_taken >= self.from_epoch
+    }
+
+    /// One backward-Euler sub-step. When the defect is dormant this is
+    /// the reference loop verbatim (statement for statement, so the
+    /// float stream is bit-identical); when active, `omega`, the node
+    /// bound, or the sweep count deviates per the perturbation.
+    fn substep(&mut self, grid: &ThermalGrid, power: &[f64], h: f64, active: bool) {
+        let caps = grid.capacitance();
+        let g_amb = grid.g_ambient();
+        let g_total = grid.g_total();
+        let n = grid.node_count();
+        let node_bound = if active && self.perturbation == Perturbation::SkipLastNode {
+            n - 1
+        } else {
+            n
+        };
+        let max_sweeps = if active && self.perturbation == Perturbation::ShortSweep {
+            1
+        } else {
+            TR_MAX_SWEEPS
+        };
+        let omega = if active && self.perturbation == Perturbation::WrongOmega {
+            2.05
+        } else {
+            1.0
+        };
+        self.prev.copy_from_slice(&self.temps);
+        self.stats.substeps += 1;
+        let mut sweeps = 0u64;
+        for _ in 0..max_sweeps {
+            sweeps += 1;
+            let mut max_delta: f64 = 0.0;
+            for i in 0..node_bound {
+                let c_over_h = self.c_scale * caps[i] / h;
+                let mut acc = power[i] + c_over_h * self.prev[i] + g_amb[i] * self.ambient_c;
+                for (nb, g) in grid.neighbours(i) {
+                    acc += g * self.temps[nb];
+                }
+                let fresh = acc / (c_over_h + g_total[i]);
+                // ω = 1 reduces this to `fresh` exactly (the reference
+                // statement); only WrongOmega ever takes another value.
+                let fresh = if omega == 1.0 {
+                    fresh
+                } else {
+                    self.temps[i] + omega * (fresh - self.temps[i])
+                };
+                max_delta = max_delta.max((fresh - self.temps[i]).abs());
+                self.temps[i] = fresh;
+            }
+            if max_delta < TR_TOLERANCE {
+                break;
+            }
+            if !max_delta.is_finite() {
+                break; // blown up — no point sweeping further
+            }
+        }
+        self.stats.sweeps += sweeps;
+        self.stats.sweep_hist.record(sweeps);
+    }
+}
+
+impl ThermalSolve for PerturbedTransient {
+    fn name(&self) -> &'static str {
+        match self.perturbation {
+            Perturbation::ShortSweep => "perturbed-short-sweep",
+            Perturbation::WrongOmega => "perturbed-wrong-omega",
+            Perturbation::SkipLastNode => "perturbed-skip-last-node",
+        }
+    }
+
+    fn temps(&self) -> &[f64] {
+        &self.temps
+    }
+
+    fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    fn c_scale(&self) -> f64 {
+        self.c_scale
+    }
+
+    fn solver_stats(&self) -> &TransientSolverStats {
+        &self.stats
+    }
+
+    fn step(&mut self, grid: &ThermalGrid, power: &[f64], dt: f64) {
+        assert_eq!(power.len(), grid.node_count());
+        assert!(dt >= 0.0);
+        if dt == 0.0 {
+            return;
+        }
+        let active = self.perturbing();
+        self.steps_taken += 1;
+        let substeps = (dt / self.max_substep_s).ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
+        for _ in 0..substeps {
+            self.substep(grid, power, h, active);
+        }
+    }
+
+    fn try_jump_to_steady_state(
+        &mut self,
+        grid: &ThermalGrid,
+        power: &[f64],
+    ) -> Result<SolveStats, NonConvergence> {
+        // Steady-state jumps are not perturbed: the defects under test
+        // are transient-integrator defects.
+        let mut out = std::mem::take(&mut self.temps);
+        let res = reference_steady_state_into(grid, power, self.ambient_c, &mut out);
+        self.temps = out;
+        res
+    }
+
+    fn reset(&mut self) {
+        self.temps.fill(self.ambient_c);
+        self.prev.fill(self.ambient_c);
+        self.stats = TransientSolverStats::default();
+        self.steps_taken = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolpim_thermal::cooling::Cooling;
+    use coolpim_thermal::floorplan::Floorplan;
+    use coolpim_thermal::layers::StackConfig;
+    use coolpim_thermal::ReferenceTransient;
+
+    fn small_grid() -> ThermalGrid {
+        ThermalGrid::build(
+            StackConfig::hmc11(),
+            Floorplan::hmc11(),
+            Cooling::LowEndActive,
+        )
+    }
+
+    #[test]
+    fn dormant_perturbed_solver_is_bit_identical_to_the_reference() {
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 4)] = 5.0;
+        let mut reference = ReferenceTransient::new(&g, 25.0, 1e-4);
+        let mut perturbed =
+            PerturbedTransient::new(&g, 25.0, 1e-4, Perturbation::WrongOmega, 1_000);
+        for _ in 0..8 {
+            ThermalSolve::step(&mut reference, &g, &p, 1e-4);
+            perturbed.step(&g, &p, 1e-4);
+            for (a, b) in reference.temps().iter().zip(perturbed.temps()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dormant defect must not perturb");
+            }
+        }
+        assert!(!perturbed.perturbing());
+    }
+
+    #[test]
+    fn wrong_omega_blows_up_in_its_first_active_epoch() {
+        let g = small_grid();
+        let mut p = vec![0.0; g.node_count()];
+        p[g.node(1, 4)] = 5.0;
+        let mut reference = ReferenceTransient::new(&g, 25.0, 1e-4);
+        let mut perturbed = PerturbedTransient::new(&g, 25.0, 1e-4, Perturbation::WrongOmega, 3);
+        for e in 0..4u64 {
+            ThermalSolve::step(&mut reference, &g, &p, 1e-4);
+            perturbed.step(&g, &p, 1e-4);
+            let dev = reference
+                .temps()
+                .iter()
+                .zip(perturbed.temps())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            if e < 3 {
+                assert_eq!(dev, 0.0, "epoch {e} should still match bit-exactly");
+            } else {
+                assert!(
+                    !dev.is_finite() || dev > 1.0,
+                    "epoch {e} should have blown up, dev = {dev}"
+                );
+            }
+        }
+        assert!(perturbed.perturbing());
+    }
+
+    #[test]
+    fn skip_last_node_freezes_the_skipped_node() {
+        let g = small_grid();
+        let n = g.node_count();
+        let mut p = vec![0.0; n];
+        // Heat the last node directly so skipping it is visible fast.
+        p[n - 1] += 5.0;
+        p[g.node(1, 2)] = 5.0;
+        let mut reference = ReferenceTransient::new(&g, 25.0, 1e-4);
+        let mut perturbed = PerturbedTransient::new(&g, 25.0, 1e-4, Perturbation::SkipLastNode, 0);
+        for _ in 0..5 {
+            ThermalSolve::step(&mut reference, &g, &p, 1e-4);
+            perturbed.step(&g, &p, 1e-4);
+        }
+        assert_eq!(perturbed.temps()[n - 1], 25.0, "skipped node never updates");
+        assert!(reference.temps()[n - 1] > 25.0);
+    }
+
+    #[test]
+    fn reset_rearms_the_injection_countdown() {
+        let g = small_grid();
+        let p = vec![0.0; g.node_count()];
+        let mut s = PerturbedTransient::new(&g, 25.0, 1e-4, Perturbation::ShortSweep, 2);
+        s.step(&g, &p, 1e-4);
+        s.step(&g, &p, 1e-4);
+        assert!(s.perturbing());
+        ThermalSolve::reset(&mut s);
+        assert!(!s.perturbing());
+        assert_eq!(s.solver_stats().substeps, 0);
+    }
+}

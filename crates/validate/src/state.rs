@@ -1,0 +1,369 @@
+//! Full intermediate-state snapshots, one per lockstep epoch.
+//!
+//! Modeled on gpucachesim's lockstep testing states: the oracle captures
+//! *everything* the paired implementations agree to expose — the entire
+//! temperature field, the throttling state (pool tokens, warp cap), and
+//! the per-vault queue pressure — so a divergence names the exact field
+//! and index where the two first part ways, not just "temperatures
+//! differ somewhere".
+//!
+//! Snapshots serialize through the workspace's flat-JSON dialect (one
+//! object per line, string/number/null values only); vectors ride as
+//! space-joined number strings. `{}` formatting is Rust's shortest
+//! round-trippable decimal, so encode → decode is lossless for finite
+//! values — the round-trip is part of the test suite.
+
+use coolpim_telemetry::json::{parse_flat_object, JsonBuilder};
+use coolpim_telemetry::Tolerance;
+
+/// Everything the lockstep driver snapshots at one epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochState {
+    /// Epoch index (1-based, matching the co-sim driver's convention).
+    pub epoch: u64,
+    /// End-of-epoch simulation time (ps).
+    pub t_ps: u64,
+    /// Peak DRAM temperature (°C).
+    pub peak_dram_c: f64,
+    /// Average DRAM temperature (°C).
+    pub avg_dram_c: f64,
+    /// Heat-sink surface temperature (°C).
+    pub surface_c: f64,
+    /// SW-DynT token-pool size, when a pool controller is in the loop.
+    pub pool_tokens: Option<u64>,
+    /// HW-DynT enabled warp slots, when a PCU controller is in the loop.
+    pub warp_cap: Option<u64>,
+    /// Cumulative transient sub-steps (context only — reference and
+    /// optimized solvers legitimately differ here).
+    pub solver_substeps: u64,
+    /// Cumulative inner-solve sweeps (context only).
+    pub solver_sweeps: u64,
+    /// The full temperature field (absolute °C, grid node order).
+    pub temps_c: Vec<f64>,
+    /// Cumulative per-vault queue wait (ps), when vaults are in the loop.
+    pub vault_queue_wait_ps: Vec<u64>,
+}
+
+/// The first field on which two [`EpochState`]s disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDivergence {
+    /// Which snapshot field diverged.
+    pub field: &'static str,
+    /// Element index for vector fields.
+    pub index: Option<usize>,
+    /// The reference side's value.
+    pub reference: f64,
+    /// The optimized side's value.
+    pub optimized: f64,
+    /// The slack the comparison allowed (0 for exact fields).
+    pub slack: f64,
+}
+
+impl std::fmt::Display for FieldDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(
+                f,
+                "{}[{i}]: reference {} vs optimized {} (allowed slack {})",
+                self.field, self.reference, self.optimized, self.slack
+            ),
+            None => write!(
+                f,
+                "{}: reference {} vs optimized {} (allowed slack {})",
+                self.field, self.reference, self.optimized, self.slack
+            ),
+        }
+    }
+}
+
+fn opt_as_f64(v: Option<u64>) -> f64 {
+    v.map_or(f64::NAN, |x| x as f64)
+}
+
+impl EpochState {
+    /// Compares `self` (the reference) against `other` (the optimized
+    /// side) and returns the first divergence, checking root-cause fields
+    /// first: time base, then the raw temperature field, then the derived
+    /// readouts, then the exact-match control/queue state. Temperatures
+    /// use `temp_tol`; everything else must match exactly. The solver
+    /// work counters are context, never compared.
+    pub fn first_divergence(
+        &self,
+        other: &EpochState,
+        temp_tol: Tolerance,
+    ) -> Option<FieldDivergence> {
+        if self.epoch != other.epoch {
+            return Some(FieldDivergence {
+                field: "epoch",
+                index: None,
+                reference: self.epoch as f64,
+                optimized: other.epoch as f64,
+                slack: 0.0,
+            });
+        }
+        if self.t_ps != other.t_ps {
+            return Some(FieldDivergence {
+                field: "t_ps",
+                index: None,
+                reference: self.t_ps as f64,
+                optimized: other.t_ps as f64,
+                slack: 0.0,
+            });
+        }
+        if self.temps_c.len() != other.temps_c.len() {
+            return Some(FieldDivergence {
+                field: "temps_c.len",
+                index: None,
+                reference: self.temps_c.len() as f64,
+                optimized: other.temps_c.len() as f64,
+                slack: 0.0,
+            });
+        }
+        for (i, (a, b)) in self.temps_c.iter().zip(&other.temps_c).enumerate() {
+            if !temp_tol.allows(*a, *b) {
+                return Some(FieldDivergence {
+                    field: "temps_c",
+                    index: Some(i),
+                    reference: *a,
+                    optimized: *b,
+                    slack: temp_tol.slack(*a),
+                });
+            }
+        }
+        for (field, a, b) in [
+            ("peak_dram_c", self.peak_dram_c, other.peak_dram_c),
+            ("avg_dram_c", self.avg_dram_c, other.avg_dram_c),
+            ("surface_c", self.surface_c, other.surface_c),
+        ] {
+            if !temp_tol.allows(a, b) {
+                return Some(FieldDivergence {
+                    field,
+                    index: None,
+                    reference: a,
+                    optimized: b,
+                    slack: temp_tol.slack(a),
+                });
+            }
+        }
+        if self.pool_tokens != other.pool_tokens {
+            return Some(FieldDivergence {
+                field: "pool_tokens",
+                index: None,
+                reference: opt_as_f64(self.pool_tokens),
+                optimized: opt_as_f64(other.pool_tokens),
+                slack: 0.0,
+            });
+        }
+        if self.warp_cap != other.warp_cap {
+            return Some(FieldDivergence {
+                field: "warp_cap",
+                index: None,
+                reference: opt_as_f64(self.warp_cap),
+                optimized: opt_as_f64(other.warp_cap),
+                slack: 0.0,
+            });
+        }
+        if self.vault_queue_wait_ps.len() != other.vault_queue_wait_ps.len() {
+            return Some(FieldDivergence {
+                field: "vault_queue_wait_ps.len",
+                index: None,
+                reference: self.vault_queue_wait_ps.len() as f64,
+                optimized: other.vault_queue_wait_ps.len() as f64,
+                slack: 0.0,
+            });
+        }
+        for (i, (a, b)) in self
+            .vault_queue_wait_ps
+            .iter()
+            .zip(&other.vault_queue_wait_ps)
+            .enumerate()
+        {
+            if a != b {
+                return Some(FieldDivergence {
+                    field: "vault_queue_wait_ps",
+                    index: Some(i),
+                    reference: *a as f64,
+                    optimized: *b as f64,
+                    slack: 0.0,
+                });
+            }
+        }
+        None
+    }
+
+    /// Serializes the snapshot as one flat-JSON line.
+    pub fn encode(&self) -> String {
+        let mut b = JsonBuilder::new();
+        b.u64("schema", 1)
+            .u64("epoch", self.epoch)
+            .u64("t_ps", self.t_ps)
+            .f64("peak_dram_c", self.peak_dram_c)
+            .f64("avg_dram_c", self.avg_dram_c)
+            .f64("surface_c", self.surface_c)
+            .opt_u64("pool_tokens", self.pool_tokens)
+            .opt_u64("warp_cap", self.warp_cap)
+            .u64("solver_substeps", self.solver_substeps)
+            .u64("solver_sweeps", self.solver_sweeps)
+            .str("temps_c", &join_f64(&self.temps_c))
+            .str("vault_queue_wait_ps", &join_u64(&self.vault_queue_wait_ps));
+        b.finish()
+    }
+
+    /// Parses a snapshot back from its [`Self::encode`] form.
+    pub fn decode(line: &str) -> Option<Self> {
+        let obj = parse_flat_object(line)?;
+        if obj.u64_field("schema") != Some(1) {
+            return None;
+        }
+        let temps_c = split_f64(obj.str_field("temps_c")?)?;
+        let vault_queue_wait_ps = split_u64(obj.str_field("vault_queue_wait_ps")?)?;
+        Some(Self {
+            epoch: obj.u64_field("epoch")?,
+            t_ps: obj.u64_field("t_ps")?,
+            peak_dram_c: obj.f64_field("peak_dram_c")?,
+            avg_dram_c: obj.f64_field("avg_dram_c")?,
+            surface_c: obj.f64_field("surface_c")?,
+            pool_tokens: obj.u64_field("pool_tokens"),
+            warp_cap: obj.u64_field("warp_cap"),
+            solver_substeps: obj.u64_field("solver_substeps")?,
+            solver_sweeps: obj.u64_field("solver_sweeps")?,
+            temps_c,
+            vault_queue_wait_ps,
+        })
+    }
+}
+
+fn join_f64(v: &[f64]) -> String {
+    let mut s = String::new();
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        // `{}` is the shortest round-trippable decimal.
+        s.push_str(&format!("{x}"));
+    }
+    s
+}
+
+fn join_u64(v: &[u64]) -> String {
+    let mut s = String::new();
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&format!("{x}"));
+    }
+    s
+}
+
+fn split_f64(s: &str) -> Option<Vec<f64>> {
+    s.split_whitespace().map(|t| t.parse().ok()).collect()
+}
+
+fn split_u64(s: &str) -> Option<Vec<u64>> {
+    s.split_whitespace().map(|t| t.parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> EpochState {
+        EpochState {
+            epoch: 7,
+            t_ps: 700_000_000,
+            peak_dram_c: 61.25,
+            avg_dram_c: 52.5,
+            surface_c: 40.125,
+            pool_tokens: Some(88),
+            warp_cap: Some(6),
+            solver_substeps: 140,
+            solver_sweeps: 4_200,
+            temps_c: vec![25.0, 61.257_812_5, 33.333_333_333_333_336],
+            vault_queue_wait_ps: vec![0, 1_200, 88],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_flat_json() {
+        let s = sample_state();
+        let line = s.encode();
+        let back = EpochState::decode(&line).expect("decodes");
+        assert_eq!(s, back, "encode → decode must be lossless");
+    }
+
+    #[test]
+    fn round_trip_preserves_absent_control_state() {
+        let s = EpochState {
+            pool_tokens: None,
+            warp_cap: None,
+            temps_c: Vec::new(),
+            vault_queue_wait_ps: Vec::new(),
+            ..sample_state()
+        };
+        let back = EpochState::decode(&s.encode()).expect("decodes");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn identical_states_have_no_divergence() {
+        let s = sample_state();
+        assert_eq!(s.first_divergence(&s.clone(), Tolerance::EXACT), None);
+    }
+
+    #[test]
+    fn temperature_divergence_names_field_and_index() {
+        let a = sample_state();
+        let mut b = a.clone();
+        b.temps_c[1] += 0.5;
+        let d = a
+            .first_divergence(&b, Tolerance::abs(0.1))
+            .expect("diverges");
+        assert_eq!(d.field, "temps_c");
+        assert_eq!(d.index, Some(1));
+        assert!(d.reference < d.optimized);
+        // Within a wider band the same pair agrees.
+        assert_eq!(a.first_divergence(&b, Tolerance::abs(1.0)), None);
+    }
+
+    #[test]
+    fn control_state_is_compared_exactly() {
+        let a = sample_state();
+        let mut b = a.clone();
+        b.pool_tokens = Some(87);
+        let d = a
+            .first_divergence(&b, Tolerance::abs(10.0))
+            .expect("diverges");
+        assert_eq!(d.field, "pool_tokens");
+        assert_eq!(d.slack, 0.0);
+
+        let mut c = a.clone();
+        c.vault_queue_wait_ps[2] = 89;
+        let d = a
+            .first_divergence(&c, Tolerance::abs(10.0))
+            .expect("diverges");
+        assert_eq!(d.field, "vault_queue_wait_ps");
+        assert_eq!(d.index, Some(2));
+    }
+
+    #[test]
+    fn solver_work_counters_are_context_not_compared() {
+        let a = sample_state();
+        let mut b = a.clone();
+        b.solver_sweeps = 1; // reference does far more sweeps — fine.
+        b.solver_substeps = 1;
+        assert_eq!(a.first_divergence(&b, Tolerance::EXACT), None);
+    }
+
+    #[test]
+    fn non_finite_optimized_temps_always_diverge() {
+        let a = sample_state();
+        let mut b = a.clone();
+        b.temps_c[0] = f64::NAN;
+        let d = a
+            .first_divergence(&b, Tolerance::abs(1e9))
+            .expect("NaN must never pass");
+        assert_eq!(d.field, "temps_c");
+        assert_eq!(d.index, Some(0));
+    }
+}

@@ -13,7 +13,10 @@
 //!   co-simulation, and the experiment harness,
 //! * [`telemetry`] — typed event tracing, metrics, wall-clock profiling
 //!   of the co-simulation loop, and the spatial flight recorder behind
-//!   postmortem dump bundles.
+//!   postmortem dump bundles,
+//! * [`validate`] — the lockstep oracle: reference and optimized
+//!   implementations of the swappable component seams run side by side
+//!   on property-generated inputs, with first-divergence reporting.
 //!
 //! ## Quick start
 //!
@@ -42,6 +45,7 @@ pub use coolpim_graph as graph;
 pub use coolpim_hmc as hmc;
 pub use coolpim_telemetry as telemetry;
 pub use coolpim_thermal as thermal;
+pub use coolpim_validate as validate;
 
 /// Commonly used types, one `use` away.
 pub mod prelude {
