@@ -1,0 +1,300 @@
+//! `profile_diff` — the trace-profile regression gate.
+//!
+//! ```text
+//! profile_diff --baseline BASELINE.json --current CURRENT.json [--band PATH=ABS,REL ...]
+//! profile_diff --validate-trace TRACE.json [--min-depth N] [--min-tracks N] [--min-flows N]
+//! profile_diff --reports REPORTS.jsonl [--max-action-p99-ps PS] [--max-overshoot-c-s X]
+//! ```
+//!
+//! Three combinable checks, all exiting non-zero on failure:
+//!
+//! 1. **Profile diff** — compares every hierarchical span-tree metric
+//!    (`tprof.<path>.total_s`) in the baseline run record against the
+//!    current one, flagging any phase whose wall time inflated beyond a
+//!    `Tolerance` band. Wall time is noisy across CI machines, so the
+//!    default band is deliberately generous (`abs 0.05 s, rel 1.0` —
+//!    double-plus-50 ms); tighten per phase with repeated
+//!    `--band epoch/gpu_advance=0.02,0.5` flags. Call-count metrics
+//!    (`tprof.<path>.calls`) and the deterministic solver-effort gauge
+//!    (`gauge.thermal_sweeps_per_substep`) get tight bands because a
+//!    fixed seed reproduces them exactly — drift there is an algorithmic
+//!    change, not scheduler noise.
+//! 2. **Trace validation** — structurally validates a Chrome trace-event
+//!    JSON artifact with `validate_trace_json` and asserts minimum
+//!    richness: nesting depth, span-carrying tracks, matched
+//!    warning→throttle flows.
+//! 3. **Control-loop reports** — consumes `analyze --json` JSONL lines
+//!    and enforces KPI ceilings (action-latency p99, overshoot
+//!    integral, orphan actions must stay zero).
+
+use std::path::Path;
+
+use coolpim_bench::runrec::RunRecord;
+use coolpim_telemetry::{validate_trace_json, ControlLoopReport, Tolerance};
+
+/// Default band for span wall times: runner noise can easily double a
+/// sub-100 ms phase, so only flag an inflation past `2x + 50 ms`.
+const DEFAULT_TIME_BAND: Tolerance = Tolerance {
+    abs: 0.05,
+    rel: 1.0,
+};
+
+/// Band for deterministic counts (span calls, solver sweeps): a fixed
+/// seed reproduces these exactly; the small slack absorbs boundary
+/// effects (one extra epoch from wall-clock-free rounding).
+const COUNT_BAND: Tolerance = Tolerance {
+    abs: 2.0,
+    rel: 0.02,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile_diff [--baseline BASE.json --current CUR.json [--band PATH=ABS,REL ...]]\n\
+         \x20                   [--validate-trace TRACE.json [--min-depth N] [--min-tracks N] [--min-flows N]]\n\
+         \x20                   [--reports REPORTS.jsonl [--max-action-p99-ps PS] [--max-overshoot-c-s X]]"
+    );
+    std::process::exit(2);
+}
+
+fn load_record(path: &str) -> RunRecord {
+    RunRecord::load(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("profile_diff: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("profile_diff: {flag} expects a number, got {v:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Diffs the `tprof.*` span tree (plus the solver-effort gauge) of two
+/// run records. Returns the number of regressions after printing a row
+/// per compared metric.
+fn diff_profiles(base: &RunRecord, cur: &RunRecord, bands: &[(String, Tolerance)]) -> usize {
+    println!(
+        "== profile_diff ==  baseline: {}   current: {}",
+        base.name, cur.name
+    );
+    if base.config_hash != cur.config_hash {
+        println!("!! config hash differs from the baseline (bands still apply)");
+    }
+    if base.metric("tprof.schema").is_none() {
+        println!("!! baseline has no tprof.* section (re-record with --trace-timeline)");
+    }
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}  status",
+        "metric", "baseline", "current", "delta%"
+    );
+    let mut rows = 0usize;
+    let mut regressions = 0usize;
+    for (key, b) in &base.metrics {
+        let default_band = if key.starts_with("tprof.") && key.ends_with(".total_s") {
+            DEFAULT_TIME_BAND
+        } else if key.starts_with("tprof.") && key.ends_with(".calls") {
+            COUNT_BAND
+        } else if key == "gauge.thermal_sweeps_per_substep" {
+            // Deterministic solver effort: inflation here means the SOR
+            // convergence behaviour changed, which no amount of runner
+            // noise explains.
+            Tolerance {
+                abs: 0.5,
+                rel: 0.25,
+            }
+        } else {
+            continue;
+        };
+        // Per-path override: `--band epoch/gpu_advance=ABS,REL` matches
+        // the path segment of `tprof.<path>.total_s`.
+        let path = key
+            .strip_prefix("tprof.")
+            .and_then(|k| k.strip_suffix(".total_s"));
+        let tol = path
+            .and_then(|p| bands.iter().find(|(bp, _)| bp == p))
+            .map_or(default_band, |(_, t)| *t);
+        let Some(c) = cur.metric(key) else {
+            println!("{key:<44} {b:>12.6} {:>12} {:>9}  missing", "-", "-");
+            rows += 1;
+            continue;
+        };
+        // One-sided: only inflation (current above baseline) regresses;
+        // a phase getting faster or cheaper is never a failure.
+        let regressed = c - b > tol.slack(*b);
+        let delta = if b.abs() > 1e-12 {
+            format!("{:+.2}", 100.0 * (c - b) / b)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{key:<44} {b:>12.6} {c:>12.6} {delta:>9}  {}",
+            if regressed {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            }
+        );
+        rows += 1;
+    }
+    println!("{rows} metric(s), {regressions} regression(s)");
+    regressions
+}
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut bands: Vec<(String, Tolerance)> = Vec::new();
+    let mut trace: Option<String> = None;
+    let mut min_depth = 0usize;
+    let mut min_tracks = 0usize;
+    let mut min_flows = 0usize;
+    let mut reports: Option<String> = None;
+    let mut max_action_p99_ps: Option<u64> = None;
+    let mut max_overshoot_c_s: Option<f64> = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" | "-b" => baseline = Some(take(&mut i)),
+            "--current" | "-c" => current = Some(take(&mut i)),
+            "--band" => {
+                let spec = take(&mut i);
+                let parsed = spec.split_once('=').and_then(|(path, band)| {
+                    let (abs, rel) = band.split_once(',')?;
+                    Some((
+                        path.to_string(),
+                        Tolerance {
+                            abs: abs.parse().ok()?,
+                            rel: rel.parse().ok()?,
+                        },
+                    ))
+                });
+                let Some(parsed) = parsed else {
+                    eprintln!("profile_diff: --band expects PATH=ABS,REL, got {spec:?}");
+                    std::process::exit(2);
+                };
+                bands.push(parsed);
+            }
+            "--validate-trace" => trace = Some(take(&mut i)),
+            "--min-depth" => min_depth = parse_num("--min-depth", &take(&mut i)),
+            "--min-tracks" => min_tracks = parse_num("--min-tracks", &take(&mut i)),
+            "--min-flows" => min_flows = parse_num("--min-flows", &take(&mut i)),
+            "--reports" => reports = Some(take(&mut i)),
+            "--max-action-p99-ps" => {
+                max_action_p99_ps = Some(parse_num("--max-action-p99-ps", &take(&mut i)));
+            }
+            "--max-overshoot-c-s" => {
+                max_overshoot_c_s = Some(parse_num("--max-overshoot-c-s", &take(&mut i)));
+            }
+            "--help" | "-h" => usage(),
+            flag => {
+                eprintln!("unknown argument {flag:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if baseline.is_some() != current.is_some() {
+        eprintln!("profile_diff: --baseline and --current go together");
+        usage();
+    }
+    if baseline.is_none() && trace.is_none() && reports.is_none() {
+        usage();
+    }
+
+    let mut failed = false;
+
+    if let (Some(baseline), Some(current)) = (&baseline, &current) {
+        let base = load_record(baseline);
+        let cur = load_record(current);
+        failed |= diff_profiles(&base, &cur, &bands) > 0;
+    }
+
+    if let Some(path) = &trace {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("profile_diff: {path}: {e}");
+            std::process::exit(2);
+        });
+        match validate_trace_json(&text) {
+            Ok(s) => {
+                println!(
+                    "trace {path}: {} events, {} tracks, max depth {}, {} flows matched",
+                    s.events, s.tracks, s.max_depth, s.flow_matched
+                );
+                for (what, got, min) in [
+                    ("nesting depth", s.max_depth, min_depth),
+                    ("span tracks", s.tracks, min_tracks),
+                    ("matched flows", s.flow_matched, min_flows),
+                ] {
+                    if got < min {
+                        println!("trace {what}: {got} < required {min}  FAIL");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                println!("trace {path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &reports {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("profile_diff: {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut parsed = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(r) = ControlLoopReport::from_json(line) else {
+                println!("reports {path}:{}: unparseable line  FAIL", lineno + 1);
+                failed = true;
+                continue;
+            };
+            parsed += 1;
+            let tag = format!("{}/{}", r.policy, r.workload);
+            if r.orphan_actions > 0 {
+                println!("report {tag}: {} orphan action(s)  FAIL", r.orphan_actions);
+                failed = true;
+            }
+            if let Some(max) = max_action_p99_ps {
+                if r.action_latency.p99_ps > max {
+                    println!(
+                        "report {tag}: action latency p99 {} ps > {max} ps  FAIL",
+                        r.action_latency.p99_ps
+                    );
+                    failed = true;
+                }
+            }
+            if let Some(max) = max_overshoot_c_s {
+                if r.overshoot_integral_c_s > max {
+                    println!(
+                        "report {tag}: overshoot integral {:.4} C*s > {max} C*s  FAIL",
+                        r.overshoot_integral_c_s
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if parsed == 0 {
+            println!("reports {path}: no reports parsed  FAIL");
+            failed = true;
+        } else {
+            println!("reports {path}: {parsed} report(s) checked");
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,14 @@
 //! sampling stride. `--trace-rotate-mb MB` caps the `--trace` file by
 //! rotating it into numbered parts, keeping only the newest few.
 //!
+//! `--trace-timeline FILE` records a hierarchical trace timeline of the
+//! run — nested epoch/thermal/scheduling spans on per-component tracks,
+//! counter tracks (peak DRAM temp, token pool, warp cap), and
+//! warning→throttle flow arrows — and writes it as Chrome trace-event
+//! JSON loadable at <https://ui.perfetto.dev>. The file is validated
+//! in-process before it is written; the aggregated span tree also folds
+//! into the run record as `tprof.*` metrics for `profile_diff`.
+//!
 //! `--monitor ADDR` (e.g. `127.0.0.1:9184`, or `:0` for an ephemeral
 //! port) serves the run's live state over HTTP while it executes —
 //! `/metrics` (Prometheus text format), `/status` (flat JSON),
@@ -73,6 +81,7 @@ struct Args {
     flight_capacity: Option<u64>,
     flight_every: Option<u64>,
     trace_rotate_mb: Option<u64>,
+    trace_timeline: Option<String>,
     monitor: Option<String>,
     heartbeat_s: Option<f64>,
 }
@@ -89,7 +98,7 @@ fn usage() -> ! {
          \x20          [--run-record dir]\n\
          \x20          [--flight-recorder] [--postmortem-dir dir]\n\
          \x20          [--flight-capacity N] [--flight-every N]\n\
-         \x20          [--trace-rotate-mb MB]\n\
+         \x20          [--trace-rotate-mb MB] [--trace-timeline json-file]\n\
          \x20          [--monitor addr:port] [--heartbeat secs]"
     );
     std::process::exit(2);
@@ -139,6 +148,7 @@ fn parse_args() -> Args {
         flight_capacity: None,
         flight_every: None,
         trace_rotate_mb: None,
+        trace_timeline: None,
         monitor: None,
         heartbeat_s: None,
     };
@@ -186,6 +196,7 @@ fn parse_args() -> Args {
             "--trace-rotate-mb" => {
                 args.trace_rotate_mb = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--trace-timeline" => args.trace_timeline = Some(take(&mut i)),
             "--monitor" => args.monitor = Some(take(&mut i)),
             "--heartbeat" => {
                 args.heartbeat_s = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
@@ -296,6 +307,13 @@ fn main() {
     let record_name = format!("{}-{}", args.workload.name(), args.policy.name());
 
     let mut cosim = CoSim::new(args.policy, cfg).with_telemetry(telemetry);
+    let tracer = args
+        .trace_timeline
+        .as_ref()
+        .map(|_| coolpim_telemetry::Tracer::new());
+    if let Some(t) = &tracer {
+        cosim = cosim.with_tracer(t);
+    }
     let mut server = None;
     if let Some(addr) = &args.monitor {
         let hub = MonitorHub::new();
@@ -350,7 +368,42 @@ fn main() {
         eprintln!("# postmortem bundle: {}", path.display());
     }
 
-    let record = RunRecord::from_cosim(&record_name, &config_desc, &r);
+    // Export the trace timeline: self-validate before writing so a
+    // malformed document can never land on disk, then report the
+    // summary a CI log can grep.
+    if let (Some(path), Some(tracer)) = (&args.trace_timeline, &tracer) {
+        let json = tracer.to_chrome_json();
+        match coolpim_telemetry::validate_trace_json(&json) {
+            Ok(sum) => eprintln!(
+                "# trace timeline: {path} ({} events, {} tracks, max depth {}, {} flows matched)",
+                sum.events, sum.tracks, sum.max_depth, sum.flow_matched
+            ),
+            Err(e) => {
+                eprintln!("internal error: trace timeline failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write trace timeline {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut record = RunRecord::from_cosim(&record_name, &config_desc, &r);
+    // Fold the aggregated span tree into the run record as a versioned
+    // profile section: one flat `tprof.<path>.{total_s,self_s,calls}`
+    // triple per tree path, which is what `profile_diff` bands against
+    // committed baselines.
+    if let Some(tracer) = &tracer {
+        let tp = tracer.profile();
+        record.push("tprof.schema", 1.0);
+        record.push("tprof.span_s", tp.span_s);
+        for (path, total_s, self_s, calls) in tp.flatten() {
+            record.push(&format!("tprof.{path}.total_s"), total_s);
+            record.push(&format!("tprof.{path}.self_s"), self_s);
+            record.push(&format!("tprof.{path}.calls"), calls as f64);
+        }
+    }
     if let Some(path) = &args.metrics_out {
         if let Err(e) = record.write_to(std::path::Path::new(path)) {
             eprintln!("failed to write metrics to {path}: {e}");
@@ -397,6 +450,9 @@ fn main() {
     }
     if args.profile {
         print!("{}", r.profile.render());
+        if let Some(tracer) = &tracer {
+            print!("{}", tracer.profile().render());
+        }
         print!("{}", r.metrics.render());
     }
     if args.timeline {

@@ -18,7 +18,9 @@ use coolpim_hmc::stats::StatsTotals;
 use coolpim_hmc::{ns_to_ps, Hmc, Ps, TempPhase};
 use coolpim_telemetry::flight::{FlightRecorder, PostmortemBundle};
 use coolpim_telemetry::monitor::EpochObservation;
-use coolpim_telemetry::{MetricsSnapshot, MonitorHub, ProfileReport, Telemetry, TelemetryEvent};
+use coolpim_telemetry::{
+    MetricsSnapshot, MonitorHub, ProfileReport, Telemetry, TelemetryEvent, TraceTrack, Tracer,
+};
 use coolpim_thermal::cooling::Cooling;
 use coolpim_thermal::model::HmcThermalModel;
 use coolpim_thermal::power::TrafficSample;
@@ -202,6 +204,9 @@ pub struct CoSim<S: ThermalSolve = TransientState> {
     flight_cfg: Option<FlightConfig>,
     monitor: Option<MonitorHub>,
     heartbeat_s: Option<f64>,
+    /// The cube's timeline track (window roll-over / event-drain spans
+    /// plus per-epoch activity counters), when trace timelines are on.
+    hmc_trace: Option<TraceTrack>,
 }
 
 // Constructors stay on the defaulted type so `CoSim::paper(...)` keeps
@@ -229,6 +234,7 @@ impl CoSim {
             flight_cfg: None,
             monitor: None,
             heartbeat_s: None,
+            hmc_trace: None,
         }
     }
 }
@@ -255,7 +261,23 @@ impl<S: ThermalSolve> CoSim<S> {
             flight_cfg: self.flight_cfg,
             monitor: self.monitor,
             heartbeat_s: self.heartbeat_s,
+            hmc_trace: self.hmc_trace,
         }
+    }
+
+    /// Attaches a hierarchical trace timeline (see
+    /// [`coolpim_telemetry::Tracer`]): opens three tracks on `tracer` —
+    /// `sim` (the epoch span tree with thermal children, counter
+    /// samples, and warning→throttle flow events), `gpu` (the engine's
+    /// scheduling/dispatch spans), and `hmc` (the cube's window and
+    /// event-drain spans). Call **after** [`Self::with_telemetry`]: the
+    /// `sim` track rides inside the telemetry bundle, so a later
+    /// `with_telemetry` replaces it.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.telemetry.trace = Some(tracer.track("sim"));
+        self.sys.set_trace(tracer.track("gpu"));
+        self.hmc_trace = Some(tracer.track("hmc"));
+        self
     }
 
     /// Attaches a telemetry bundle (event sink and/or profiler). The
@@ -366,8 +388,11 @@ impl<S: ThermalSolve> CoSim<S> {
         let end_ps = loop {
             horizon += self.cfg.epoch;
             epoch_idx += 1;
+            let epoch_tok = self.telemetry.trace_begin("epoch");
             let span = self.telemetry.profiler.start();
+            let ttok = self.telemetry.trace_begin("gpu_advance");
             let outcome = self.sys.run_until(kernel, ctrl, horizon);
+            self.telemetry.trace_end(ttok);
             self.telemetry.profiler.stop("gpu_advance", span);
             let now = if outcome == RunOutcome::Finished {
                 self.sys.stats().end_ps
@@ -375,7 +400,12 @@ impl<S: ThermalSolve> CoSim<S> {
                 horizon
             };
             let span = self.telemetry.profiler.start();
-            let window = self.sys.hmc_mut().take_window(now);
+            let ttok = self.telemetry.trace_begin("hmc_drain");
+            let window = self
+                .sys
+                .hmc_mut()
+                .take_window_traced(now, self.hmc_trace.as_mut());
+            self.telemetry.trace_end(ttok);
             self.telemetry.profiler.stop("hmc_drain", span);
             let dur_s = window.duration_s(now).max(1e-9);
             let sample = TrafficSample {
@@ -388,13 +418,18 @@ impl<S: ThermalSolve> CoSim<S> {
             let readout = if first_epoch && self.cfg.warm_start {
                 first_epoch = false;
                 let span = self.telemetry.profiler.start();
+                let ttok = self.telemetry.trace_begin("thermal_solve");
                 let r = self.thermal.steady_state(&sample);
+                self.telemetry.trace_end(ttok);
                 self.telemetry.profiler.stop("thermal_solve", span);
                 r
             } else {
                 first_epoch = false;
-                self.thermal
-                    .step_profiled(&sample, &mut self.telemetry.profiler)
+                self.thermal.step_traced(
+                    &sample,
+                    &mut self.telemetry.profiler,
+                    self.telemetry.trace.as_mut(),
+                )
             };
             max_peak = max_peak.max(readout.peak_dram_c);
             if feedback {
@@ -416,7 +451,9 @@ impl<S: ThermalSolve> CoSim<S> {
             // buffers must empty even without a sink), fold them into the
             // metrics, and stream them time-sorted with the epoch sample
             // last.
-            self.sys.hmc_mut().drain_events(&mut batch);
+            self.sys
+                .hmc_mut()
+                .drain_events_traced(&mut batch, self.hmc_trace.as_mut());
             self.sys.drain_events(&mut batch);
             ctrl.drain_control_events(&mut batch);
             for ev in &batch {
@@ -426,6 +463,12 @@ impl<S: ThermalSolve> CoSim<S> {
                     } => {
                         self.telemetry.metrics.count("thermal_warnings_raised", 1);
                         raised_at.push((*warning_id, *t_ps));
+                        // Flow arrow origin: a marker span inside the
+                        // epoch anchors the warning's causal thread.
+                        let tok = self.telemetry.trace_begin("thermal_warning");
+                        self.telemetry
+                            .trace_flow_start("thermal_warning", *warning_id);
+                        self.telemetry.trace_end(tok);
                     }
                     TelemetryEvent::ThermalWarningCleared { .. } => {
                         self.telemetry.metrics.count("thermal_warnings_cleared", 1);
@@ -444,6 +487,13 @@ impl<S: ThermalSolve> CoSim<S> {
                         if *trigger == "thermal_warning" {
                             throttle_steps += 1;
                             self.telemetry.metrics.count("token_pool_shrinks", 1);
+                            if let Some(id) = warning_id {
+                                // Flow arrow target: the throttle action
+                                // this warning caused.
+                                let tok = self.telemetry.trace_begin("throttle");
+                                self.telemetry.trace_flow_finish("thermal_warning", *id);
+                                self.telemetry.trace_end(tok);
+                            }
                             if let Some(t0) = warning_id
                                 .and_then(|id| raised_at.iter().find(|(i, _)| *i == id))
                                 .map(|(_, t)| *t)
@@ -465,6 +515,11 @@ impl<S: ThermalSolve> CoSim<S> {
                         self.telemetry
                             .metrics
                             .gauge("warp_cap_slots", *new_slots as f64);
+                        if let Some(id) = warning_id {
+                            let tok = self.telemetry.trace_begin("throttle");
+                            self.telemetry.trace_flow_finish("thermal_warning", *id);
+                            self.telemetry.trace_end(tok);
+                        }
                         if let Some(t0) = warning_id
                             .and_then(|id| raised_at.iter().find(|(i, _)| *i == id))
                             .map(|(_, t)| *t)
@@ -488,6 +543,7 @@ impl<S: ThermalSolve> CoSim<S> {
             if let Some(fl) = flight.as_mut() {
                 if epoch_idx.is_multiple_of(fl.cfg.every_epochs) {
                     let span = self.telemetry.profiler.start();
+                    let ttok = self.telemetry.trace_begin("flight_sample");
                     self.thermal.vault_peak_dram_temps_into(&mut fl.temps);
                     let pool = self.telemetry.metrics.gauge_value("token_pool_size");
                     let cap = self.telemetry.metrics.gauge_value("warp_cap_slots");
@@ -506,6 +562,7 @@ impl<S: ThermalSolve> CoSim<S> {
                         s.flits = window.vault_flits[v];
                         s.queue_wait_ps = window.vault_queue_wait_ps[v];
                     }
+                    self.telemetry.trace_end(ttok);
                     self.telemetry.profiler.stop("flight_sample", span);
                 }
                 let mut trigger: Option<(&'static str, Option<u64>)> = None;
@@ -574,6 +631,7 @@ impl<S: ThermalSolve> CoSim<S> {
             }
 
             let span = self.telemetry.profiler.start();
+            let ttok = self.telemetry.trace_begin("telemetry_emit");
             self.telemetry.emit_epoch_batch(&mut batch);
             self.telemetry.emit(TelemetryEvent::EpochSample {
                 t_ps: now,
@@ -582,11 +640,22 @@ impl<S: ThermalSolve> CoSim<S> {
                 peak_dram_c: readout.peak_dram_c,
                 phase: phase.name(),
             });
+            self.telemetry.trace_end(ttok);
             self.telemetry.profiler.stop("telemetry_emit", span);
             self.telemetry.metrics.count("epochs", 1);
             self.telemetry
                 .metrics
                 .gauge_max("peak_dram_c", readout.peak_dram_c);
+            // Counter tracks: the feedback loop's observable state, one
+            // sample per epoch next to the span tree.
+            self.telemetry
+                .trace_counter("peak_dram_c", readout.peak_dram_c);
+            if let Some(v) = self.telemetry.metrics.gauge_value("token_pool_size") {
+                self.telemetry.trace_counter("token_pool", v);
+            }
+            if let Some(v) = self.telemetry.metrics.gauge_value("warp_cap_slots") {
+                self.telemetry.trace_counter("warp_cap", v);
+            }
 
             // Live monitor + heartbeat: both read the same wall-clock
             // progress figures. The monitor sample is profiled so the
@@ -596,6 +665,7 @@ impl<S: ThermalSolve> CoSim<S> {
                 let epochs_per_s = epoch_idx as f64 / elapsed_s;
                 if let Some(hub) = &self.monitor {
                     let span = self.telemetry.profiler.start();
+                    let ttok = self.telemetry.trace_begin("monitor_sample");
                     self.thermal.vault_peak_dram_temps_into(&mut mon_temps);
                     let sweeps_now = self.thermal.solver_stats().sweeps;
                     let total_wait_ps: u64 = window.vault_queue_wait_ps.iter().sum();
@@ -638,6 +708,7 @@ impl<S: ThermalSolve> CoSim<S> {
                     };
                     prev_sweeps = sweeps_now;
                     hub.sample(&obs, &self.telemetry.metrics);
+                    self.telemetry.trace_end(ttok);
                     self.telemetry.profiler.stop("monitor_sample", span);
                 }
                 if let Some(beat_s) = self.heartbeat_s {
@@ -660,6 +731,7 @@ impl<S: ThermalSolve> CoSim<S> {
                     }
                 }
             }
+            self.telemetry.trace_end(epoch_tok);
             match outcome {
                 RunOutcome::Finished => break now,
                 RunOutcome::Shutdown => {
@@ -714,6 +786,22 @@ impl<S: ThermalSolve> CoSim<S> {
         self.telemetry.flush();
         self.telemetry.profiler.stop("telemetry_emit", span);
 
+        // Close out the trace timeline: every track flushes its buffered
+        // events (and its own recording cost) into the shared tracer, so
+        // the overhead figure below sees the full tracer bill.
+        self.sys.flush_trace();
+        if let Some(t) = self.hmc_trace.as_mut() {
+            t.flush();
+        }
+        if let Some(t) = self.telemetry.trace.as_mut() {
+            t.flush();
+        }
+        let tracer_self_s = self
+            .telemetry
+            .trace
+            .as_ref()
+            .map_or(0.0, |t| t.tracer_self_s());
+
         // Self-overhead: the observability machinery's own spans as a
         // share of profiled wall time. Folded into the metrics before
         // the snapshot so run records carry it.
@@ -721,7 +809,8 @@ impl<S: ThermalSolve> CoSim<S> {
         let self_time_s = profile.span_s("flight_sample")
             + profile.span_s("flight_dump")
             + profile.span_s("monitor_sample")
-            + profile.span_s("telemetry_emit");
+            + profile.span_s("telemetry_emit")
+            + tracer_self_s;
         let telemetry_overhead_pct = if profile.enabled && profile.wall_s > 0.0 {
             100.0 * self_time_s / profile.wall_s
         } else {

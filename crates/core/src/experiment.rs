@@ -11,7 +11,7 @@ use std::sync::Mutex;
 
 use coolpim_graph::csr::Csr;
 use coolpim_graph::workloads::{make_kernel, Workload};
-use coolpim_telemetry::{MetricsSnapshot, MonitorHub, ProfileReport, Telemetry};
+use coolpim_telemetry::{MetricsSnapshot, MonitorHub, ProfileReport, Telemetry, Tracer};
 
 use crate::cosim::{CoSim, CoSimConfig, CoSimResult};
 use crate::policy::Policy;
@@ -56,7 +56,7 @@ pub fn run_matrix(
     policies: &[Policy],
     cfg: CoSimConfig,
 ) -> Vec<WorkloadResults> {
-    run_matrix_inner(graph, workloads, policies, cfg, false, None)
+    run_matrix_inner(graph, workloads, policies, cfg, false, None, None)
 }
 
 /// [`run_matrix`] with wall-clock span profiling enabled in every run;
@@ -67,7 +67,22 @@ pub fn run_matrix_profiled(
     policies: &[Policy],
     cfg: CoSimConfig,
 ) -> Vec<WorkloadResults> {
-    run_matrix_inner(graph, workloads, policies, cfg, true, None)
+    run_matrix_inner(graph, workloads, policies, cfg, true, None, None)
+}
+
+/// [`run_matrix_profiled`] with a hierarchical trace timeline: each
+/// pool worker owns a `worker-N` track on `tracer` and brackets every
+/// cell it claims in a span named after the cell's workload, so the
+/// exported timeline shows how the matrix fanned out over threads —
+/// which worker ran what, when, and where the pool sat idle.
+pub fn run_matrix_traced(
+    graph: &Csr,
+    workloads: &[Workload],
+    policies: &[Policy],
+    cfg: CoSimConfig,
+    tracer: &Tracer,
+) -> Vec<WorkloadResults> {
+    run_matrix_inner(graph, workloads, policies, cfg, true, None, Some(tracer))
 }
 
 /// [`run_matrix_profiled`] with every run publishing live epoch
@@ -82,7 +97,7 @@ pub fn run_matrix_monitored(
     cfg: CoSimConfig,
     hub: MonitorHub,
 ) -> Vec<WorkloadResults> {
-    run_matrix_inner(graph, workloads, policies, cfg, true, Some(hub))
+    run_matrix_inner(graph, workloads, policies, cfg, true, Some(hub), None)
 }
 
 fn run_matrix_inner(
@@ -92,6 +107,7 @@ fn run_matrix_inner(
     cfg: CoSimConfig,
     profile: bool,
     hub: Option<MonitorHub>,
+    tracer: Option<&Tracer>,
 ) -> Vec<WorkloadResults> {
     let cfg = &cfg;
     if let Some(hub) = &hub {
@@ -127,34 +143,47 @@ fn run_matrix_inner(
     // Workers borrow the one shared `&Csr` — scoped threads make the
     // lifetime work without a per-worker clone of the graph.
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for worker in 0..threads {
             let next = &next;
             let tasks = &tasks;
             let results = &results;
             let hub = hub.clone();
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(wi, w, pi, p)) = tasks.get(i) else {
-                    break;
-                };
-                let started = std::time::Instant::now();
-                let mut kernel = make_kernel(w, graph);
-                let mut sim = CoSim::new(p, cfg.clone());
-                if profile {
-                    sim = sim.with_telemetry(Telemetry::disabled().profiled());
+            scope.spawn(move || {
+                // Per-worker timeline track: one span per claimed cell,
+                // named after the cell's workload. The gaps between
+                // spans are the pool's idle/imbalance time.
+                let mut track = tracer.map(|t| t.track(&format!("worker-{worker}")));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(wi, w, pi, p)) = tasks.get(i) else {
+                        break;
+                    };
+                    let tok = track.as_mut().map(|t| t.begin(w.name()));
+                    let started = std::time::Instant::now();
+                    let mut kernel = make_kernel(w, graph);
+                    let mut sim = CoSim::new(p, cfg.clone());
+                    if profile {
+                        sim = sim.with_telemetry(Telemetry::disabled().profiled());
+                    }
+                    if let Some(hub) = hub.clone() {
+                        sim = sim.with_monitor(hub);
+                    }
+                    let r = sim.run(kernel.as_mut());
+                    eprintln!(
+                        "# {:<10} {:<18} {:>8.3} ms simulated ({:>5.1} s wall)",
+                        w.name(),
+                        p.name(),
+                        r.exec_s * 1e3,
+                        started.elapsed().as_secs_f64()
+                    );
+                    results.lock().expect("results poisoned")[wi][pi] = Some(r);
+                    if let (Some(t), Some(tok)) = (track.as_mut(), tok) {
+                        t.end(tok);
+                    }
                 }
-                if let Some(hub) = hub.clone() {
-                    sim = sim.with_monitor(hub);
+                if let Some(t) = track.as_mut() {
+                    t.flush();
                 }
-                let r = sim.run(kernel.as_mut());
-                eprintln!(
-                    "# {:<10} {:<18} {:>8.3} ms simulated ({:>5.1} s wall)",
-                    w.name(),
-                    p.name(),
-                    r.exec_s * 1e3,
-                    started.elapsed().as_secs_f64()
-                );
-                results.lock().expect("results poisoned")[wi][pi] = Some(r);
             });
         }
     });

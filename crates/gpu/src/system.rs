@@ -20,7 +20,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use coolpim_hmc::{Hmc, Ps, Request};
-use coolpim_telemetry::TelemetryEvent;
+use coolpim_telemetry::{TelemetryEvent, TraceTrack};
 
 use crate::cache::{Cache, CacheOutcome};
 use crate::coalesce::coalesce_into;
@@ -92,6 +92,12 @@ pub struct GpuSystem {
     /// Kernel launch/retire events since the last drain (one per grid —
     /// rare; drained at epoch boundaries by the co-simulator).
     events: Vec<TelemetryEvent>,
+    /// Timeline track for the engine's scheduling spans, when trace
+    /// timelines are on: one `warp_scheduling` span per `run_until`
+    /// call with `dispatch` children per block-fill pass. Per-warp
+    /// stepping is deliberately not traced — at one span per issued
+    /// instruction the tracer itself would dominate the epoch.
+    trace: Option<TraceTrack>,
 }
 
 impl GpuSystem {
@@ -130,6 +136,20 @@ impl GpuSystem {
             stats: GpuStats::default(),
             scratch: Vec::with_capacity(32),
             events: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Attaches the engine's timeline track (see the `trace` field).
+    pub fn set_trace(&mut self, track: TraceTrack) {
+        self.trace = Some(track);
+    }
+
+    /// Flushes any attached timeline track into its tracer (end-of-run;
+    /// also folds the track's self-cost into the tracer's shared total).
+    pub fn flush_trace(&mut self) {
+        if let Some(t) = self.trace.as_mut() {
+            t.flush();
         }
     }
 
@@ -204,6 +224,20 @@ impl GpuSystem {
         controller: &mut dyn OffloadController,
         until: Ps,
     ) -> RunOutcome {
+        let tok = self.trace.as_mut().map(|t| t.begin("warp_scheduling"));
+        let out = self.run_until_inner(kernel, controller, until);
+        if let (Some(t), Some(tok)) = (self.trace.as_mut(), tok) {
+            t.end(tok);
+        }
+        out
+    }
+
+    fn run_until_inner(
+        &mut self,
+        kernel: &mut dyn Kernel,
+        controller: &mut dyn OffloadController,
+        until: Ps,
+    ) -> RunOutcome {
         assert!(self.started, "run_until() before start()");
         loop {
             if self.shutdown {
@@ -267,6 +301,14 @@ impl GpuSystem {
     }
 
     fn fill_sms(&mut self, kernel: &mut dyn Kernel, controller: &mut dyn OffloadController) {
+        let tok = self.trace.as_mut().map(|t| t.begin("dispatch"));
+        self.fill_sms_inner(kernel, controller);
+        if let (Some(t), Some(tok)) = (self.trace.as_mut(), tok) {
+            t.end(tok);
+        }
+    }
+
+    fn fill_sms_inner(&mut self, kernel: &mut dyn Kernel, controller: &mut dyn OffloadController) {
         let wpb = kernel.warps_per_block();
         assert!(
             wpb > 0 && wpb <= self.cfg.max_warps_per_sm,

@@ -1,7 +1,7 @@
 //! The assembled cube: links → crossbar → vaults → banks, plus thermal
 //! status and activity counters.
 
-use coolpim_telemetry::{Histogram, TelemetryEvent};
+use coolpim_telemetry::{Histogram, TelemetryEvent, TraceTrack};
 
 use crate::link::Link;
 use crate::ns_to_ps;
@@ -264,6 +264,28 @@ impl Hmc {
         }
     }
 
+    /// [`Self::drain_events`] with an optional timeline track: the
+    /// vault-controller event processing becomes a `vault_events` span
+    /// on the cube's trace track, so a Perfetto timeline shows when the
+    /// cube's rare-event queue is handed to the co-simulator and how
+    /// many events each epoch carried.
+    pub fn drain_events_traced(
+        &mut self,
+        out: &mut Vec<TelemetryEvent>,
+        trace: Option<&mut TraceTrack>,
+    ) {
+        match trace {
+            Some(t) => {
+                let tok = t.begin("vault_events");
+                let n = self.events.len();
+                self.drain_events(out);
+                t.counter("hmc_events_drained", n as f64);
+                t.end(tok);
+            }
+            None => self.drain_events(out),
+        }
+    }
+
     /// Moves the cube's buffered telemetry events into `out`.
     pub fn drain_events(&mut self, out: &mut Vec<TelemetryEvent>) {
         out.append(&mut self.events);
@@ -442,6 +464,25 @@ impl Hmc {
         let window = std::mem::replace(&mut self.window, fresh);
         self.totals.absorb(&window);
         window
+    }
+
+    /// [`Self::take_window`] with an optional timeline track: the window
+    /// roll-over becomes a `vault_window` span and the window's PIM-op
+    /// and FLIT counts land on `hmc_pim_ops` / `hmc_flits` counter
+    /// tracks, so per-epoch cube activity is visible next to the thermal
+    /// and scheduling spans in Perfetto.
+    pub fn take_window_traced(&mut self, now: Ps, trace: Option<&mut TraceTrack>) -> StatsWindow {
+        match trace {
+            Some(t) => {
+                let tok = t.begin("vault_window");
+                let window = self.take_window(now);
+                t.counter("hmc_pim_ops", window.pim_ops as f64);
+                t.counter("hmc_flits", window.flits as f64);
+                t.end(tok);
+                window
+            }
+            None => self.take_window(now),
+        }
     }
 
     /// Cumulative totals (including the still-open window).

@@ -119,7 +119,9 @@ impl ControlLoopReport {
             .u64("delivery_latency_count", self.delivery_latency.count)
             .f64("delivery_latency_mean_ps", self.delivery_latency.mean_ps)
             .u64("delivery_latency_p50_ps", self.delivery_latency.p50_ps)
+            .u64("delivery_latency_p90_ps", self.delivery_latency.p90_ps)
             .u64("delivery_latency_p99_ps", self.delivery_latency.p99_ps)
+            .u64("delivery_latency_max_ps", self.delivery_latency.max_ps)
             .u64("action_latency_count", self.action_latency.count)
             .f64("action_latency_mean_ps", self.action_latency.mean_ps)
             .u64("action_latency_p50_ps", self.action_latency.p50_ps)
@@ -133,6 +135,43 @@ impl ControlLoopReport {
             .u64("pool_oscillations", self.pool_oscillations)
             .f64("headroom_utilization", self.headroom_utilization);
         b.finish()
+    }
+
+    /// Parses a report serialized by [`Self::to_json`] — the read side
+    /// of `analyze --json`, so downstream tooling (`profile_diff`, CI
+    /// gates) consumes the KPIs without scraping tables. Labels go
+    /// through [`crate::event::intern`]; ones outside the vocabulary
+    /// read back as `"?"`.
+    pub fn from_json(line: &str) -> Option<Self> {
+        let o = crate::json::parse_flat_object(line)?;
+        let lat = |prefix: &str| -> Option<LatencyStats> {
+            Some(LatencyStats {
+                count: o.u64_field(&format!("{prefix}_count"))?,
+                mean_ps: o.f64_field(&format!("{prefix}_mean_ps"))?,
+                p50_ps: o.u64_field(&format!("{prefix}_p50_ps"))?,
+                p90_ps: o.u64_field(&format!("{prefix}_p90_ps")).unwrap_or(0),
+                p99_ps: o.u64_field(&format!("{prefix}_p99_ps"))?,
+                max_ps: o.u64_field(&format!("{prefix}_max_ps")).unwrap_or(0),
+            })
+        };
+        Some(Self {
+            policy: crate::event::intern(o.str_field("policy")?),
+            workload: crate::event::intern(o.str_field("workload")?),
+            threshold_c: o.f64_field("threshold_c")?,
+            total_time_s: o.f64_field("total_time_s")?,
+            warnings_raised: o.u64_field("warnings_raised")?,
+            warnings_delivered: o.u64_field("warnings_delivered")?,
+            actions: o.u64_field("actions")?,
+            orphan_actions: o.u64_field("orphan_actions")?,
+            delivery_latency: lat("delivery_latency")?,
+            action_latency: lat("action_latency")?,
+            overshoot_episodes: o.u64_field("overshoot_episodes")?,
+            overshoot_time_s: o.f64_field("overshoot_time_s")?,
+            overshoot_integral_c_s: o.f64_field("overshoot_integral_c_s")?,
+            derated_time_s: o.f64_field("derated_time_s")?,
+            pool_oscillations: o.u64_field("pool_oscillations")?,
+            headroom_utilization: o.f64_field("headroom_utilization")?,
+        })
     }
 
     /// Renders the report as a readable block.
@@ -511,6 +550,15 @@ mod tests {
         assert_eq!(o.u64_field("warnings_raised"), Some(1));
         assert_eq!(o.u64_field("pool_oscillations"), Some(1));
         assert!(o.f64_field("overshoot_integral_c_s").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn report_json_round_trips_losslessly() {
+        let r = analyze(&synthetic_trace());
+        let back = ControlLoopReport::from_json(&r.to_json()).expect("report parses back");
+        assert_eq!(back, r, "to_json/from_json must be lossless");
+        assert!(ControlLoopReport::from_json("not json").is_none());
+        assert!(ControlLoopReport::from_json("{}").is_none());
     }
 
     #[test]

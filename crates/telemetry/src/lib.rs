@@ -38,7 +38,13 @@
 //!   bridge and the one-thread in-tree HTTP [`MonitorServer`]
 //!   (`/metrics`, `/status`, `/series`, `/healthz`);
 //! * [`tolerance`] — the shared [`Tolerance`] band (`abs + rel·|base|`)
-//!   used by the run-record regression gates and the lockstep oracle.
+//!   used by the run-record regression gates and the lockstep oracle;
+//! * [`tracer`] — hierarchical trace timelines: nested spans on
+//!   per-thread [`TraceTrack`]s, counter tracks, warning→throttle flow
+//!   events, Chrome trace-event JSON export for Perfetto
+//!   ([`Tracer::to_chrome_json`], checked in-tree by
+//!   [`validate_trace_json`]), and the aggregated self/total-time
+//!   [`TraceProfile`] tree with critical-path extraction.
 //!
 //! ## Example
 //!
@@ -66,6 +72,7 @@ pub mod sink;
 pub mod span;
 pub mod timeseries;
 pub mod tolerance;
+pub mod tracer;
 
 pub use analysis::{ControlLoopReport, LatencyStats};
 pub use event::TelemetryEvent;
@@ -80,6 +87,9 @@ pub use sink::{
 pub use span::{ProfileReport, Profiler, SpanTimer};
 pub use timeseries::{Agg, SeriesSet, TimeSeries};
 pub use tolerance::Tolerance;
+pub use tracer::{
+    validate_trace_json, ProfileNode, SpanToken, TraceProfile, TraceSummary, TraceTrack, Tracer,
+};
 
 /// The per-run telemetry bundle the co-simulator carries: an optional
 /// event sink, the metrics registry, and the profiler.
@@ -94,6 +104,10 @@ pub struct Telemetry {
     pub metrics: MetricsRegistry,
     /// Wall-clock span profiler for this run.
     pub profiler: Profiler,
+    /// Main timeline track of the hierarchical tracer, when trace
+    /// timelines are on (see [`Tracer`]); the `trace_*` helpers below
+    /// keep the hot loop free of `Option` plumbing.
+    pub trace: Option<TraceTrack>,
 }
 
 impl Telemetry {
@@ -109,6 +123,7 @@ impl Telemetry {
             sink: Some(sink),
             metrics: MetricsRegistry::new(),
             profiler: Profiler::disabled(),
+            trace: None,
         }
     }
 
@@ -116,6 +131,51 @@ impl Telemetry {
     pub fn profiled(mut self) -> Self {
         self.profiler = Profiler::enabled();
         self
+    }
+
+    /// Attaches the run's main timeline track (builder style).
+    pub fn with_trace(mut self, track: TraceTrack) -> Self {
+        self.trace = Some(track);
+        self
+    }
+
+    /// Opens a nested timeline span (no-op without a tracer). Close
+    /// with [`Self::trace_end`].
+    #[inline]
+    pub fn trace_begin(&mut self, name: &'static str) -> Option<SpanToken> {
+        self.trace.as_mut().map(|t| t.begin(name))
+    }
+
+    /// Closes a span from [`Self::trace_begin`].
+    #[inline]
+    pub fn trace_end(&mut self, token: Option<SpanToken>) {
+        if let (Some(t), Some(tok)) = (self.trace.as_mut(), token) {
+            t.end(tok);
+        }
+    }
+
+    /// Samples a timeline counter (no-op without a tracer).
+    #[inline]
+    pub fn trace_counter(&mut self, name: &'static str, value: f64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.counter(name, value);
+        }
+    }
+
+    /// Starts a timeline flow arrow (no-op without a tracer).
+    #[inline]
+    pub fn trace_flow_start(&mut self, name: &'static str, id: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.flow_start(name, id);
+        }
+    }
+
+    /// Finishes a timeline flow arrow (no-op without a tracer).
+    #[inline]
+    pub fn trace_flow_finish(&mut self, name: &'static str, id: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.flow_finish(name, id);
+        }
     }
 
     /// Whether an event sink is attached.

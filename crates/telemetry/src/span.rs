@@ -6,6 +6,7 @@
 //! wall-clock time went — the baseline future performance PRs measure
 //! against. A disabled profiler never reads the clock.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// An in-flight span (see [`Profiler::start`]). `None` when the
@@ -25,6 +26,9 @@ struct SpanStat {
 pub struct Profiler {
     enabled: bool,
     spans: Vec<SpanStat>,
+    /// Name → index into `spans`: `stop` is O(1) however many distinct
+    /// spans deeply nested instrumentation opens.
+    index: HashMap<&'static str, usize>,
     run_started: Option<Instant>,
 }
 
@@ -39,6 +43,7 @@ impl Profiler {
         Self {
             enabled: true,
             spans: Vec::new(),
+            index: HashMap::new(),
             run_started: Some(Instant::now()),
         }
     }
@@ -63,16 +68,20 @@ impl Profiler {
     pub fn stop(&mut self, name: &'static str, timer: SpanTimer) {
         if let Some(t0) = timer.0 {
             let dt = t0.elapsed().as_secs_f64();
-            match self.spans.iter_mut().find(|s| s.name == name) {
-                Some(s) => {
+            match self.index.get(name) {
+                Some(&i) => {
+                    let s = &mut self.spans[i];
                     s.total_s += dt;
                     s.calls += 1;
                 }
-                None => self.spans.push(SpanStat {
-                    name,
-                    total_s: dt,
-                    calls: 1,
-                }),
+                None => {
+                    self.index.insert(name, self.spans.len());
+                    self.spans.push(SpanStat {
+                        name,
+                        total_s: dt,
+                        calls: 1,
+                    });
+                }
             }
         }
     }
@@ -86,6 +95,9 @@ impl Profiler {
     }
 
     /// Finishes the run and produces the report (the profiler resets).
+    /// Entries come out sorted by name (first-use order breaks ties) so
+    /// reports — and anything folded from them, like run-record profile
+    /// sections — diff cleanly across runs.
     pub fn finish(&mut self) -> ProfileReport {
         let wall_s = self
             .run_started
@@ -97,17 +109,21 @@ impl Profiler {
         } else {
             Self::disabled()
         };
+        let mut entries: Vec<ProfileEntry> = spans
+            .into_iter()
+            .map(|s| ProfileEntry {
+                name: s.name.to_string(),
+                total_s: s.total_s,
+                calls: s.calls,
+            })
+            .collect();
+        // Stable: spans arrive in first-use order, so equal names (none
+        // within one run, possible after merges) keep that order.
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
         ProfileReport {
             enabled,
             wall_s,
-            entries: spans
-                .into_iter()
-                .map(|s| ProfileEntry {
-                    name: s.name.to_string(),
-                    total_s: s.total_s,
-                    calls: s.calls,
-                })
-                .collect(),
+            entries,
         }
     }
 }
@@ -130,17 +146,17 @@ pub struct ProfileReport {
     pub enabled: bool,
     /// Wall time of the whole run (s).
     pub wall_s: f64,
-    /// Per-span totals, in first-use order.
+    /// Per-span totals, sorted by name (deterministic across runs).
     pub entries: Vec<ProfileEntry>,
 }
 
 impl ProfileReport {
-    /// Accumulated time of the named span (0 if absent).
+    /// Accumulated time of the named span (0 if absent). Entries are
+    /// name-sorted, so this is a binary search.
     pub fn span_s(&self, name: &str) -> f64 {
         self.entries
-            .iter()
-            .find(|e| e.name == name)
-            .map_or(0.0, |e| e.total_s)
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .map_or(0.0, |i| self.entries[i].total_s)
     }
 
     /// Sum of all span times (s).
@@ -154,12 +170,15 @@ impl ProfileReport {
         self.enabled |= other.enabled;
         self.wall_s += other.wall_s;
         for e in &other.entries {
-            match self.entries.iter_mut().find(|m| m.name == e.name) {
-                Some(m) => {
-                    m.total_s += e.total_s;
-                    m.calls += e.calls;
+            match self
+                .entries
+                .binary_search_by(|m| m.name.as_str().cmp(&e.name))
+            {
+                Ok(i) => {
+                    self.entries[i].total_s += e.total_s;
+                    self.entries[i].calls += e.calls;
                 }
-                None => self.entries.push(e.clone()),
+                Err(i) => self.entries.insert(i, e.clone()),
             }
         }
     }
@@ -230,6 +249,29 @@ mod tests {
         let text = r.render();
         assert!(text.contains("solve"));
         assert!(text.contains("other"));
+    }
+
+    #[test]
+    fn report_entries_are_name_sorted_and_deterministic() {
+        let mut p = Profiler::enabled();
+        p.time("zeta", || {});
+        p.time("alpha", || {});
+        p.time("mid", || {});
+        p.time("alpha", || {});
+        let r = p.finish();
+        let names: Vec<&str> = r.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(r.entries[0].calls, 2, "repeat spans accumulate");
+        assert!(r.span_s("alpha") >= 0.0);
+        assert_eq!(r.span_s("nope"), 0.0);
+        // Merging keeps the sorted invariant.
+        let mut agg = ProfileReport::default();
+        agg.merge(&r);
+        let mut p2 = Profiler::enabled();
+        p2.time("beta", || {});
+        agg.merge(&p2.finish());
+        let names: Vec<&str> = agg.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "mid", "zeta"]);
     }
 
     #[test]

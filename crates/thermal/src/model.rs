@@ -1,7 +1,7 @@
 //! High-level KitFox-style façade: couple a power model to the RC grid and
 //! expose the readouts the rest of the system consumes.
 
-use coolpim_telemetry::Profiler;
+use coolpim_telemetry::{Profiler, TraceTrack};
 
 use crate::cooling::Cooling;
 use crate::floorplan::Floorplan;
@@ -173,13 +173,36 @@ impl<S: ThermalSolve> HmcThermalModel<S> {
     /// transient solve to `prof`'s `power_map_build` / `thermal_solve`
     /// spans (the co-simulator's `--profile` breakdown).
     pub fn step_profiled(&mut self, sample: &TrafficSample, prof: &mut Profiler) -> ThermalReadout {
+        self.step_traced(sample, prof, None)
+    }
+
+    /// Like [`Self::step_profiled`], but additionally emits timeline
+    /// spans on `trace` when given: a `power_map_build` span, a
+    /// `thermal_solve` span, and — through
+    /// [`ThermalSolve::step_traced`] — one `sor_substep` child per
+    /// solved backward-Euler sub-step.
+    pub fn step_traced(
+        &mut self,
+        sample: &TrafficSample,
+        prof: &mut Profiler,
+        mut trace: Option<&mut TraceTrack>,
+    ) -> ThermalReadout {
         let t = prof.start();
+        let tok = trace.as_deref_mut().map(|tr| tr.begin("power_map_build"));
         build_power_map_into(&self.grid, &self.params, sample, &mut self.power_scratch);
+        if let (Some(tr), Some(tok)) = (trace.as_deref_mut(), tok) {
+            tr.end(tok);
+        }
         prof.stop("power_map_build", t);
         let t = prof.start();
+        let tok = trace.as_deref_mut().map(|tr| tr.begin("thermal_solve"));
         let p = std::mem::take(&mut self.power_scratch);
-        self.state.step(&self.grid, &p, sample.window_s);
+        self.state
+            .step_traced(&self.grid, &p, sample.window_s, trace.as_deref_mut());
         self.power_scratch = p;
+        if let (Some(tr), Some(tok)) = (trace, tok) {
+            tr.end(tok);
+        }
         prof.stop("thermal_solve", t);
         self.readout()
     }

@@ -36,7 +36,7 @@
 //!
 //! Temperatures returned are absolute °C.
 
-use coolpim_telemetry::Histogram;
+use coolpim_telemetry::{Histogram, TraceTrack};
 
 use crate::grid::ThermalGrid;
 
@@ -251,6 +251,23 @@ pub trait ThermalSolve {
     /// (W/node), internally sub-stepping as the implementation sees fit.
     fn step(&mut self, grid: &ThermalGrid, power: &[f64], dt: f64);
 
+    /// [`ThermalSolve::step`] with an optional trace track: when `trace`
+    /// is set, implementations may emit per-sub-step timeline spans so a
+    /// Perfetto timeline shows where inside a solve epoch time goes. The
+    /// default ignores the track and just steps, so alternative solvers
+    /// (the lockstep reference, future rewrites) stay correct without
+    /// instrumenting anything.
+    fn step_traced(
+        &mut self,
+        grid: &ThermalGrid,
+        power: &[f64],
+        dt: f64,
+        trace: Option<&mut TraceTrack>,
+    ) {
+        let _ = trace;
+        self.step(grid, power, dt);
+    }
+
     /// Overwrites the field with a steady-state solution for `power`,
     /// reporting the solve's work. On failure the field holds the
     /// partial solution.
@@ -391,6 +408,22 @@ impl TransientState {
     /// recorded fast-path hit and the field is left untouched (the exact
     /// solution within the inner solve's own tolerance).
     pub fn step(&mut self, grid: &ThermalGrid, power: &[f64], dt: f64) {
+        self.step_with_trace(grid, power, dt, None);
+    }
+
+    /// [`TransientState::step`] with an optional timeline track: each
+    /// solved backward-Euler sub-step becomes a `sor_substep` span, so a
+    /// Perfetto timeline shows sub-step count and cost inside every
+    /// `thermal_solve` epoch. Fast-path and skipped sub-steps emit no
+    /// spans — their absence *is* the signal that the settled-state
+    /// optimisations fired.
+    pub fn step_with_trace(
+        &mut self,
+        grid: &ThermalGrid,
+        power: &[f64],
+        dt: f64,
+        mut trace: Option<&mut TraceTrack>,
+    ) {
         assert_eq!(power.len(), grid.node_count());
         assert!(dt >= 0.0);
         if dt == 0.0 {
@@ -405,7 +438,15 @@ impl TransientState {
         self.prepare_diag(grid, h);
         let mut stationary = false;
         for k in 0..substeps {
-            stationary = self.substep(grid, power);
+            stationary = match trace.as_deref_mut() {
+                Some(t) => {
+                    let tok = t.begin("sor_substep");
+                    let s = self.substep(grid, power);
+                    t.end(tok);
+                    s
+                }
+                None => self.substep(grid, power),
+            };
             if stationary {
                 // Nothing moved within tolerance: the remaining sub-steps
                 // of this epoch would be identity solves.
@@ -524,6 +565,16 @@ impl ThermalSolve for TransientState {
 
     fn step(&mut self, grid: &ThermalGrid, power: &[f64], dt: f64) {
         TransientState::step(self, grid, power, dt);
+    }
+
+    fn step_traced(
+        &mut self,
+        grid: &ThermalGrid,
+        power: &[f64],
+        dt: f64,
+        trace: Option<&mut TraceTrack>,
+    ) {
+        TransientState::step_with_trace(self, grid, power, dt, trace);
     }
 
     fn try_jump_to_steady_state(
