@@ -18,12 +18,20 @@
 //! by CI).
 //!
 //! Output: the human table on stdout plus a machine-readable flat-JSON
-//! run record (schema v1, see `runrec`) written to `BENCH_6.json` in the
-//! working directory (override with `--out PATH`). EXPERIMENTS.md
-//! documents the schema and methodology.
+//! run record (see `runrec`) written to `BENCH_6.json` in the working
+//! directory (override with `--out PATH`). EXPERIMENTS.md documents the
+//! schema and methodology.
+//!
+//! `--replicates N` (or an explicit `--seed-list a,b,c`) runs the whole
+//! suite N times — **sequentially**, never in parallel, because the
+//! measurements are wall-clock — varying the graph seed per replicate,
+//! and folds the per-replicate records into ONE replicated record
+//! (schema v2: median headline + `dist.<metric>.*` distributions), the
+//! input format of the `obs gate` statistical regression gate.
 
 use std::time::Instant;
 
+use coolpim_bench::replicate::fold_replicates;
 use coolpim_bench::runrec::RunRecord;
 use coolpim_bench::Runner;
 use coolpim_core::cosim::{CoSim, CoSimConfig};
@@ -120,8 +128,19 @@ fn bench_grid() -> ThermalGrid {
     )
 }
 
+/// The suite's record config string for one graph seed (`seed_desc` is
+/// the printable seed or seed list).
+fn suite_config(seed_desc: &str) -> String {
+    format!(
+        "bench6 grid=hmc20 graph=test_medium(seed {seed_desc}) cosim=tiny-gpu/10us-epoch \
+         solver-seq=100us-epoch telemetry=monitor-sample/32-vaults"
+    )
+}
+
 fn main() {
     let mut out = String::from("BENCH_6.json");
+    let mut replicates: Option<u64> = None;
+    let mut seed_list: Option<Vec<u64>> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -133,25 +152,95 @@ fn main() {
                     .cloned()
                     .unwrap_or_else(|| die("--out expects a path"));
             }
+            "--replicates" => {
+                i += 1;
+                replicates = Some(
+                    argv.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--replicates expects a count")),
+                );
+            }
+            "--seed-list" => {
+                i += 1;
+                let v = argv
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--seed-list expects a,b,c"));
+                let seeds: Result<Vec<u64>, _> = v.split(',').map(str::parse).collect();
+                seed_list = Some(seeds.unwrap_or_else(|_| die("--seed-list expects a,b,c")));
+            }
             other => die(&format!(
-                "unknown argument {other:?} (usage: bench [--out PATH])"
+                "unknown argument {other:?} (usage: bench [--out PATH] [--replicates N] [--seed-list a,b,c])"
             )),
         }
         i += 1;
     }
 
+    // The canonical suite seed is test_medium's; replicate seeds count
+    // up from it unless given explicitly.
+    let base_seed = GraphSpec::test_medium().seed;
+    let seeds: Vec<u64> = match (seed_list, replicates) {
+        (Some(list), n) => {
+            if list.is_empty() {
+                die("--seed-list needs at least one seed");
+            }
+            if let Some(n) = n {
+                if n as usize != list.len() {
+                    die(&format!(
+                        "--replicates {n} does not match --seed-list length {}",
+                        list.len()
+                    ));
+                }
+            }
+            list
+        }
+        (None, Some(n)) if n >= 2 => (0..n).map(|k| base_seed.wrapping_add(k)).collect(),
+        _ => vec![base_seed],
+    };
+
+    let rec = if seeds.len() == 1 {
+        run_suite(seeds[0])
+    } else {
+        // Sequential on purpose: these are wall-clock measurements, and
+        // concurrent replicates would contend for cores and corrupt
+        // every timing.
+        let runs: Vec<RunRecord> = seeds
+            .iter()
+            .map(|&seed| {
+                println!("\n## replicate seed={seed}");
+                run_suite(seed)
+            })
+            .collect();
+        let seed_desc = seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        fold_replicates("bench-6", &suite_config(&seed_desc), &seeds, &runs)
+    };
+
+    let path = std::path::Path::new(&out);
+    if let Err(e) = rec.write_to(path) {
+        eprintln!("bench: failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\n# wrote {}", path.display());
+}
+
+/// One full pass of the suite with the graph benchmarks drawn at
+/// `graph_seed`; returns the per-run record.
+fn run_suite(graph_seed: u64) -> RunRecord {
+    let spec = GraphSpec {
+        seed: graph_seed,
+        ..GraphSpec::test_medium()
+    };
     let r = Runner::new();
-    let mut rec = RunRecord::new(
-        "bench-6",
-        "bench6 grid=hmc20 graph=test_medium(seed 11) cosim=tiny-gpu/10us-epoch solver-seq=100us-epoch telemetry=monitor-sample/32-vaults",
-    );
+    let mut rec = RunRecord::new("bench-6", &suite_config(&graph_seed.to_string()));
 
     println!("# subsystem microbenchmarks (fixed seeds)");
 
     // Graph generation: the fixed-seed R-MAT used by mid-size tests.
-    let s = r.bench("graph/generate_test_medium", || {
-        GraphSpec::test_medium().build()
-    });
+    let s = r.bench("graph/generate_test_medium", || spec.build());
     rec.push("graph.generate_s", s.median_s);
 
     // Steady-state solve: cold solve at a busy operating point.
@@ -187,7 +276,7 @@ fn main() {
     // Dc run completes in under 100 µs of simulated time, so the default
     // epoch would give a one-entry timeline and a meaningless per-epoch
     // figure.
-    let graph = GraphSpec::test_medium().build();
+    let graph = spec.build();
     let cfg = CoSimConfig {
         gpu: GpuConfig::tiny(),
         epoch: coolpim_hmc::ns_to_ps(10_000.0),
@@ -330,12 +419,7 @@ fn main() {
     rec.push("solver.new_over_legacy_wall", wall_ratio);
     rec.push("solver.max_temp_dev_c", max_dev);
 
-    let path = std::path::Path::new(&out);
-    if let Err(e) = rec.write_to(path) {
-        eprintln!("bench: failed to write {}: {e}", path.display());
-        std::process::exit(1);
-    }
-    println!("\n# wrote {}", path.display());
+    rec
 }
 
 fn die(msg: &str) -> ! {

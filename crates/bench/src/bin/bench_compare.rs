@@ -15,10 +15,15 @@
 //! assertion. With only assertions and no `--baseline`, the diff step is
 //! skipped; CI's overhead-budget job uses this to enforce
 //! `telemetry_overhead_pct <= 3` without needing a baseline record.
+//!
+//! All violations are evaluated and reported before the process exits
+//! non-zero; the final exit message lists every out-of-band metric and,
+//! separately, every asserted-but-missing metric — the two need
+//! different fixes (re-baselining vs a dropped metric or schema bug).
 
 use std::path::Path;
 
-use coolpim_bench::runrec::{compare, RunRecord, DEFAULT_GATES};
+use coolpim_bench::runrec::{compare, GateStatus, RunRecord, DEFAULT_GATES};
 
 fn usage() -> ! {
     eprintln!(
@@ -75,13 +80,36 @@ fn main() {
     }
 
     let cur = load(&current);
-    let mut failed = false;
+    // Every violation is collected (never stop at the first) so one CI
+    // run surfaces the complete damage; the exit message separates
+    // out-of-band values from outright missing metrics, which need
+    // different fixes (re-baseline vs a dropped metric/schema bug).
+    let mut out_of_band: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
 
     if let Some(baseline) = baseline {
         let base = load(&baseline);
         let report = compare(&base, &cur, DEFAULT_GATES);
         print!("{}", report.render(&baseline, &current));
-        failed |= report.regressions() > 0;
+        for row in &report.rows {
+            if row.status == GateStatus::Regressed {
+                out_of_band.push(match (row.baseline, row.current) {
+                    (Some(b), Some(c)) if b.abs() > 1e-12 => {
+                        format!(
+                            "{} ({b:.6} -> {c:.6}, {:+.2}%)",
+                            row.metric,
+                            100.0 * (c - b) / b
+                        )
+                    }
+                    (b, c) => format!(
+                        "{} ({} -> {})",
+                        row.metric,
+                        b.map_or("-".into(), |v| format!("{v:.6}")),
+                        c.map_or("-".into(), |v| format!("{v:.6}"))
+                    ),
+                });
+            }
+        }
     }
 
     for (metric, max) in &assert_max {
@@ -91,16 +119,31 @@ fn main() {
             }
             Some(v) => {
                 println!("assert-max {metric}: {v} > {max}  FAIL");
-                failed = true;
+                out_of_band.push(format!("{metric} ({v} > ceiling {max})"));
             }
             None => {
                 println!("assert-max {metric}: missing from {current}  FAIL");
-                failed = true;
+                missing.push(metric.clone());
             }
         }
     }
 
+    let failed = !out_of_band.is_empty() || !missing.is_empty();
     if failed {
+        if !out_of_band.is_empty() {
+            eprintln!(
+                "bench_compare: FAIL — {} metric(s) out of band: {}",
+                out_of_band.len(),
+                out_of_band.join(", ")
+            );
+        }
+        if !missing.is_empty() {
+            eprintln!(
+                "bench_compare: FAIL — {} asserted metric(s) missing from the record: {}",
+                missing.len(),
+                missing.join(", ")
+            );
+        }
         std::process::exit(1);
     }
 }

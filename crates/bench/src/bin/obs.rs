@@ -1,0 +1,202 @@
+//! `obs` — the cross-run statistical observatory CLI.
+//!
+//! ```text
+//! obs report [--runs DIR]... [--bench FILE]... [--md PATH]
+//! obs gate --baseline FILE --current FILE
+//!          [--alpha A] [--min-effect SIGMA] [--md PATH]
+//!          [--inflate METRIC=FACTOR] [--expect-regression]
+//! ```
+//!
+//! **`obs report`** scans run-record stores (directories of flat-JSON
+//! records appended by `sim --run-record` / `COOLPIM_RUN_RECORD`),
+//! groups records by configuration hash, and renders each group's
+//! longitudinal history: per-metric sparkline, first/last values,
+//! detected change-points, and a noise-vs-signal classification.
+//! `--bench FILE` (repeatable, ordered) adds an explicit trajectory
+//! group for the committed `BENCH_*.json` history, which legitimately
+//! changes config hash as the suite gains sections. With no arguments
+//! it reads `results/runs/` and any committed `BENCH_*.json` in the
+//! working directory. The terminal dashboard always prints; `--md`
+//! additionally writes the Markdown report artifact.
+//!
+//! **`obs gate`** is the noise-aware regression gate. Both sides may be
+//! ordinary single-run records or replicated records (schema v2, from
+//! `sim --replicates` / `bench --replicates`). A gated metric fails
+//! only when its median leaves the fixed tolerance band in the worse
+//! direction **and** — when both sides carry ≥ 2 replicate samples —
+//! the shift is statistically significant (two-sample permutation test,
+//! `p ≤ alpha`, default 0.1: the exact-test floor at 3 vs 3 samples)
+//! with a robust effect size of at least `--min-effect` σ (default
+//! 0.5). Single-replicate records fall back to the band alone, which is
+//! `bench_compare`'s behaviour. Exit status: 0 pass, 1 regression,
+//! 2 usage/IO error.
+//!
+//! `--inflate METRIC=FACTOR` multiplies the *current* side's metric
+//! (headline and distribution samples) before gating — a self-test knob
+//! so CI can prove the gate actually fires; `--expect-regression`
+//! inverts the verdict: exit 0 only if the gate DID regress (on the
+//! inflated metric, when `--inflate` was given).
+
+use std::path::{Path, PathBuf};
+
+use coolpim_bench::obs::{
+    group_by_config, render_markdown, render_terminal, scan_records, stat_gate, trajectory_group,
+    StatGateConfig,
+};
+use coolpim_bench::runrec::{RunRecord, DEFAULT_GATES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs report [--runs DIR]... [--bench FILE]... [--md PATH]\n\
+         \x20      obs gate --baseline FILE --current FILE\n\
+         \x20              [--alpha A] [--min-effect SIGMA] [--md PATH]\n\
+         \x20              [--inflate METRIC=FACTOR] [--expect-regression]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("report") => report(&argv[1..]),
+        Some("gate") => gate(&argv[1..]),
+        _ => usage(),
+    }
+}
+
+fn take(argv: &[String], i: &mut usize) -> String {
+    *i += 1;
+    argv.get(*i).cloned().unwrap_or_else(|| usage())
+}
+
+fn report(argv: &[String]) {
+    let mut runs: Vec<PathBuf> = Vec::new();
+    let mut bench: Vec<PathBuf> = Vec::new();
+    let mut md: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--runs" => runs.push(take(argv, &mut i).into()),
+            "--bench" => bench.push(take(argv, &mut i).into()),
+            "--md" => md = Some(take(argv, &mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    // Default sources: the conventional run store plus any committed
+    // bench trajectory in the working directory.
+    if runs.is_empty() && bench.is_empty() {
+        let store = Path::new("results/runs");
+        if store.is_dir() {
+            runs.push(store.to_path_buf());
+        }
+        for n in 1..100u32 {
+            let p = PathBuf::from(format!("BENCH_{n}.json"));
+            if p.is_file() {
+                bench.push(p);
+            }
+        }
+    }
+
+    let (records, mut warnings) = scan_records(&runs);
+    let mut groups = group_by_config(records);
+    if !bench.is_empty() {
+        match trajectory_group("bench trajectory", &bench) {
+            Ok(g) => groups.push(g),
+            Err(e) => warnings.push(e),
+        }
+    }
+
+    print!("{}", render_terminal(&groups, &warnings));
+    if let Some(path) = md {
+        let doc = render_markdown(&groups, &warnings);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("obs: failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("# wrote {path}");
+    }
+}
+
+/// Scales `metric` (headline value and `dist.<metric>.*` block, except
+/// the sample count) by `factor` — the gate's self-test fault injector.
+fn inflate(rec: &mut RunRecord, metric: &str, factor: f64) {
+    let dist_prefix = format!("dist.{metric}.");
+    let n_key = format!("dist.{metric}.n");
+    for (name, value) in rec.metrics.iter_mut() {
+        if name == metric || (name.starts_with(&dist_prefix) && *name != n_key) {
+            *value *= factor;
+        }
+    }
+}
+
+fn gate(argv: &[String]) {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut cfg = StatGateConfig::default();
+    let mut md: Option<String> = None;
+    let mut inflation: Option<(String, f64)> = None;
+    let mut expect_regression = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => baseline = Some(take(argv, &mut i)),
+            "--current" => current = Some(take(argv, &mut i)),
+            "--alpha" => cfg.alpha = take(argv, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--min-effect" => {
+                cfg.min_effect = take(argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--md" => md = Some(take(argv, &mut i)),
+            "--inflate" => {
+                let v = take(argv, &mut i);
+                let (m, f) = v.split_once('=').unwrap_or_else(|| usage());
+                inflation = Some((m.to_string(), f.parse().unwrap_or_else(|_| usage())));
+            }
+            "--expect-regression" => expect_regression = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(bpath), Some(cpath)) = (baseline, current) else {
+        usage()
+    };
+    let load = |p: &str| {
+        RunRecord::load(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("obs: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(&bpath);
+    let mut cur = load(&cpath);
+    if let Some((metric, factor)) = &inflation {
+        eprintln!("# self-test: inflating current {metric} by {factor}x");
+        inflate(&mut cur, metric, *factor);
+    }
+
+    let report = stat_gate(&base, &cur, DEFAULT_GATES, cfg);
+    print!("{}", report.render(&bpath, &cpath));
+    if let Some(path) = md {
+        if let Err(e) = std::fs::write(&path, report.render_markdown(&bpath, &cpath)) {
+            eprintln!("obs: failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("# wrote {path}");
+    }
+
+    let regressed = report.regressions();
+    if expect_regression {
+        // Self-test mode: the gate MUST have fired — on the inflated
+        // metric specifically, when one was named.
+        let hit = match &inflation {
+            Some((metric, _)) => regressed.iter().any(|r| r.metric == metric.as_str()),
+            None => !regressed.is_empty(),
+        };
+        if hit {
+            eprintln!("# self-test ok: gate fired as expected");
+            std::process::exit(0);
+        }
+        eprintln!("obs: self-test FAILED — expected a regression and the gate did not fire");
+        std::process::exit(1);
+    }
+    std::process::exit(if regressed.is_empty() { 0 } else { 1 });
+}

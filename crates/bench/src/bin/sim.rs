@@ -40,6 +40,16 @@
 //! in-process before it is written; the aggregated span tree also folds
 //! into the run record as `tprof.*` metrics for `profile_diff`.
 //!
+//! `--replicates N` runs the same configuration N times over seed-varied
+//! graph draws (seeds `seed..seed+N`, or exactly `--seed-list a,b,c`)
+//! on a worker pool and folds the runs into ONE replicated run record
+//! (schema v2): per metric the median as the headline value plus a
+//! `dist.<metric>.*` block (MAD, extremes, bootstrap 95 % CI, raw
+//! samples). That record is what `obs gate` runs its permutation test
+//! on. Replicated mode is incompatible with `--graph` (a fixed graph
+//! leaves nothing for the seed to vary) and with the per-run
+//! observability flags (`--timeline`, `--trace`, `--monitor`, ...).
+//!
 //! `--monitor ADDR` (e.g. `127.0.0.1:9184`, or `:0` for an ephemeral
 //! port) serves the run's live state over HTTP while it executes —
 //! `/metrics` (Prometheus text format), `/status` (flat JSON),
@@ -49,8 +59,10 @@
 //! finishes. `--heartbeat SECS` prints a one-line progress summary to
 //! stderr at that wall-clock cadence (first beat on the first epoch).
 
+use coolpim_bench::replicate::fold_replicates;
 use coolpim_bench::runrec::{fnv1a, run_record_dir, RunRecord};
 use coolpim_core::cosim::{CoSim, CoSimConfig, FlightConfig};
+use coolpim_core::experiment::run_replicates;
 use coolpim_core::policy::Policy;
 use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
@@ -84,6 +96,8 @@ struct Args {
     trace_timeline: Option<String>,
     monitor: Option<String>,
     heartbeat_s: Option<f64>,
+    replicates: Option<u64>,
+    seed_list: Option<Vec<u64>>,
 }
 
 fn usage() -> ! {
@@ -99,7 +113,8 @@ fn usage() -> ! {
          \x20          [--flight-recorder] [--postmortem-dir dir]\n\
          \x20          [--flight-capacity N] [--flight-every N]\n\
          \x20          [--trace-rotate-mb MB] [--trace-timeline json-file]\n\
-         \x20          [--monitor addr:port] [--heartbeat secs]"
+         \x20          [--monitor addr:port] [--heartbeat secs]\n\
+         \x20          [--replicates N] [--seed-list a,b,c]"
     );
     std::process::exit(2);
 }
@@ -151,6 +166,8 @@ fn parse_args() -> Args {
         trace_timeline: None,
         monitor: None,
         heartbeat_s: None,
+        replicates: None,
+        seed_list: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -201,6 +218,14 @@ fn parse_args() -> Args {
             "--heartbeat" => {
                 args.heartbeat_s = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--replicates" => {
+                args.replicates = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed-list" => {
+                let v = take(&mut i);
+                let seeds: Result<Vec<u64>, _> = v.split(',').map(str::parse).collect();
+                args.seed_list = Some(seeds.unwrap_or_else(|_| usage()));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -210,6 +235,153 @@ fn parse_args() -> Args {
         i += 1;
     }
     args
+}
+
+/// Resolves `--replicates` / `--seed-list` into the replicate seed set;
+/// `None` means an ordinary single run.
+fn replicate_seeds(args: &Args) -> Option<Vec<u64>> {
+    match (&args.seed_list, args.replicates) {
+        (Some(list), n) => {
+            if list.is_empty() {
+                eprintln!("--seed-list needs at least one seed");
+                std::process::exit(2);
+            }
+            if let Some(n) = n {
+                if n as usize != list.len() {
+                    eprintln!(
+                        "--replicates {n} does not match --seed-list length {}",
+                        list.len()
+                    );
+                    std::process::exit(2);
+                }
+            }
+            Some(list.clone())
+        }
+        // Consecutive seeds from the base --seed; `--replicates 1` is an
+        // ordinary single run.
+        (None, Some(n)) if n >= 2 => Some((0..n).map(|k| args.seed.wrapping_add(k)).collect()),
+        _ => None,
+    }
+}
+
+/// The replicated-run mode: N seed-varied runs folded into one schema
+/// v2 record with per-metric distributions.
+fn run_replicated(args: &Args, seeds: &[u64]) {
+    if args.graph_file.is_some() {
+        eprintln!(
+            "--replicates is incompatible with --graph: the co-sim is deterministic \
+             for a fixed graph, so seeds would vary nothing"
+        );
+        std::process::exit(2);
+    }
+    if args.timeline
+        || args.trace.is_some()
+        || args.timeline_out.is_some()
+        || args.trace_timeline.is_some()
+        || args.monitor.is_some()
+        || args.flight_recorder
+        || args.postmortem_dir.is_some()
+    {
+        eprintln!(
+            "--replicates cannot combine with per-run observability flags \
+             (--timeline/--trace/--timeline-out/--trace-timeline/--monitor/\
+             --flight-recorder/--postmortem-dir)"
+        );
+        std::process::exit(2);
+    }
+    let mut cfg = CoSimConfig {
+        cooling: args.cooling,
+        ..CoSimConfig::default()
+    };
+    if let Some(t) = args.warning_threshold_c {
+        cfg.warning_threshold_c = t;
+    }
+    let threshold_c = cfg.warning_threshold_c;
+    let spec = GraphSpec {
+        scale: args.scale,
+        avg_degree: args.degree,
+        seed: args.seed,
+        ..GraphSpec::ldbc_like()
+    };
+    let seed_desc = seeds
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    eprintln!(
+        "# {} replicates of {} under {} (scale {}, seeds {}), {} cooling",
+        seeds.len(),
+        args.workload.name(),
+        args.policy.name(),
+        args.scale,
+        seed_desc,
+        args.cooling.name()
+    );
+    let results = run_replicates(spec, args.workload, args.policy, cfg, seeds);
+
+    // The shared configuration carries the seed *list* — two replicated
+    // runs with the same seed set hash to the same config, which is what
+    // lets `obs` group them and `obs gate` compare them.
+    let config_desc = format!(
+        "workload={} policy={} scale={} degree={} seeds={} cooling={} threshold={} graph=-",
+        args.workload.name(),
+        args.policy.name(),
+        args.scale,
+        args.degree,
+        seed_desc,
+        args.cooling.name(),
+        threshold_c,
+    );
+    let record_name = format!("{}-{}", args.workload.name(), args.policy.name());
+    let runs: Vec<RunRecord> = results
+        .iter()
+        .map(|r| RunRecord::from_cosim(&record_name, &config_desc, r))
+        .collect();
+    let record = fold_replicates(&record_name, &config_desc, seeds, &runs);
+
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = record.write_to(std::path::Path::new(path)) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let record_dir = args
+        .run_record
+        .clone()
+        .map(Into::into)
+        .or_else(run_record_dir);
+    if let Some(dir) = record_dir {
+        match record.save_to_dir(&dir) {
+            Ok(path) => eprintln!("# run record: {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to append run record under {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("workload           {}", args.workload.name());
+    println!("policy             {}", args.policy.name());
+    println!("replicates         {} (seeds {})", seeds.len(), seed_desc);
+    println!(
+        "{:<34} {:>13} {:>11} {:>13} {:>13} {:>29}",
+        "metric", "median", "mad", "min", "max", "95% CI (median)"
+    );
+    let names: Vec<String> = record.headline_metrics().map(str::to_string).collect();
+    for metric in &names {
+        if let Some(d) = record.distribution(metric) {
+            println!(
+                "{:<34} {:>13.6} {:>11.6} {:>13.6} {:>13.6} [{:>12.6}, {:>12.6}]",
+                metric,
+                d.summary.median,
+                d.summary.mad,
+                d.summary.min,
+                d.summary.max,
+                d.summary.ci_lo,
+                d.summary.ci_hi
+            );
+        }
+    }
 }
 
 fn load_graph(args: &Args) -> Csr {
@@ -230,6 +402,10 @@ fn load_graph(args: &Args) -> Csr {
 
 fn main() {
     let args = parse_args();
+    if let Some(seeds) = replicate_seeds(&args) {
+        run_replicated(&args, &seeds);
+        return;
+    }
     let graph = load_graph(&args);
     eprintln!(
         "# {} under {} on {} vertices / {} edges, {} cooling",

@@ -1,0 +1,800 @@
+//! The cross-run statistical observatory: longitudinal reading of the
+//! run-record store and the committed `BENCH_*.json` trajectory, plus
+//! the noise-aware regression gate behind `obs gate`.
+//!
+//! Three layers:
+//!
+//! * **Scanning** ([`scan_records`]) — walk directories of run records
+//!   (schema v1 and v2), tolerating foreign JSON, and group them by
+//!   `config_hash` in capture order ([`group_by_config`]) so each
+//!   group is one configuration's history;
+//! * **Trends** ([`metric_trends`]) — per metric: the value history, a
+//!   sparkline, change-points (via `telemetry::stats`), and a
+//!   noise-vs-signal classification;
+//! * **Gate** ([`stat_gate`]) — the statistically-aware replacement
+//!   for a bare tolerance-band diff: a gated metric fails only when
+//!   its median shift leaves the fixed band **and** (when both sides
+//!   carry ≥ 2 replicate samples) the shift is significant under a
+//!   permutation test at `alpha` with at least `min_effect` robust σ
+//!   of effect. Single-replicate records fall back to the band alone,
+//!   which is exactly `bench_compare`'s behaviour.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use coolpim_telemetry::stats::{change_points, drift, median, noise_sigma};
+use coolpim_telemetry::Tolerance;
+
+use crate::heatmap::sparkline;
+use crate::runrec::{fnv1a, Gate, GateStatus, RunRecord};
+
+// ---------------------------------------------------------------------
+// Scanning and grouping
+// ---------------------------------------------------------------------
+
+/// One run record found on disk.
+#[derive(Debug, Clone)]
+pub struct ScannedRecord {
+    /// Where it came from.
+    pub path: PathBuf,
+    /// The parsed record.
+    pub rec: RunRecord,
+}
+
+/// Loads every `*.json` run record under each of `dirs` (one level, no
+/// recursion), sorted by capture time then path for a stable order.
+/// Files that are not run records produce warnings, not failures — the
+/// results tree holds other JSON too.
+pub fn scan_records(dirs: &[PathBuf]) -> (Vec<ScannedRecord>, Vec<String>) {
+    let mut records = Vec::new();
+    let mut warnings = Vec::new();
+    for dir in dirs {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                warnings.push(format!("{}: {e}", dir.display()));
+                continue;
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            match RunRecord::load(&path) {
+                Ok(rec) => records.push(ScannedRecord { path, rec }),
+                Err(e) => warnings.push(format!("skipped {e}")),
+            }
+        }
+    }
+    records.sort_by(|a, b| {
+        (a.rec.unix_time_s, a.path.as_path()).cmp(&(b.rec.unix_time_s, b.path.as_path()))
+    });
+    (records, warnings)
+}
+
+/// One configuration's history: every scanned record sharing a
+/// `config_hash`, in capture order.
+#[derive(Debug, Clone)]
+pub struct ConfigGroup {
+    /// The shared configuration hash.
+    pub config_hash: u64,
+    /// Display name (taken from the first record).
+    pub name: String,
+    /// Records in capture order.
+    pub records: Vec<ScannedRecord>,
+}
+
+/// Groups records by configuration hash, preserving capture order
+/// within each group; groups are ordered by their earliest record.
+pub fn group_by_config(records: Vec<ScannedRecord>) -> Vec<ConfigGroup> {
+    let mut groups: Vec<ConfigGroup> = Vec::new();
+    for sr in records {
+        match groups
+            .iter_mut()
+            .find(|g| g.config_hash == sr.rec.config_hash)
+        {
+            Some(g) => g.records.push(sr),
+            None => groups.push(ConfigGroup {
+                config_hash: sr.rec.config_hash,
+                name: sr.rec.name.clone(),
+                records: vec![sr],
+            }),
+        }
+    }
+    groups
+}
+
+/// Builds an explicit trajectory group from named files in the given
+/// order (the committed `BENCH_5.json` → `BENCH_6.json` history, where
+/// the config hash legitimately moves as the bench gains sections —
+/// the group keeps file order, not hash identity).
+pub fn trajectory_group(name: &str, files: &[PathBuf]) -> Result<ConfigGroup, String> {
+    let mut records = Vec::new();
+    for path in files {
+        records.push(ScannedRecord {
+            path: path.clone(),
+            rec: RunRecord::load(path)?,
+        });
+    }
+    Ok(ConfigGroup {
+        config_hash: records.first().map_or(0, |r| r.rec.config_hash),
+        name: name.to_string(),
+        records,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Trends
+// ---------------------------------------------------------------------
+
+/// Noise-vs-signal verdict for one metric's history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Effectively constant.
+    Flat,
+    /// Varies, but within the series' own noise level and with no
+    /// detected level shift.
+    Noise,
+    /// A detected change-point or a drifting tail: a real shift.
+    Signal,
+}
+
+impl Classification {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Classification::Flat => "flat",
+            Classification::Noise => "noise",
+            Classification::Signal => "SIGNAL",
+        }
+    }
+}
+
+/// One metric's longitudinal trend across a config group.
+#[derive(Debug, Clone)]
+pub struct MetricTrend {
+    /// Metric name.
+    pub metric: String,
+    /// Headline values in capture order (records missing the metric
+    /// contribute no point).
+    pub values: Vec<f64>,
+    /// Indices (into `values`) where a new level starts.
+    pub change_points: Vec<usize>,
+    /// Noise-vs-signal verdict.
+    pub class: Classification,
+    /// Last-versus-first percentage change (0 when undefined).
+    pub delta_pct: f64,
+}
+
+impl MetricTrend {
+    /// Trend arrow for the last-vs-first direction.
+    pub fn arrow(&self) -> &'static str {
+        if self.delta_pct > 0.05 {
+            "up"
+        } else if self.delta_pct < -0.05 {
+            "down"
+        } else {
+            "steady"
+        }
+    }
+}
+
+/// Classifies one value history. Change-points need ≥ 4 points; short
+/// histories classify on relative spread alone.
+fn classify(values: &[f64]) -> (Classification, Vec<usize>) {
+    if values.len() < 2 {
+        return (Classification::Flat, Vec::new());
+    }
+    let med = median(values);
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let flat = (hi - lo).abs() <= 1e-12 + 1e-9 * med.abs();
+    if flat {
+        return (Classification::Flat, Vec::new());
+    }
+    let cuts = change_points(values, 2, 3.0);
+    if !cuts.is_empty() {
+        return (Classification::Signal, cuts);
+    }
+    // No level shift found: a tail sample far outside the series' own
+    // noise band still counts as signal (a fresh regression has only
+    // one point of history yet).
+    let sigma = noise_sigma(values);
+    let last = *values.last().expect("non-empty");
+    if sigma > 0.0 && (last - med).abs() > 4.0 * sigma {
+        (Classification::Signal, Vec::new())
+    } else {
+        (Classification::Noise, Vec::new())
+    }
+}
+
+/// Computes per-metric trends for one group: every headline metric any
+/// record carries, in first-seen order.
+pub fn metric_trends(group: &ConfigGroup) -> Vec<MetricTrend> {
+    let mut names: Vec<&str> = Vec::new();
+    for sr in &group.records {
+        for n in sr.rec.headline_metrics() {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    names
+        .into_iter()
+        .map(|metric| {
+            let values: Vec<f64> = group
+                .records
+                .iter()
+                .filter_map(|sr| sr.rec.metric(metric))
+                .collect();
+            let (class, cuts) = classify(&values);
+            let delta_pct = match (values.first(), values.last()) {
+                (Some(&f), Some(&l)) if f.abs() > 1e-12 => 100.0 * (l - f) / f,
+                _ => 0.0,
+            };
+            MetricTrend {
+                metric: metric.to_string(),
+                values,
+                change_points: cuts,
+                class,
+                delta_pct,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------
+
+/// Sparkline width used by both render targets.
+const SPARK_WIDTH: usize = 24;
+
+/// Renders the longitudinal report for `groups` as a terminal
+/// dashboard.
+pub fn render_terminal(groups: &[ConfigGroup], warnings: &[String]) -> String {
+    let mut out = String::from("== cross-run observatory ==\n");
+    for w in warnings {
+        let _ = writeln!(out, "!! {w}");
+    }
+    if groups.is_empty() {
+        out.push_str("no run records found\n");
+        return out;
+    }
+    for g in groups {
+        let reps: u64 = g.records.iter().map(|r| r.rec.replicates).sum();
+        let _ = writeln!(
+            out,
+            "\n-- {}  (config {:016x}, {} record(s), {} run(s))",
+            g.name,
+            g.config_hash,
+            g.records.len(),
+            reps
+        );
+        let _ = writeln!(
+            out,
+            "{:<34} {:<SPARK_WIDTH$} {:>13} {:>13} {:>9} {:>7}  shifts",
+            "metric", "history", "first", "last", "delta%", "class"
+        );
+        for t in metric_trends(g) {
+            let cuts = if t.change_points.is_empty() {
+                "-".to_string()
+            } else {
+                t.change_points
+                    .iter()
+                    .map(|c| format!("@{c}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(
+                out,
+                "{:<34} {:<SPARK_WIDTH$} {:>13.6} {:>13.6} {:>+8.2}% {:>7}  {}",
+                t.metric,
+                sparkline(&t.values, SPARK_WIDTH),
+                t.values.first().copied().unwrap_or(f64::NAN),
+                t.values.last().copied().unwrap_or(f64::NAN),
+                t.delta_pct,
+                t.class.label(),
+                cuts
+            );
+        }
+    }
+    out
+}
+
+/// Renders the longitudinal report as a committable Markdown artifact.
+pub fn render_markdown(groups: &[ConfigGroup], warnings: &[String]) -> String {
+    let mut out = String::from("# Cross-run observatory\n");
+    if !warnings.is_empty() {
+        out.push_str("\n## Warnings\n\n");
+        for w in warnings {
+            let _ = writeln!(out, "- {w}");
+        }
+    }
+    for g in groups {
+        let _ = writeln!(
+            out,
+            "\n## {} (`{:016x}`)\n\n{} record(s): {}\n",
+            g.name,
+            g.config_hash,
+            g.records.len(),
+            g.records
+                .iter()
+                .map(|r| format!("`{}`", r.path.display()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("| metric | history | first | last | Δ% | trend | class | shifts |\n");
+        out.push_str("|---|---|---:|---:|---:|---|---|---|\n");
+        for t in metric_trends(g) {
+            let cuts = if t.change_points.is_empty() {
+                "—".to_string()
+            } else {
+                t.change_points
+                    .iter()
+                    .map(|c| format!("@{c}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = writeln!(
+                out,
+                "| `{}` | `{}` | {:.6} | {:.6} | {:+.2}% | {} | {} | {} |",
+                t.metric,
+                sparkline(&t.values, SPARK_WIDTH),
+                t.values.first().copied().unwrap_or(f64::NAN),
+                t.values.last().copied().unwrap_or(f64::NAN),
+                t.delta_pct,
+                t.arrow(),
+                t.class.label(),
+                cuts
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The statistical gate
+// ---------------------------------------------------------------------
+
+/// Knobs of the noise-aware gate.
+#[derive(Debug, Clone, Copy)]
+pub struct StatGateConfig {
+    /// Significance level for the permutation test. The default 0.1 is
+    /// the granularity floor of a 3-vs-3 exact permutation test (the
+    /// smallest achievable two-sided p is 2/20).
+    pub alpha: f64,
+    /// Minimum robust effect size (median shift in MAD-derived σ) for
+    /// a significant shift to count as a regression.
+    pub min_effect: f64,
+}
+
+impl Default for StatGateConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.1,
+            min_effect: 0.5,
+        }
+    }
+}
+
+/// How a gate row was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Permutation test + effect size over replicate samples.
+    Statistical,
+    /// Fixed tolerance band only (a side had < 2 samples).
+    Band,
+}
+
+/// One gated metric's verdict.
+#[derive(Debug, Clone)]
+pub struct StatGateRow {
+    /// Metric key.
+    pub metric: &'static str,
+    /// Baseline median (None when absent).
+    pub baseline: Option<f64>,
+    /// Current median (None when absent).
+    pub current: Option<f64>,
+    /// Sample counts (baseline, current).
+    pub n: (usize, usize),
+    /// Permutation p-value, when the statistical path ran.
+    pub p: Option<f64>,
+    /// Robust effect size (current − baseline, in σ), when computed.
+    pub effect: Option<f64>,
+    /// Whether the median shift left the fixed tolerance band in the
+    /// worse direction.
+    pub band_exceeded: bool,
+    /// Decision path.
+    pub mode: GateMode,
+    /// Verdict.
+    pub status: GateStatus,
+}
+
+/// Result of [`stat_gate`].
+#[derive(Debug, Clone)]
+pub struct StatGateReport {
+    /// Per-gate rows.
+    pub rows: Vec<StatGateRow>,
+    /// Whether baseline and current hash different configurations.
+    pub config_mismatch: bool,
+    /// The knobs that produced this report.
+    pub cfg: StatGateConfig,
+}
+
+impl StatGateReport {
+    /// Regressed rows.
+    pub fn regressions(&self) -> Vec<&StatGateRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.status == GateStatus::Regressed)
+            .collect()
+    }
+
+    /// Rows whose metric was missing on either side.
+    pub fn missing(&self) -> Vec<&StatGateRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.status == GateStatus::Missing)
+            .collect()
+    }
+
+    /// Rows the statistical path *excused*: outside the fixed band but
+    /// not a significant shift — exactly the false alarms the
+    /// single-run gate would have raised.
+    pub fn excused(&self) -> Vec<&StatGateRow> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.status == GateStatus::Ok && r.band_exceeded && r.mode == GateMode::Statistical
+            })
+            .collect()
+    }
+
+    /// Renders the gate as a fixed-width terminal table plus verdict.
+    pub fn render(&self, baseline_name: &str, current_name: &str) -> String {
+        let mut out = format!(
+            "== obs gate ==  baseline: {baseline_name}   current: {current_name}\n\
+             significance α = {}, min effect = {} σ\n",
+            self.cfg.alpha, self.cfg.min_effect
+        );
+        if self.config_mismatch {
+            out.push_str("!! config hash differs from the baseline\n");
+        }
+        let _ = writeln!(
+            out,
+            "{:<34} {:>13} {:>13} {:>7} {:>8} {:>8} {:>6}  status",
+            "metric", "base med", "cur med", "n", "p", "effect", "mode"
+        );
+        for r in &self.rows {
+            let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.6}"));
+            let _ = writeln!(
+                out,
+                "{:<34} {:>13} {:>13} {:>3}v{:<3} {:>8} {:>8} {:>6}  {}",
+                r.metric,
+                fmt(r.baseline),
+                fmt(r.current),
+                r.n.0,
+                r.n.1,
+                r.p.map_or("-".to_string(), |p| format!("{p:.3}")),
+                r.effect.map_or("-".to_string(), |e| format!("{e:+.2}")),
+                match r.mode {
+                    GateMode::Statistical => "stat",
+                    GateMode::Band => "band",
+                },
+                match r.status {
+                    GateStatus::Ok if r.band_exceeded => "ok (excused: not significant)",
+                    GateStatus::Ok => "ok",
+                    GateStatus::Regressed => "REGRESSED",
+                    GateStatus::Missing => "missing",
+                }
+            );
+        }
+        let reg = self.regressions();
+        if reg.is_empty() {
+            let _ = writeln!(out, "PASS: no significant regression");
+        } else {
+            for r in &reg {
+                let _ = writeln!(
+                    out,
+                    "FAIL: {} regressed — median {} -> {}, effect {} σ{}",
+                    r.metric,
+                    r.baseline.map_or("-".into(), |v| format!("{v:.6}")),
+                    r.current.map_or("-".into(), |v| format!("{v:.6}")),
+                    r.effect.map_or("n/a (band)".into(), |e| format!("{e:+.2}")),
+                    r.p.map_or(String::new(), |p| format!(", p = {p:.3}")),
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the gate as a Markdown section for the committed report
+    /// artifact.
+    pub fn render_markdown(&self, baseline_name: &str, current_name: &str) -> String {
+        let mut out = format!(
+            "# Statistical regression gate\n\nBaseline `{baseline_name}` vs current \
+             `{current_name}` — α = {}, min effect = {} σ.\n\n",
+            self.cfg.alpha, self.cfg.min_effect
+        );
+        if self.config_mismatch {
+            out.push_str("> **Warning:** config hash differs from the baseline.\n\n");
+        }
+        out.push_str("| metric | base med | cur med | n | p | effect σ | mode | verdict |\n");
+        out.push_str("|---|---:|---:|---|---:|---:|---|---|\n");
+        for r in &self.rows {
+            let fmt = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v:.6}"));
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} | {}v{} | {} | {} | {} | {} |",
+                r.metric,
+                fmt(r.baseline),
+                fmt(r.current),
+                r.n.0,
+                r.n.1,
+                r.p.map_or("—".to_string(), |p| format!("{p:.3}")),
+                r.effect.map_or("—".to_string(), |e| format!("{e:+.2}")),
+                match r.mode {
+                    GateMode::Statistical => "stat",
+                    GateMode::Band => "band",
+                },
+                match r.status {
+                    GateStatus::Ok if r.band_exceeded => "ok *(excused)*",
+                    GateStatus::Ok => "ok",
+                    GateStatus::Regressed => "**REGRESSED**",
+                    GateStatus::Missing => "missing",
+                }
+            );
+        }
+        let reg = self.regressions();
+        let _ = writeln!(
+            out,
+            "\n**{}** — {} gate(s), {} regression(s), {} excused by statistics.",
+            if reg.is_empty() { "PASS" } else { "FAIL" },
+            self.rows.len(),
+            reg.len(),
+            self.excused().len()
+        );
+        out
+    }
+}
+
+/// The noise-aware regression gate. Per gated metric:
+///
+/// 1. compare the **median** shift against the gate's fixed
+///    [`Tolerance`] band (medians of replicated records, the single
+///    value otherwise) — inside the band is always OK;
+/// 2. outside the band, when both sides carry ≥ 2 samples, require the
+///    shift to also be *statistically significant* (permutation
+///    p ≤ `alpha`) with at least `min_effect` robust σ — otherwise the
+///    excursion is classified as noise and excused;
+/// 3. with fewer than 2 samples a side there is no spread information,
+///    so the band alone decides (single-run `bench_compare` semantics).
+///
+/// Missing metrics are reported but never fail, matching
+/// [`crate::runrec::compare`].
+pub fn stat_gate(
+    baseline: &RunRecord,
+    current: &RunRecord,
+    gates: &[Gate],
+    cfg: StatGateConfig,
+) -> StatGateReport {
+    let rows = gates
+        .iter()
+        .map(|g| {
+            let b = baseline.samples(g.metric);
+            let c = current.samples(g.metric);
+            if b.is_empty() || c.is_empty() {
+                return StatGateRow {
+                    metric: g.metric,
+                    baseline: (!b.is_empty()).then(|| median(&b)),
+                    current: (!c.is_empty()).then(|| median(&c)),
+                    n: (b.len(), c.len()),
+                    p: None,
+                    effect: None,
+                    band_exceeded: false,
+                    mode: GateMode::Band,
+                    status: GateStatus::Missing,
+                };
+            }
+            let med_b = median(&b);
+            let med_c = median(&c);
+            let worse = if g.higher_is_worse {
+                med_c - med_b
+            } else {
+                med_b - med_c
+            };
+            let band_exceeded = worse > band_slack(&g.tol, med_b);
+            let statistical = b.len() >= 2 && c.len() >= 2;
+            let (p, effect, status) = if statistical {
+                let d = drift(&b, &c, fnv1a(g.metric));
+                let status = if band_exceeded && d.significant(cfg.alpha, cfg.min_effect) {
+                    GateStatus::Regressed
+                } else {
+                    GateStatus::Ok
+                };
+                (Some(d.p), Some(d.effect), status)
+            } else {
+                let status = if band_exceeded {
+                    GateStatus::Regressed
+                } else {
+                    GateStatus::Ok
+                };
+                (None, None, status)
+            };
+            StatGateRow {
+                metric: g.metric,
+                baseline: Some(med_b),
+                current: Some(med_c),
+                n: (b.len(), c.len()),
+                p,
+                effect,
+                band_exceeded,
+                mode: if statistical {
+                    GateMode::Statistical
+                } else {
+                    GateMode::Band
+                },
+                status,
+            }
+        })
+        .collect();
+    StatGateReport {
+        rows,
+        config_mismatch: baseline.config_hash != current.config_hash,
+        cfg,
+    }
+}
+
+fn band_slack(tol: &Tolerance, baseline: f64) -> f64 {
+    tol.slack(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replicate::fold_replicates;
+    use crate::runrec::DEFAULT_GATES;
+
+    fn replicated(exec: &[f64], temp: &[f64]) -> RunRecord {
+        let runs: Vec<RunRecord> = exec
+            .iter()
+            .zip(temp)
+            .map(|(&e, &t)| {
+                let mut r = RunRecord::new("g", "cfg");
+                r.push("exec_s", e);
+                r.push("max_peak_dram_c", t);
+                r
+            })
+            .collect();
+        let seeds: Vec<u64> = (0..runs.len() as u64).collect();
+        fold_replicates("g", "cfg", &seeds, &runs)
+    }
+
+    #[test]
+    fn identical_replicate_sets_pass() {
+        let base = replicated(&[1.0, 1.1, 0.9], &[80.0, 81.0, 79.0]);
+        let rep = stat_gate(&base, &base, DEFAULT_GATES, StatGateConfig::default());
+        assert!(rep.regressions().is_empty(), "{}", rep.render("b", "c"));
+    }
+
+    #[test]
+    fn inflated_metric_fails_with_named_effect() {
+        let base = replicated(&[1.0, 1.05, 0.95], &[80.0, 81.0, 79.0]);
+        let cur = replicated(&[1.5, 1.55, 1.45], &[80.0, 81.0, 79.0]);
+        let rep = stat_gate(&base, &cur, DEFAULT_GATES, StatGateConfig::default());
+        let reg = rep.regressions();
+        assert_eq!(reg.len(), 1, "{}", rep.render("b", "c"));
+        assert_eq!(reg[0].metric, "exec_s");
+        assert!(reg[0].effect.unwrap() > 1.0);
+        assert!(reg[0].p.unwrap() <= 0.1);
+        assert!(rep.render("b", "c").contains("FAIL: exec_s"));
+    }
+
+    #[test]
+    fn noise_outside_band_is_excused_when_not_significant() {
+        // Baseline spread straddles the current values: the medians
+        // differ by ~8 % (outside the 5 % exec_s band) but the samples
+        // interleave, so no permutation split is extreme → excused.
+        let base = replicated(&[1.0, 1.2, 0.8], &[80.0, 80.0, 80.0]);
+        let cur = replicated(&[1.08, 0.9, 1.19], &[80.0, 80.0, 80.0]);
+        let rep = stat_gate(&base, &cur, DEFAULT_GATES, StatGateConfig::default());
+        assert!(rep.regressions().is_empty(), "{}", rep.render("b", "c"));
+        assert_eq!(rep.excused().len(), 1, "{}", rep.render("b", "c"));
+        assert!(rep.render("b", "c").contains("excused"));
+    }
+
+    #[test]
+    fn single_replicates_fall_back_to_the_band() {
+        let mut base = RunRecord::new("s", "cfg");
+        base.push("exec_s", 1.0);
+        let mut cur = RunRecord::new("s", "cfg");
+        cur.push("exec_s", 1.2); // +20 % > 5 % band
+        let rep = stat_gate(&base, &cur, DEFAULT_GATES, StatGateConfig::default());
+        let reg = rep.regressions();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].mode, GateMode::Band);
+        assert!(reg[0].p.is_none());
+    }
+
+    #[test]
+    fn missing_metrics_report_but_do_not_fail() {
+        let base = replicated(&[1.0, 1.0, 1.0], &[80.0, 80.0, 80.0]);
+        let cur = RunRecord::new("empty", "cfg");
+        let rep = stat_gate(&base, &cur, DEFAULT_GATES, StatGateConfig::default());
+        assert!(rep.regressions().is_empty());
+        assert!(!rep.missing().is_empty());
+    }
+
+    #[test]
+    fn trends_classify_step_noise_and_flat() {
+        // Irregular small-amplitude noise (a regular pattern would make
+        // the MAD of first differences collapse to zero, which reads as
+        // a noise-free series of many tiny real steps).
+        const NOISE: [f64; 12] = [
+            0.004, -0.006, 0.011, -0.002, 0.007, -0.009, 0.001, 0.013, -0.005, 0.008, -0.012, 0.003,
+        ];
+        let mut records = Vec::new();
+        for i in 0..12u64 {
+            let mut r = RunRecord::new("hist", "cfg");
+            r.unix_time_s = i;
+            // Stepped metric: jumps at index 6. Noisy metric: bounded
+            // wiggle. Flat metric: constant.
+            r.push("stepped", if i < 6 { 1.0 } else { 2.0 } + NOISE[i as usize]);
+            r.push("noisy", 5.0 + 40.0 * NOISE[i as usize]);
+            r.push("flat", 3.0);
+            records.push(ScannedRecord {
+                path: PathBuf::from(format!("r{i}.json")),
+                rec: r,
+            });
+        }
+        let groups = group_by_config(records);
+        assert_eq!(groups.len(), 1);
+        let trends = metric_trends(&groups[0]);
+        let find = |m: &str| trends.iter().find(|t| t.metric == m).unwrap();
+        assert_eq!(find("stepped").class, Classification::Signal);
+        assert_eq!(find("stepped").change_points, vec![6]);
+        assert_eq!(find("noisy").class, Classification::Noise);
+        assert_eq!(find("flat").class, Classification::Flat);
+        let term = render_terminal(&groups, &[]);
+        assert!(term.contains("SIGNAL") && term.contains("stepped"));
+        let md = render_markdown(&groups, &[]);
+        assert!(md.contains("| `stepped` |") && md.contains("SIGNAL"));
+    }
+
+    #[test]
+    fn grouping_separates_config_hashes() {
+        let a = RunRecord::new("a", "cfg-a");
+        let b = RunRecord::new("b", "cfg-b");
+        let a2 = RunRecord::new("a", "cfg-a");
+        let groups = group_by_config(
+            [a, b, a2]
+                .into_iter()
+                .enumerate()
+                .map(|(i, rec)| ScannedRecord {
+                    path: PathBuf::from(format!("{i}.json")),
+                    rec,
+                })
+                .collect(),
+        );
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].records.len(), 2);
+        assert_eq!(groups[1].records.len(), 1);
+    }
+
+    #[test]
+    fn scan_tolerates_foreign_json() {
+        let dir = std::env::temp_dir().join(format!("coolpim-obs-scan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = RunRecord::new("ok", "cfg");
+        r.push("exec_s", 1.0);
+        r.write_to(&dir.join("good.json")).unwrap();
+        std::fs::write(dir.join("bad.json"), "{not json").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let (records, warnings) = scan_records(std::slice::from_ref(&dir));
+        assert_eq!(records.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

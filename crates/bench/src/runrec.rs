@@ -21,7 +21,16 @@ use coolpim_telemetry::Tolerance;
 
 /// Version stamped into every record; bump on incompatible layout
 /// changes so the comparator can refuse mixed-version diffs.
-pub const RUN_RECORD_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (the cross-run observatory) adds replicated-run identity — a
+/// `replicates` count and the comma-joined `seeds` list — plus the
+/// folded `dist.<metric>.*` distribution fields (see
+/// `crate::replicate`). v1 records remain readable: every v2 addition
+/// is a new field with a safe default.
+pub const RUN_RECORD_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version this build still reads.
+pub const MIN_RUN_RECORD_SCHEMA_VERSION: u64 = 1;
 
 /// Environment variable the drivers consult: when set to a directory,
 /// every run appends its record there (see [`RunRecord::save_to_dir`]).
@@ -50,6 +59,11 @@ pub struct RunRecord {
     pub config_hash: u64,
     /// Capture time (Unix seconds; 0 when unavailable).
     pub unix_time_s: u64,
+    /// Number of seed-varied replicate runs folded into this record
+    /// (1 for an ordinary single run; see `crate::replicate`).
+    pub replicates: u64,
+    /// The replicate seeds, in run order (empty for a single run).
+    pub seeds: Vec<u64>,
     /// Metric name → value, in insertion order.
     pub metrics: Vec<(String, f64)>,
 }
@@ -66,8 +80,16 @@ impl RunRecord {
             name: name.to_string(),
             config_hash: fnv1a(config),
             unix_time_s,
+            replicates: 1,
+            seeds: Vec::new(),
             metrics: Vec::new(),
         }
+    }
+
+    /// Whether this record folds several seed-varied replicate runs
+    /// (and therefore carries `dist.<metric>.*` distribution fields).
+    pub fn is_replicated(&self) -> bool {
+        self.replicates > 1
     }
 
     /// Appends one metric (replacing any previous value of the name).
@@ -140,6 +162,11 @@ impl RunRecord {
             .str("name", &self.name)
             .str("config_hash", &format!("{:016x}", self.config_hash))
             .u64("unix_time_s", self.unix_time_s);
+        if self.replicates > 1 {
+            b.u64("replicates", self.replicates);
+            let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+            b.str("seeds", &seeds.join(","));
+        }
         for (n, v) in &self.metrics {
             b.f64(n, *v);
         }
@@ -153,9 +180,10 @@ impl RunRecord {
         let version = o
             .u64_field("schema_version")
             .ok_or("missing schema_version")?;
-        if version != RUN_RECORD_SCHEMA_VERSION {
+        if !(MIN_RUN_RECORD_SCHEMA_VERSION..=RUN_RECORD_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "schema version {version} (this build reads {RUN_RECORD_SCHEMA_VERSION})"
+                "schema version {version} (this build reads \
+                 {MIN_RUN_RECORD_SCHEMA_VERSION}..={RUN_RECORD_SCHEMA_VERSION})"
             ));
         }
         let mut rec = Self {
@@ -166,10 +194,18 @@ impl RunRecord {
                 .and_then(|s| u64::from_str_radix(s, 16).ok())
                 .unwrap_or(0),
             unix_time_s: o.u64_field("unix_time_s").unwrap_or(0),
+            replicates: o.u64_field("replicates").unwrap_or(1).max(1),
+            seeds: o
+                .str_field("seeds")
+                .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+                .unwrap_or_default(),
             metrics: Vec::new(),
         };
         for (k, v) in o.iter() {
-            if matches!(k, "schema_version" | "name" | "config_hash" | "unix_time_s") {
+            if matches!(
+                k,
+                "schema_version" | "name" | "config_hash" | "unix_time_s" | "replicates" | "seeds"
+            ) {
                 continue;
             }
             if let FlatValue::Num(n) = v {
@@ -438,6 +474,27 @@ mod tests {
         assert_eq!(back.metric("exec_s"), Some(0.25));
         assert_eq!(back.metric("hist.lat.p50"), Some(4096.0));
         assert_eq!(back.metrics.len(), 2);
+    }
+
+    #[test]
+    fn v1_records_still_parse_and_replicated_identity_round_trips() {
+        let v1 = r#"{"schema_version":1,"name":"old","config_hash":"00000000000000ff","unix_time_s":5,"exec_s":1.5}"#;
+        let rec = RunRecord::from_json(v1).expect("v1 parses");
+        assert_eq!(rec.schema_version, 1);
+        assert_eq!(rec.replicates, 1);
+        assert!(!rec.is_replicated());
+        assert_eq!(rec.metric("exec_s"), Some(1.5));
+
+        let mut r = RunRecord::new("rep", "cfg");
+        r.replicates = 3;
+        r.seeds = vec![42, 43, 44];
+        r.push("exec_s", 2.0);
+        let back = RunRecord::from_json(&r.to_json()).expect("v2 parses");
+        assert!(back.is_replicated());
+        assert_eq!(back.seeds, vec![42, 43, 44]);
+        assert_eq!(back.metric("exec_s"), Some(2.0));
+        // Single-run v2 records stay free of replicate fields.
+        assert!(!record(&[]).to_json().contains("replicates"));
     }
 
     #[test]

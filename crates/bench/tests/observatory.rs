@@ -1,0 +1,172 @@
+//! End-to-end acceptance tests for the statistical observatory: the
+//! `sim --seed-list` replicate runner, the `obs gate` noise-aware
+//! regression gate (pass on an unchanged tree, non-zero with a named
+//! metric + effect size on an inflated one), and the `obs report`
+//! longitudinal view of the committed bench trajectory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("coolpim-observatory-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+/// Runs `sim` with three fixed seeds at a tiny scale, writing the
+/// folded replicated record to `out`.
+fn run_replicated_sim(out: &Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_sim"))
+        .args([
+            "--scale",
+            "10",
+            "--warning-threshold",
+            "30",
+            "--seed-list",
+            "1,2,3",
+            "--metrics-out",
+        ])
+        .arg(out)
+        .status()
+        .expect("spawn sim");
+    assert!(status.success(), "sim --seed-list failed");
+}
+
+#[test]
+fn gate_passes_unchanged_fails_inflated_and_report_reads_trajectory() {
+    let dir = tmpdir("gate");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    run_replicated_sim(&a);
+    run_replicated_sim(&b);
+
+    // Unchanged tree, ≥ 3 replicates a side: the gate must pass.
+    let out = Command::new(env!("CARGO_BIN_EXE_obs"))
+        .args(["gate", "--baseline"])
+        .arg(&a)
+        .arg("--current")
+        .arg(&b)
+        .output()
+        .expect("spawn obs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean gate failed:\n{stdout}");
+    assert!(stdout.contains("PASS"), "no PASS verdict:\n{stdout}");
+    assert!(
+        stdout.contains("3v3"),
+        "expected 3v3 sample counts:\n{stdout}"
+    );
+
+    // Synthetically inflated metric: non-zero exit, FAIL line naming
+    // the metric and its effect size.
+    let out = Command::new(env!("CARGO_BIN_EXE_obs"))
+        .args(["gate", "--baseline"])
+        .arg(&a)
+        .arg("--current")
+        .arg(&b)
+        .args(["--inflate", "exec_s=1.5"])
+        .output()
+        .expect("spawn obs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "inflated gate must exit 1:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("FAIL: exec_s regressed"),
+        "FAIL line must name the metric:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("σ"),
+        "FAIL line must carry the effect size:\n{stdout}"
+    );
+
+    // Self-test inversion: with --expect-regression the same invocation
+    // succeeds (and would fail on a quiet gate).
+    let status = Command::new(env!("CARGO_BIN_EXE_obs"))
+        .args(["gate", "--baseline"])
+        .arg(&a)
+        .arg("--current")
+        .arg(&b)
+        .args(["--inflate", "exec_s=1.5", "--expect-regression"])
+        .status()
+        .expect("spawn obs");
+    assert!(
+        status.success(),
+        "--expect-regression must succeed on a fired gate"
+    );
+    let status = Command::new(env!("CARGO_BIN_EXE_obs"))
+        .args(["gate", "--baseline"])
+        .arg(&a)
+        .arg("--current")
+        .arg(&b)
+        .arg("--expect-regression")
+        .status()
+        .expect("spawn obs");
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "--expect-regression must fail when the gate stays quiet"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_names_every_metric_trend_across_the_committed_bench_trajectory() {
+    // The committed BENCH_5 → BENCH_6 history at the repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let b5 = root.join("BENCH_5.json");
+    let b6 = root.join("BENCH_6.json");
+    assert!(
+        b5.is_file() && b6.is_file(),
+        "committed bench records missing"
+    );
+
+    let dir = tmpdir("report");
+    let md_path = dir.join("observatory.md");
+    let out = Command::new(env!("CARGO_BIN_EXE_obs"))
+        .arg("report")
+        .arg("--bench")
+        .arg(&b5)
+        .arg("--bench")
+        .arg(&b6)
+        .arg("--md")
+        .arg(&md_path)
+        .output()
+        .expect("spawn obs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bench trajectory"), "{stdout}");
+
+    // Every metric of the union of both records must appear with a
+    // trend classification.
+    let both = std::fs::read_to_string(&b5).unwrap() + &std::fs::read_to_string(&b6).unwrap();
+    for metric in [
+        "solver.new_sweeps",
+        "cosim.run_dc_medium_s",
+        "graph.generate_s",
+    ] {
+        assert!(
+            both.contains(metric),
+            "fixture drifted: {metric} not in records"
+        );
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(metric))
+            .unwrap_or_else(|| panic!("report has no line for {metric}:\n{stdout}"));
+        assert!(
+            ["flat", "noise", "SIGNAL"].iter().any(|c| line.contains(c)),
+            "no classification on: {line}"
+        );
+    }
+
+    let md = std::fs::read_to_string(&md_path).expect("markdown written");
+    assert!(md.contains("# Cross-run observatory"));
+    assert!(
+        md.contains("| `solver.new_sweeps` |"),
+        "markdown lacks metric rows"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

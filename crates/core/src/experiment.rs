@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use coolpim_graph::csr::Csr;
+use coolpim_graph::generate::GraphSpec;
 use coolpim_graph::workloads::{make_kernel, Workload};
 use coolpim_telemetry::{MetricsSnapshot, MonitorHub, ProfileReport, Telemetry, Tracer};
 
@@ -200,6 +201,67 @@ fn run_matrix_inner(
         .collect()
 }
 
+/// Runs one workload × policy cell once per seed in `seeds`, each
+/// replicate over a freshly generated graph from `spec` re-seeded with
+/// that replicate's seed. Results come back in seed order regardless of
+/// scheduling.
+///
+/// This is the engine behind `sim --replicates` / `bench --replicates`:
+/// the co-simulator itself is deterministic for a fixed graph, so the
+/// only run-to-run variation the stack exposes is the graph draw — each
+/// replicate therefore needs its own [`GraphSpec::build`], which is why
+/// this pool cannot share [`run_matrix`]'s single borrowed `&Csr`.
+pub fn run_replicates(
+    spec: GraphSpec,
+    workload: Workload,
+    policy: Policy,
+    cfg: CoSimConfig,
+    seeds: &[u64],
+) -> Vec<CoSimResult> {
+    let cfg = &cfg;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new({
+        let mut v = Vec::<Option<CoSimResult>>::new();
+        v.resize_with(seeds.len(), || None);
+        v
+    });
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let results = &results;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else {
+                    break;
+                };
+                let started = std::time::Instant::now();
+                let graph = GraphSpec { seed, ..spec }.build();
+                let mut kernel = make_kernel(workload, &graph);
+                let r = CoSim::new(policy, cfg.clone()).run(kernel.as_mut());
+                eprintln!(
+                    "# replicate seed={seed:<6} {:<10} {:<18} {:>8.3} ms simulated ({:>5.1} s wall)",
+                    workload.name(),
+                    policy.name(),
+                    r.exec_s * 1e3,
+                    started.elapsed().as_secs_f64()
+                );
+                results.lock().expect("results poisoned")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("missing replicate"))
+        .collect()
+}
+
 /// Arithmetic mean of per-workload speedups for `policy` (the paper's
 /// "on average" figures).
 pub fn mean_speedup(results: &[WorkloadResults], policy: Policy) -> f64 {
@@ -280,6 +342,38 @@ mod tests {
         );
         let m = mean_speedup(&res, Policy::NonOffloading);
         assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicates_keep_seed_order_and_are_deterministic() {
+        let spec = GraphSpec::tiny();
+        let cfg = CoSimConfig::default();
+        let seeds = [3u64, 1, 2];
+        let a = run_replicates(
+            spec,
+            Workload::Dc,
+            Policy::NonOffloading,
+            cfg.clone(),
+            &seeds,
+        );
+        let b = run_replicates(spec, Workload::Dc, Policy::NonOffloading, cfg, &seeds);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            // Bit-identical across invocations: the pool order may
+            // differ, the results must not.
+            assert_eq!(x.exec_s.to_bits(), y.exec_s.to_bits());
+            assert_eq!(x.ext_data_bytes.to_bits(), y.ext_data_bytes.to_bits());
+            assert_eq!(x.max_peak_dram_c.to_bits(), y.max_peak_dram_c.to_bits());
+        }
+        // Different seeds draw different graphs, so at least one pair of
+        // replicates must differ somewhere.
+        assert!(
+            a.iter()
+                .any(|r| r.exec_s.to_bits() != a[0].exec_s.to_bits())
+                || a.iter()
+                    .any(|r| r.ext_data_bytes.to_bits() != a[0].ext_data_bytes.to_bits()),
+            "seed variation produced identical replicates"
+        );
     }
 
     #[test]

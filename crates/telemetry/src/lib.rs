@@ -37,6 +37,11 @@
 //! * [`monitor`] — the live monitor itself: the [`MonitorHub`] snapshot
 //!   bridge and the one-thread in-tree HTTP [`MonitorServer`]
 //!   (`/metrics`, `/status`, `/series`, `/healthz`);
+//! * [`stats`] — robust cross-run statistics for replicated runs:
+//!   median/MAD summaries with bootstrap CIs ([`summarize`]), two-sample
+//!   permutation tests and effect sizes ([`drift`]), and change-point
+//!   detection over a metric history ([`change_points`]) — the engine
+//!   of the `obs` observatory and its noise-aware gate;
 //! * [`tolerance`] — the shared [`Tolerance`] band (`abs + rel·|base|`)
 //!   used by the run-record regression gates and the lockstep oracle;
 //! * [`tracer`] — hierarchical trace timelines: nested spans on
@@ -70,6 +75,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod sink;
 pub mod span;
+pub mod stats;
 pub mod timeseries;
 pub mod tolerance;
 pub mod tracer;
@@ -85,6 +91,10 @@ pub use sink::{
     CSV_TIMELINE_HEADER,
 };
 pub use span::{ProfileReport, Profiler, SpanTimer};
+pub use stats::{
+    bootstrap_ci, change_points, drift, effect_size, median, noise_sigma, permutation_p, summarize,
+    Drift, StatsRng, Summary,
+};
 pub use timeseries::{Agg, SeriesSet, TimeSeries};
 pub use tolerance::Tolerance;
 pub use tracer::{
